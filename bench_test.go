@@ -1,0 +1,224 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at ScaleTiny (so `go test -bench=.` completes in minutes — use
+// cmd/l2bmexp for larger scales). Each benchmark reports the experiment's
+// headline quantities via b.ReportMetric, so `-bench` output doubles as a
+// compact results table:
+//
+//	go test -bench=BenchmarkFig7 -benchtime=1x
+//
+// The Ablation* benchmarks quantify L2BM's design choices (DESIGN.md §6).
+package l2bm_test
+
+import (
+	"io"
+	"testing"
+
+	"l2bm"
+	"l2bm/internal/core"
+	"l2bm/internal/exp"
+)
+
+// runPoint executes one hybrid data point and reports its metrics.
+func runPoint(b *testing.B, spec exp.HybridSpec) *exp.Result {
+	b.Helper()
+	var res *exp.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.RunHybrid(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RDMAp99(), "rdma-p99-slowdown")
+	b.ReportMetric(res.TCPp99(), "tcp-p99-slowdown")
+	b.ReportMetric(float64(res.PauseFrames), "pause-frames")
+	b.ReportMetric(res.OccupancyP99Fraction(l2bm.DefaultSwitchConfig().TotalShared), "occ-p99-frac")
+	b.ReportMetric(float64(res.Events)/b.Elapsed().Seconds()*float64(b.N), "events/s")
+	return res
+}
+
+// BenchmarkFig3a regenerates the motivation occupancy comparison (TCP vs
+// RDMA under the same workload).
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig3a(exp.ScaleTiny, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3b regenerates the motivation tail-latency sweep (DT and ABM).
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig3b(exp.ScaleTiny, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates one representative Fig. 7 grid point per
+// policy at the paper's highest load; the full sweep is
+// `l2bmexp -exp fig7`.
+func BenchmarkFig7(b *testing.B) {
+	for _, pol := range exp.PolicyNames {
+		b.Run(pol, func(b *testing.B) {
+			runPoint(b, exp.HybridSpec{
+				Name: "fig7", Policy: pol, Scale: exp.ScaleTiny,
+				RDMALoad: 0.4, TCPLoad: 0.8,
+			})
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table II's pause-frame counts across its load
+// range for the two schemes it contrasts hardest (DT vs L2BM).
+func BenchmarkTable2(b *testing.B) {
+	for _, pol := range []string{"DT", "L2BM"} {
+		b.Run(pol, func(b *testing.B) {
+			var pauses uint64
+			for i := 0; i < b.N; i++ {
+				pauses = 0
+				for _, load := range exp.Table2Loads {
+					res, err := exp.RunHybrid(exp.HybridSpec{
+						Name: "fig7", Policy: pol, Scale: exp.ScaleTiny,
+						RDMALoad: 0.4, TCPLoad: load,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					pauses += res.PauseFrames
+				}
+			}
+			b.ReportMetric(float64(pauses), "pause-frames-total")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates the per-ToR occupancy CDFs at load 0.8.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig8(exp.ScaleTiny, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the high-load FCT slowdown CDFs.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig9(exp.ScaleTiny, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the incast deep-dive (N=5) for each policy.
+func BenchmarkFig10(b *testing.B) {
+	for _, pol := range exp.PolicyNames {
+		b.Run(pol, func(b *testing.B) {
+			var res *exp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.RunHybrid(exp.HybridSpec{
+					Name: "fig10", Policy: pol, Scale: exp.ScaleTiny,
+					TCPLoad: 0.8,
+					Incast:  &exp.IncastSpec{Fanout: 5, RequestBytes: 1 << 20, QueryRate: 752},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Incastp99(), "incast-p99-slowdown")
+			b.ReportMetric(res.QueryDelaySummary().Mean, "query-mean-ms")
+			b.ReportMetric(float64(res.PauseFrames), "pause-frames")
+		})
+	}
+}
+
+// BenchmarkFig11 regenerates the fan-in sweep (N = 5, 10, 15; clamped to
+// the tiny topology's responder pool).
+func BenchmarkFig11(b *testing.B) {
+	for _, n := range exp.IncastFanouts {
+		b.Run(map[int]string{5: "N5", 10: "N10", 15: "N15"}[n], func(b *testing.B) {
+			var res *exp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.RunHybrid(exp.HybridSpec{
+					Name: "fig11", Policy: "L2BM", Scale: exp.ScaleTiny,
+					TCPLoad: 0.8,
+					Incast:  &exp.IncastSpec{Fanout: n, RequestBytes: 1 << 20, QueryRate: 752},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Incastp99(), "incast-p99-slowdown")
+			b.ReportMetric(res.QueryDelaySummary().Mean, "query-mean-ms")
+		})
+	}
+}
+
+// BenchmarkAblationNormalization compares L2BM's normalization constant
+// choices (paper-literal sum vs mean vs max vs count).
+func BenchmarkAblationNormalization(b *testing.B) {
+	norms := []struct {
+		name string
+		n    core.Normalization
+	}{
+		{"sum-tau", core.NormSumTau},
+		{"mean-tau", core.NormMeanTau},
+		{"max-tau", core.NormMaxTau},
+		{"count", core.NormCount},
+	}
+	for _, norm := range norms {
+		b.Run(norm.name, func(b *testing.B) {
+			cfg := core.DefaultL2BMConfig()
+			cfg.Normalization = norm.n
+			runPoint(b, exp.HybridSpec{
+				Name:          "ablation-norm",
+				PolicyFactory: func() core.Policy { return core.NewL2BM(cfg) },
+				Scale:         exp.ScaleTiny,
+				RDMALoad:      0.4, TCPLoad: 0.8,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPauseExclusion toggles the §III-D pause-time exclusion.
+func BenchmarkAblationPauseExclusion(b *testing.B) {
+	for _, exclude := range []bool{true, false} {
+		name := "on"
+		if !exclude {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultL2BMConfig()
+			cfg.ExcludePauseTime = exclude
+			runPoint(b, exp.HybridSpec{
+				Name:          "ablation-pause",
+				PolicyFactory: func() core.Policy { return core.NewL2BM(cfg) },
+				Scale:         exp.ScaleTiny,
+				RDMALoad:      0.4, TCPLoad: 0.8,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationAlpha sweeps DT's control factor, exhibiting the
+// pause-rate/occupancy tension L2BM's adaptive weighting escapes.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for _, alpha := range []struct {
+		name  string
+		value float64
+	}{{"a0625", 1.0 / 16}, {"a125", 0.125}, {"a25", 0.25}, {"a5", 0.5}, {"a1", 1.0}} {
+		b.Run(alpha.name, func(b *testing.B) {
+			v := alpha.value
+			runPoint(b, exp.HybridSpec{
+				Name:          "ablation-alpha",
+				PolicyFactory: func() core.Policy { return core.NewDTAlpha(v) },
+				Scale:         exp.ScaleTiny,
+				RDMALoad:      0.4, TCPLoad: 0.8,
+			})
+		})
+	}
+}

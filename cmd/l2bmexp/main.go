@@ -1,0 +1,80 @@
+// Command l2bmexp regenerates the paper's evaluation artifacts (ICDCS'23,
+// §IV): every figure and table, at a chosen simulation scale.
+//
+// Usage:
+//
+//	l2bmexp -exp fig7 -scale small
+//	l2bmexp -exp all -scale full -out results.txt
+//
+// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 all.
+// Scales: tiny (seconds), small (minutes), full (paper topology; tens of
+// minutes for the sweeps).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "l2bmexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("l2bmexp", flag.ContinueOnError)
+	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|all")
+	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
+	outPath := fs.String("out", "", "also append output to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+	return Run(*expName, *scaleName, w)
+}
+
+// Run executes one named experiment (or all) at the given scale, writing
+// the tables to w. It is exported for tests.
+func Run(expName, scaleName string, w io.Writer) error {
+	scale, err := parseScale(scaleName)
+	if err != nil {
+		return err
+	}
+
+	runners := experimentRunners()
+	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11"}
+
+	var selected []string
+	if expName == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[expName]; !ok {
+			return fmt.Errorf("unknown experiment %q", expName)
+		}
+		selected = []string{expName}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		fmt.Fprintf(w, "\n--- running %s at scale %s ---\n", name, scaleName)
+		if err := runners[name](scale, w); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "(%s finished in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

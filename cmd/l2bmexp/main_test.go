@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig3a", "tiny", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"running fig3a", "Fig 3(a)", "finished in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", "tiny", &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := Run("fig7", "galactic", &buf); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestCLIFlagParsing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3a", "-scale", "tiny"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 3(a)") {
+		t.Error("CLI run produced no table")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"io"
+
+	"l2bm/internal/exp"
+)
+
+// parseScale maps the CLI flag to an exp.Scale.
+func parseScale(s string) (exp.Scale, error) { return exp.ParseScale(s) }
+
+// experimentRunners maps experiment names to their runners. A Fig. 7 sweep
+// is cached so that Table II (the same grid) does not re-simulate when both
+// run in one invocation.
+func experimentRunners() map[string]func(exp.Scale, io.Writer) error {
+	var fig7Sweep *exp.SweepResult
+	var fig7Scale exp.Scale
+
+	return map[string]func(exp.Scale, io.Writer) error{
+		"fig3a": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig3a(s, w)
+			return err
+		},
+		"fig3b": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig3b(s, w)
+			return err
+		},
+		"fig7": func(s exp.Scale, w io.Writer) error {
+			sweep, err := exp.RunFig7(s, w)
+			if err == nil {
+				fig7Sweep, fig7Scale = sweep, s
+			}
+			return err
+		},
+		"table2": func(s exp.Scale, w io.Writer) error {
+			prior := fig7Sweep
+			if fig7Scale != s {
+				prior = nil
+			}
+			_, err := exp.RunTable2(s, prior, w)
+			return err
+		},
+		"fig8": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig8(s, w)
+			return err
+		},
+		"fig9": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig9(s, w)
+			return err
+		},
+		"fig10": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig10(s, w)
+			return err
+		},
+		"fig11": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFig11(s, w)
+			return err
+		},
+	}
+}

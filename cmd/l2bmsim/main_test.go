@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimCLIBasicRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "L2BM", "-scale", "tiny", "-rdma", "0.3", "-tcp", "0.3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy=L2BM", "slowdown p99", "pfc pause frames", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimCLIWithIncast(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "DT", "-scale", "tiny", "-tcp", "0.3", "-incast", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "incast:") {
+		t.Error("incast summary missing")
+	}
+}
+
+func TestSimCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "nope"}, &buf); err == nil {
+		t.Error("bad scale should fail")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,46 @@
+package l2bm_test
+
+import (
+	"fmt"
+
+	"l2bm"
+)
+
+// ExampleBuildCluster shows the minimal end-to-end flow: build the tiny
+// fabric, run one RDMA transfer, and report its slowdown.
+func ExampleBuildCluster() {
+	eng := l2bm.NewEngine(42)
+	var done l2bm.Time
+	cluster, err := l2bm.BuildCluster(eng, l2bm.TinyClusterConfig(), l2bm.NewL2BMPolicy,
+		func(id l2bm.FlowID, at l2bm.Time) { done = at })
+	if err != nil {
+		panic(err)
+	}
+
+	f := &l2bm.Flow{ID: 1, Src: 0, Dst: 7, Size: 100_000,
+		Priority: l2bm.PrioLossless, Class: l2bm.ClassLossless}
+	cluster.StartFlow(f)
+	eng.RunAll()
+
+	slowdown := float64(done-f.Start) / float64(cluster.IdealFCT(0, 7, 100_000))
+	fmt.Printf("uncontended slowdown %.1fx\n", slowdown)
+	// Output: uncontended slowdown 1.0x
+}
+
+// ExampleTxTime shows the picosecond-exact link arithmetic the simulator is
+// built on.
+func ExampleTxTime() {
+	fmt.Println(l2bm.TxTime(1000, 25e9))  // one MTU payload at 25 Gbps
+	fmt.Println(l2bm.TxTime(1000, 100e9)) // and at 100 Gbps
+	// Output:
+	// 320ns
+	// 80ns
+}
+
+// ExampleWebSearchCDF samples the paper's heavy-tailed workload.
+func ExampleWebSearchCDF() {
+	cdf := l2bm.WebSearchCDF()
+	fmt.Printf("mean flow ≈ %.1f MB, largest = %d MB\n",
+		cdf.Mean()/1e6, cdf.MaxBytes()/1_000_000)
+	// Output: mean flow ≈ 1.1 MB, largest = 20 MB
+}

@@ -1,0 +1,66 @@
+// Custom-policy: plug your own buffer-management scheme into the simulator.
+// The l2bm.Policy interface is the same one the paper's schemes implement;
+// this example builds a naive static-threshold policy (each queue may take
+// a fixed fraction of the buffer, congestion-blind) and shows how badly it
+// compares against L2BM under the same hybrid workload.
+//
+// Run with:
+//
+//	go run ./examples/custom-policy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"l2bm"
+)
+
+// staticPolicy grants every queue a fixed slice of the buffer — the
+// pre-Choudhury-Hahne strawman. It ignores congestion entirely.
+type staticPolicy struct {
+	fraction float64
+}
+
+var _ l2bm.Policy = (*staticPolicy)(nil)
+
+func (p *staticPolicy) Name() string { return "Static" }
+
+func (p *staticPolicy) IngressThreshold(s l2bm.StateView, _, _ int) int64 {
+	return int64(p.fraction * float64(s.TotalShared()))
+}
+
+func (p *staticPolicy) EgressThreshold(s l2bm.StateView, _, _ int) int64 {
+	return int64(p.fraction * float64(s.TotalShared()))
+}
+
+// Static thresholds need no per-packet state.
+func (p *staticPolicy) OnEnqueue(l2bm.StateView, *l2bm.Packet) {}
+func (p *staticPolicy) OnDequeue(l2bm.StateView, *l2bm.Packet) {}
+
+func main() {
+	specs := []l2bm.HybridSpec{
+		{
+			Name:          "custom-policy-example",
+			PolicyFactory: func() l2bm.Policy { return &staticPolicy{fraction: 0.1} },
+			Scale:         l2bm.ScaleTiny,
+			RDMALoad:      0.4,
+			TCPLoad:       0.8,
+		},
+		{
+			Name:     "custom-policy-example",
+			Policy:   "L2BM",
+			Scale:    l2bm.ScaleTiny,
+			RDMALoad: 0.4,
+			TCPLoad:  0.8,
+		},
+	}
+	for _, spec := range specs {
+		res, err := l2bm.RunHybrid(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s: rdma p99 slowdown=%.2f tcp p99=%.2f pause frames=%d lossy drops=%d\n",
+			res.Policy, res.RDMAp99(), res.TCPp99(), res.PauseFrames, res.LossyDrops)
+	}
+}

@@ -1,0 +1,3 @@
+module l2bm
+
+go 1.22

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+)
+
+func TestABMIngressIsDT(t *testing.T) {
+	s := newFakeState()
+	s.used = 2 << 20
+	abm := NewABM()
+	want := int64(0.5 * float64(2<<20))
+	if got := abm.IngressThreshold(s, 0, pkt.PrioLossless); got != want {
+		t.Errorf("ABM ingress threshold = %d, want DT(0.5) %d", got, want)
+	}
+}
+
+func TestABMEgressDividesAmongCongestedQueues(t *testing.T) {
+	s := newFakeState()
+	abm := NewABM()
+
+	s.congested[pkt.PrioLossy] = 1
+	one := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	s.congested[pkt.PrioLossy] = 4
+	four := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	if four*4 != one {
+		t.Errorf("threshold with n=4 (%d) should be a quarter of n=1 (%d)", four, one)
+	}
+}
+
+func TestABMEgressZeroCongestedTreatedAsOne(t *testing.T) {
+	s := newFakeState()
+	abm := NewABM()
+	s.congested[pkt.PrioLossy] = 0
+	zero := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	s.congested[pkt.PrioLossy] = 1
+	one := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	if zero != one {
+		t.Errorf("n=0 threshold %d should equal n=1 threshold %d", zero, one)
+	}
+}
+
+func TestABMEgressScalesWithDrainRate(t *testing.T) {
+	s := newFakeState()
+	abm := NewABM()
+	s.congested[pkt.PrioLossy] = 1
+
+	s.drain[[2]int{0, pkt.PrioLossy}] = s.line // full rate
+	full := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	s.drain[[2]int{0, pkt.PrioLossy}] = s.line / 2
+	half := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	if half*2 != full {
+		t.Errorf("half-rate threshold %d should be half of full-rate %d", half, full)
+	}
+}
+
+func TestABMEgressZeroDrainFallsBack(t *testing.T) {
+	s := newFakeState()
+	abm := NewABM()
+	s.congested[pkt.PrioLossy] = 1
+	s.drain[[2]int{0, pkt.PrioLossy}] = 0
+	got := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	if got <= 0 {
+		t.Errorf("threshold with zero drain rate = %d, want positive fallback", got)
+	}
+	want := int64(abm.AlphaPriority / 1 * float64(s.total) / float64(pkt.NumPriorities))
+	if got != want {
+		t.Errorf("fallback threshold = %d, want %d", got, want)
+	}
+}
+
+func TestABMName(t *testing.T) {
+	if NewABM().Name() != "ABM" {
+		t.Error("name wrong")
+	}
+}

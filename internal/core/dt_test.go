@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"l2bm/internal/pkt"
+)
+
+func TestDTIngressThreshold(t *testing.T) {
+	s := newFakeState()
+	s.used = 1 << 20 // 1 MB of 4 MB used
+
+	dt := NewDT()
+	want := int64(0.125 * float64(3<<20))
+	if got := dt.IngressThreshold(s, 0, pkt.PrioLossless); got != want {
+		t.Errorf("DT ingress threshold = %d, want %d", got, want)
+	}
+
+	dt2 := NewDT2()
+	want2 := int64(0.5 * float64(3<<20))
+	if got := dt2.IngressThreshold(s, 0, pkt.PrioLossless); got != want2 {
+		t.Errorf("DT2 ingress threshold = %d, want %d", got, want2)
+	}
+}
+
+func TestDTThresholdShrinksWithOccupancy(t *testing.T) {
+	s := newFakeState()
+	dt := NewDT()
+	prev := dt.IngressThreshold(s, 0, 0)
+	for _, used := range []int64{1 << 20, 2 << 20, 3 << 20, 4 << 20} {
+		s.used = used
+		cur := dt.IngressThreshold(s, 0, 0)
+		if cur >= prev {
+			t.Errorf("threshold %d at used=%d not below previous %d", cur, used, prev)
+		}
+		prev = cur
+	}
+	if prev != 0 {
+		t.Errorf("threshold at full buffer = %d, want 0", prev)
+	}
+}
+
+func TestDTThresholdClampsNegativeFree(t *testing.T) {
+	s := newFakeState()
+	s.used = s.total + 1000 // headroom overshoot can exceed the service pool
+	if got := NewDT().IngressThreshold(s, 0, 0); got != 0 {
+		t.Errorf("threshold with negative free = %d, want 0", got)
+	}
+	if got := NewDT().EgressThreshold(s, 0, pkt.PrioLossy); got < 0 {
+		t.Errorf("egress threshold = %d, want >= 0", got)
+	}
+}
+
+func TestDTEgressUsesClassPool(t *testing.T) {
+	s := newFakeState()
+	s.pool[pkt.ClassLossy] = 2 << 20
+	s.pool[pkt.ClassLossless] = 0
+
+	dt := NewDT()
+	lossy := dt.EgressThreshold(s, 0, pkt.PrioLossy)
+	lossless := dt.EgressThreshold(s, 0, pkt.PrioLossless)
+	if lossy >= lossless {
+		t.Errorf("lossy threshold %d should be below lossless %d (separate pools)", lossy, lossless)
+	}
+	if want := int64(0.5 * float64(2<<20)); lossy != want {
+		t.Errorf("lossy egress threshold = %d, want %d", lossy, want)
+	}
+	if want := int64(0.5 * float64(4<<20)); lossless != want {
+		t.Errorf("lossless egress threshold = %d, want %d", lossless, want)
+	}
+}
+
+func TestDTNames(t *testing.T) {
+	if NewDT().Name() != "DT" || NewDT2().Name() != "DT2" {
+		t.Error("policy names wrong")
+	}
+	if NewDTAlpha(0.25).Name() != "DT" {
+		t.Error("NewDTAlpha name wrong")
+	}
+	if NewDTAlpha(0.25).AlphaIngress != 0.25 {
+		t.Error("NewDTAlpha alpha not applied")
+	}
+}
+
+func TestClassOfPriority(t *testing.T) {
+	if ClassOfPriority(pkt.PrioLossless) != pkt.ClassLossless {
+		t.Error("lossless priority misclassified")
+	}
+	if ClassOfPriority(pkt.PrioLossy) != pkt.ClassLossy {
+		t.Error("lossy priority misclassified")
+	}
+	if ClassOfPriority(pkt.PrioControl) != pkt.ClassControl {
+		t.Error("control priority misclassified")
+	}
+	if ClassOfPriority(1) != pkt.ClassLossy {
+		t.Error("unassigned priorities should default to lossy")
+	}
+}
+
+// Property: DT threshold is monotone nonincreasing in occupancy and bounded
+// by α·B.
+func TestDTMonotoneProperty(t *testing.T) {
+	dt := NewDT()
+	f := func(usedA, usedB uint32) bool {
+		s := newFakeState()
+		a, b := int64(usedA)%s.total, int64(usedB)%s.total
+		if a > b {
+			a, b = b, a
+		}
+		s.used = a
+		ta := dt.IngressThreshold(s, 0, 0)
+		s.used = b
+		tb := dt.IngressThreshold(s, 0, 0)
+		bound := int64(dt.AlphaIngress * float64(s.total))
+		return tb <= ta && ta <= bound && tb >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

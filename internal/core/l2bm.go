@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Normalization selects how L2BM computes the constant C in Eq. (3). The
+// paper normalizes C to the sum of average sojourn times over all ingress
+// queues; alternatives are provided for the ablation study.
+type Normalization int
+
+const (
+	// NormSumTau is the paper's literal phrasing: C = Σ_q τ_q over active
+	// queues. With N similarly congested queues every weight becomes N·α,
+	// which inflates all thresholds as activity grows.
+	NormSumTau Normalization = iota + 1
+	// NormMeanTau sets C = Σ_q τ_q / N (the mean): queues draining faster
+	// than average get w > α, slower-than-average (congested) queues get
+	// w < α. This keeps the aggregate elasticity comparable to DT while
+	// redistributing buffer toward fast-draining queues — the behaviour
+	// the paper's evaluation exhibits (low occupancy AND few pauses) — and
+	// is the default here. The paper notes "the normalization method can
+	// be customized" (§III-C).
+	NormMeanTau
+	// NormMaxTau sets C = max_q τ_q, so the slowest queue gets exactly α.
+	NormMaxTau
+	// NormCount sets C = (#active queues) · τ_floor, a static weighting
+	// that ignores relative congestion (ablation control).
+	NormCount
+)
+
+// String implements fmt.Stringer.
+func (n Normalization) String() string {
+	switch n {
+	case NormSumTau:
+		return "sum-tau"
+	case NormMeanTau:
+		return "mean-tau"
+	case NormMaxTau:
+		return "max-tau"
+	case NormCount:
+		return "count"
+	default:
+		return fmt.Sprintf("normalization(%d)", int(n))
+	}
+}
+
+// L2BMConfig parameterizes the L2BM policy. The zero value is not valid;
+// use DefaultL2BMConfig.
+type L2BMConfig struct {
+	// Alpha is the base DT control factor α revised by the congestion
+	// perception factor (paper Eq. 3–4).
+	Alpha float64
+	// AlphaEgressPool is the egress-pool DT factor (L2BM manages the
+	// ingress pool; egress stays on DT like the other schemes).
+	AlphaEgressPool float64
+	// TauFloor is the minimum τ used in weights, preventing division
+	// blow-ups for queues whose packets drain immediately. One MTU
+	// serialization time at the slowest port is a natural floor.
+	TauFloor sim.Duration
+	// Normalization selects the constant C (paper: NormSumTau).
+	Normalization Normalization
+	// ExcludePauseTime enables the §III-D mitigation: time an egress
+	// priority spends paused by downstream PFC does not count toward
+	// sojourn estimates.
+	ExcludePauseTime bool
+	// BoundsLossless and BoundsLossy clamp the congestion-perception
+	// weight per traffic class. The paper provisions per-priority α
+	// "according to the urgency and quality of service of traffic"
+	// (§III-C); the defaults encode its evaluation behaviour:
+	//
+	//   - lossless (PFC-protected) queues are pinned at the generous
+	//     common factor 0.5 (DT2's setting): their PFC thresholds always
+	//     dominate DT2's formula, and because L2BM keeps total occupancy
+	//     low by clamping lossy queues, B−Q(t) — and with it the pause
+	//     threshold — stays far higher than under DT or DT2, yielding the
+	//     paper's near-zero pause counts. (Making the lossless weight
+	//     *adaptive* was measured to backfire in this substrate: a deep
+	//     boosted queue whose τ spikes collapses to its floor and
+	//     instantly XOFFs, producing pause churn; see DESIGN.md.)
+	//   - lossy queues are never boosted above α — so TCP cannot inflate
+	//     total occupancy beyond DT's share — and may be clamped down to
+	//     α/8 while their packets sit behind congested output queues.
+	//
+	// A zero Min or Max disables that bound.
+	BoundsLossless WeightBounds
+	BoundsLossy    WeightBounds
+}
+
+// WeightBounds clamps a class's adaptive weight; zero fields are unbounded.
+type WeightBounds struct {
+	Min float64
+	Max float64
+}
+
+// clamp applies the bounds to w.
+func (b WeightBounds) clamp(w float64) float64 {
+	if b.Max > 0 && w > b.Max {
+		w = b.Max
+	}
+	if w < b.Min {
+		w = b.Min
+	}
+	return w
+}
+
+// DefaultL2BMConfig returns the configuration used in the evaluation:
+// α = 0.125 revised by mean-normalized inverse sojourn time with pause
+// exclusion on (see Normalization for why mean rather than the literal sum).
+func DefaultL2BMConfig() L2BMConfig {
+	return L2BMConfig{
+		Alpha:            AlphaDT,
+		AlphaEgressPool:  AlphaEgress,
+		TauFloor:         sim.TxTime(pkt.MTUBytes, 25e9),
+		Normalization:    NormMeanTau,
+		ExcludePauseTime: true,
+		BoundsLossless:   WeightBounds{Min: AlphaDT2, Max: AlphaDT2},
+		BoundsLossy:      WeightBounds{Min: AlphaDT / 8, Max: AlphaDT},
+	}
+}
+
+// L2BM is the paper's buffer-management policy: the PFC threshold of
+// ingress queue (i, p) is
+//
+//	T_i^p(t) = C/τ_i^p · α · (B − Q(t))            (Eq. 3)
+//
+// where τ_i^p is the queue's average packet sojourn time maintained by the
+// congestion-detection module (Algorithm 1) and C normalizes the weights
+// across active queues. Queues whose packets drain fast (low τ — e.g. RDMA
+// with its sub-RTT control loop) receive large thresholds, absorbing bursts
+// without triggering PFC; queues whose packets sit behind congested egress
+// queues (high τ — e.g. TCP) are clamped before they monopolize the pool.
+type L2BM struct {
+	cfg     L2BMConfig
+	sojourn *SojournTable
+}
+
+// NewL2BM returns an L2BM policy with the given configuration.
+func NewL2BM(cfg L2BMConfig) *L2BM {
+	if cfg.Alpha <= 0 {
+		panic("core: L2BM requires a positive Alpha")
+	}
+	if cfg.TauFloor <= 0 {
+		panic("core: L2BM requires a positive TauFloor")
+	}
+	if cfg.Normalization < NormSumTau || cfg.Normalization > NormCount {
+		panic("core: L2BM requires a valid Normalization")
+	}
+	return &L2BM{cfg: cfg, sojourn: NewSojournTable(cfg.ExcludePauseTime)}
+}
+
+// NewDefaultL2BM returns L2BM with the paper's defaults.
+func NewDefaultL2BM() *L2BM { return NewL2BM(DefaultL2BMConfig()) }
+
+// Name implements Policy.
+func (l *L2BM) Name() string { return "L2BM" }
+
+// Sojourn exposes the congestion-detection module for tests and metrics.
+func (l *L2BM) Sojourn() *SojournTable { return l.sojourn }
+
+// Weight returns the adaptive control parameter w_i^p(t) = C/τ·α (Eq. 4)
+// for ingress queue (port, prio).
+func (l *L2BM) Weight(s StateView, port, prio int) float64 {
+	tau := l.sojourn.Tau(s, port, prio)
+	if tau < l.cfg.TauFloor {
+		tau = l.cfg.TauFloor
+	}
+	var c sim.Duration
+	idle := false
+	switch l.cfg.Normalization {
+	case NormMaxTau:
+		maxTau, active := l.sojourn.MaxActiveTau(s, l.cfg.TauFloor)
+		idle = active == 0
+		c = maxTau
+	case NormCount:
+		_, active := l.sojourn.SumActiveTau(s, l.cfg.TauFloor)
+		idle = active == 0
+		c = sim.Duration(active) * l.cfg.TauFloor
+	case NormMeanTau:
+		sum, active := l.sojourn.SumActiveTau(s, l.cfg.TauFloor)
+		idle = active == 0
+		if active > 0 {
+			c = sum / sim.Duration(active)
+		}
+	default: // NormSumTau
+		sum, active := l.sojourn.SumActiveTau(s, l.cfg.TauFloor)
+		idle = active == 0
+		c = sum
+	}
+	w := l.cfg.Alpha
+	if !idle {
+		w = float64(c) / float64(tau) * l.cfg.Alpha
+	}
+	// An idle switch degenerates to DT's uniform α, still subject to the
+	// per-class bounds so thresholds never jump when traffic appears.
+	if ClassOfPriority(prio) == pkt.ClassLossless {
+		return l.cfg.BoundsLossless.clamp(w)
+	}
+	return l.cfg.BoundsLossy.clamp(w)
+}
+
+// IngressThreshold implements Policy (Eq. 3).
+func (l *L2BM) IngressThreshold(s StateView, port, prio int) int64 {
+	free := s.TotalShared() - s.SharedUsed()
+	if free < 0 {
+		free = 0
+	}
+	return int64(l.Weight(s, port, prio) * float64(free))
+}
+
+// EgressThreshold implements Policy: standard egress-pool DT (L2BM is an
+// ingress-pool algorithm; paper Fig. 5 keeps the egress queue threshold).
+func (l *L2BM) EgressThreshold(s StateView, _, prio int) int64 {
+	return egressDT(s, prio, l.cfg.AlphaEgressPool)
+}
+
+// OnEnqueue implements Policy, feeding the congestion-detection module.
+func (l *L2BM) OnEnqueue(s StateView, p *pkt.Packet) { l.sojourn.OnEnqueue(s, p) }
+
+// OnDequeue implements Policy.
+func (l *L2BM) OnDequeue(s StateView, p *pkt.Packet) { l.sojourn.OnDequeue(s, p) }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// sojournQueue tracks the average remaining sojourn time of the packets
+// resident in one ingress queue (port, priority), implementing the paper's
+// Algorithm 1 ("sojourn time updating algorithm").
+//
+// Semantics: total is the sum of the *estimated remaining drain times* of
+// the packets currently in the queue, valued as of lastUpdate. On every
+// touch the estimate is first advanced: each resident packet's remaining
+// time shrinks by the wall time elapsed — excluding, per §III-D, time its
+// destination egress priority spent paused by downstream PFC, so pause
+// stalls are not misread as congestion. An enqueue then adds the new
+// packet's expected drain time Q_out(j,p)/μ(j,p); a dequeue removes the
+// departed packet (whose remaining time is ~0 if the estimate was accurate).
+type sojournQueue struct {
+	prio       int     // fixed priority of this ingress queue
+	total      float64 // picoseconds; clamped at 0
+	n          int
+	lastUpdate sim.Time
+
+	// resident[j] counts this queue's packets sitting at egress port j;
+	// pausedSnap[j] is EgressPausedTime(j, prio) as of lastUpdate. Both are
+	// sized to the switch's port count on first use.
+	resident   []int
+	pausedSnap []sim.Duration
+}
+
+func (q *sojournQueue) ensure(ports int) {
+	if q.resident == nil {
+		q.resident = make([]int, ports)
+		q.pausedSnap = make([]sim.Duration, ports)
+	}
+}
+
+// advance rolls the estimate forward to now, shrinking each resident
+// packet's remaining time by its effective elapsed time. prio is the
+// (fixed) priority of this ingress queue; excludePause selects the §III-D
+// mitigation.
+func (q *sojournQueue) advance(s StateView, prio int, excludePause bool) {
+	now := s.Now()
+	if q.n == 0 {
+		q.total = 0
+		q.lastUpdate = now
+		return
+	}
+	elapsed := now - q.lastUpdate
+	if elapsed <= 0 {
+		return
+	}
+	for j, c := range q.resident {
+		if c == 0 {
+			continue
+		}
+		eff := elapsed
+		if excludePause {
+			cum := s.EgressPausedTime(j, prio)
+			pausedDelta := cum - q.pausedSnap[j]
+			q.pausedSnap[j] = cum
+			if pausedDelta > elapsed {
+				pausedDelta = elapsed
+			}
+			eff -= pausedDelta
+		}
+		q.total -= float64(c) * float64(eff)
+	}
+	if q.total < 0 {
+		q.total = 0
+	}
+	q.lastUpdate = now
+}
+
+// onEnqueue records a packet admitted to this ingress queue and destined for
+// egress port j.
+func (q *sojournQueue) onEnqueue(s StateView, j, prio int, excludePause bool) {
+	q.ensure(s.NumPorts())
+	q.advance(s, prio, excludePause)
+	mu := s.EgressDrainRate(j, prio)
+	if mu <= 0 {
+		mu = s.EgressLineRate(j)
+	}
+	// Expected drain time of the packet: the backlog ahead of it at its
+	// output queue divided by that queue's service rate (Algorithm 1 line 8).
+	q.total += float64(sim.TxTime(int(s.EgressQueueBytes(j, prio)), mu))
+	q.n++
+	q.resident[j]++
+	if excludePause {
+		q.pausedSnap[j] = s.EgressPausedTime(j, prio)
+	}
+}
+
+// onDequeue records a packet leaving this ingress queue from egress port j.
+func (q *sojournQueue) onDequeue(s StateView, j, prio int, excludePause bool) {
+	q.ensure(s.NumPorts())
+	q.advance(s, prio, excludePause)
+	if q.n > 0 {
+		q.n--
+	}
+	if q.resident[j] > 0 {
+		q.resident[j]--
+	}
+	if q.n == 0 {
+		q.total = 0
+	}
+}
+
+// tau returns the average remaining sojourn time τ of resident packets as of
+// now (advancing first), or 0 for an empty queue.
+func (q *sojournQueue) tau(s StateView, prio int, excludePause bool) sim.Duration {
+	if q.n == 0 {
+		return 0
+	}
+	q.ensure(s.NumPorts())
+	q.advance(s, prio, excludePause)
+	return sim.Duration(q.total / float64(q.n))
+}
+
+// active reports whether the queue currently holds packets.
+func (q *sojournQueue) active() bool { return q.n > 0 }
+
+// SojournTable is the per-switch congestion-detection module (paper §III-B):
+// one sojournQueue per (ingress port, priority). It is exported for tests
+// and for the L2BM policy; the MMU drives it through the Policy hooks.
+//
+// The table sits on the admission fast path, so queues live in a flat slice
+// indexed port·NumPriorities+prio, and the aggregate statistics (Σ τ, max τ
+// over active queues) are cached per simulated instant: admissions arrive in
+// bursts at identical timestamps, and between packets of the same instant
+// the aggregates only change through enqueue/dequeue, which invalidate the
+// cache.
+type SojournTable struct {
+	queues       []*sojournQueue
+	excludePause bool
+
+	cacheAt    sim.Time
+	cacheValid bool
+	cacheSum   sim.Duration
+	cacheMax   sim.Duration
+	cacheN     int
+	cacheFloor sim.Duration
+}
+
+// NewSojournTable returns an empty table. excludePause enables the §III-D
+// exclusion of downstream-PFC stall time from the estimate.
+func NewSojournTable(excludePause bool) *SojournTable {
+	return &SojournTable{excludePause: excludePause}
+}
+
+func (t *SojournTable) queue(port, prio int) *sojournQueue {
+	idx := port*pkt.NumPriorities + prio
+	for len(t.queues) <= idx {
+		t.queues = append(t.queues, nil)
+	}
+	q := t.queues[idx]
+	if q == nil {
+		q = &sojournQueue{prio: prio}
+		t.queues[idx] = q
+	}
+	return q
+}
+
+// OnEnqueue records the admission of p (MMU has stamped InPort/InPrio/OutPort).
+func (t *SojournTable) OnEnqueue(s StateView, p *pkt.Packet) {
+	t.cacheValid = false
+	t.queue(p.InPort, p.InPrio).onEnqueue(s, p.OutPort, p.InPrio, t.excludePause)
+}
+
+// OnDequeue records the departure of p from shared memory.
+func (t *SojournTable) OnDequeue(s StateView, p *pkt.Packet) {
+	t.cacheValid = false
+	t.queue(p.InPort, p.InPrio).onDequeue(s, p.OutPort, p.InPrio, t.excludePause)
+}
+
+// Tau returns the average sojourn time of ingress queue (port, prio).
+func (t *SojournTable) Tau(s StateView, port, prio int) sim.Duration {
+	return t.queue(port, prio).tau(s, prio, t.excludePause)
+}
+
+// Resident returns the packet count tracked for ingress queue (port, prio).
+func (t *SojournTable) Resident(port, prio int) int {
+	return t.queue(port, prio).n
+}
+
+// refreshAggregates recomputes Σ τ, max τ and the active count, reusing the
+// cached values while neither the clock nor the queue population moved.
+func (t *SojournTable) refreshAggregates(s StateView, floor sim.Duration) {
+	now := s.Now()
+	if t.cacheValid && t.cacheAt == now && t.cacheFloor == floor {
+		return
+	}
+	var sum, maxTau sim.Duration
+	active := 0
+	for _, q := range t.queues {
+		if q == nil || !q.active() {
+			continue
+		}
+		tau := q.tau(s, q.prio, t.excludePause)
+		if tau < floor {
+			tau = floor
+		}
+		sum += tau
+		if tau > maxTau {
+			maxTau = tau
+		}
+		active++
+	}
+	t.cacheAt, t.cacheValid, t.cacheFloor = now, true, floor
+	t.cacheSum, t.cacheMax, t.cacheN = sum, maxTau, active
+}
+
+// SumActiveTau returns Σ τ over all ingress queues currently holding
+// packets, with each τ floored at floor — the paper's normalization constant
+// C — together with the number of active queues.
+func (t *SojournTable) SumActiveTau(s StateView, floor sim.Duration) (sum sim.Duration, active int) {
+	t.refreshAggregates(s, floor)
+	return t.cacheSum, t.cacheN
+}
+
+// MaxActiveTau returns max τ over active ingress queues (floored), used by
+// the normalization ablation.
+func (t *SojournTable) MaxActiveTau(s StateView, floor sim.Duration) (maxTau sim.Duration, active int) {
+	t.refreshAggregates(s, floor)
+	return t.cacheMax, t.cacheN
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Property: under any interleaving of enqueues, dequeues and time advances,
+// the sojourn table keeps τ ≥ 0, resident counts ≥ 0, and empty queues at
+// exactly τ = 0 (Algorithm 1's bookkeeping never goes negative or sticky).
+func TestSojournInvariantsUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newFakeState()
+		tab := NewSojournTable(rng.Intn(2) == 0)
+
+		type key struct{ port, prio int }
+		resident := make(map[key][]*pkt.Packet)
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // enqueue
+				k := key{rng.Intn(4), []int{pkt.PrioLossless, pkt.PrioLossy}[rng.Intn(2)]}
+				egress := rng.Intn(4)
+				s.qout[[2]int{egress, k.prio}] = int64(rng.Intn(300_000))
+				p := admit(k.port, k.prio, egress)
+				tab.OnEnqueue(s, p)
+				resident[k] = append(resident[k], p)
+			case 2: // dequeue from a random non-empty queue
+				for k, ps := range resident {
+					if len(ps) == 0 {
+						continue
+					}
+					i := rng.Intn(len(ps))
+					tab.OnDequeue(s, ps[i])
+					resident[k] = append(ps[:i], ps[i+1:]...)
+					break
+				}
+			default: // advance time (and sometimes paused time)
+				s.now += sim.Duration(rng.Intn(100)) * sim.Microsecond
+				if rng.Intn(3) == 0 {
+					j, p := rng.Intn(4), []int{pkt.PrioLossless, pkt.PrioLossy}[rng.Intn(2)]
+					s.paused[[2]int{j, p}] += sim.Duration(rng.Intn(50)) * sim.Microsecond
+				}
+			}
+
+			for port := 0; port < 4; port++ {
+				for _, prio := range []int{pkt.PrioLossless, pkt.PrioLossy} {
+					tau := tab.Tau(s, port, prio)
+					if tau < 0 {
+						return false
+					}
+					n := tab.Resident(port, prio)
+					if n != len(resident[key{port, prio}]) {
+						return false
+					}
+					if n == 0 && tau != 0 {
+						return false
+					}
+				}
+			}
+		}
+
+		// Drain everything: the table must return to the zero state.
+		for _, ps := range resident {
+			for _, p := range ps {
+				tab.OnDequeue(s, p)
+			}
+		}
+		sum, active := tab.SumActiveTau(s, sim.Microsecond)
+		return sum == 0 && active == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pause exclusion can only make τ larger or equal — never smaller
+// — than the unexcluded estimate, for identical histories.
+func TestSojournPauseExclusionMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sA, sB := newFakeState(), newFakeState()
+		with := NewSojournTable(true)
+		without := NewSojournTable(false)
+
+		for step := 0; step < 100; step++ {
+			egress := rng.Intn(3)
+			qlen := int64(rng.Intn(200_000))
+			sA.qout[[2]int{egress, pkt.PrioLossless}] = qlen
+			sB.qout[[2]int{egress, pkt.PrioLossless}] = qlen
+			pA := admit(0, pkt.PrioLossless, egress)
+			pB := admit(0, pkt.PrioLossless, egress)
+			with.OnEnqueue(sA, pA)
+			without.OnEnqueue(sB, pB)
+
+			dt := sim.Duration(rng.Intn(50)) * sim.Microsecond
+			sA.now += dt
+			sB.now += dt
+			paused := sim.Duration(rng.Intn(int(dt) + 1))
+			sA.paused[[2]int{egress, pkt.PrioLossless}] += paused
+			sB.paused[[2]int{egress, pkt.PrioLossless}] += paused
+
+			if with.Tau(sA, 0, pkt.PrioLossless) < without.Tau(sB, 0, pkt.PrioLossless) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

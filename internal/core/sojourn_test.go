@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// admit builds a data packet stamped as the MMU would: admitted at ingress
+// (inPort, prio), queued at egress outPort.
+func admit(inPort, prio, outPort int) *pkt.Packet {
+	p := pkt.NewData(1, 0, 1, prio, ClassOfPriority(prio), 0, pkt.MTUPayload)
+	p.InPort, p.InPrio, p.OutPort = inPort, prio, outPort
+	return p
+}
+
+func TestSojournEmptyQueue(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	if got := tab.Tau(s, 0, 0); got != 0 {
+		t.Errorf("τ of empty queue = %v, want 0", got)
+	}
+	if tab.Resident(0, 0) != 0 {
+		t.Error("empty queue should have no residents")
+	}
+}
+
+func TestSojournSingleEnqueue(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+
+	// 50 KB already queued at egress port 3 priority 0, draining at line
+	// rate: expected sojourn is its serialization time.
+	s.qout[[2]int{3, 0}] = 50_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+
+	want := sim.TxTime(50_000, s.line)
+	if got := tab.Tau(s, 0, 0); got != want {
+		t.Errorf("τ = %v, want %v", got, want)
+	}
+	if tab.Resident(0, 0) != 1 {
+		t.Error("resident count wrong")
+	}
+}
+
+func TestSojournDecaysWithTime(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 50_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	tau0 := tab.Tau(s, 0, 0)
+
+	step := 2 * sim.Microsecond
+	s.now += step
+	if got, want := tab.Tau(s, 0, 0), tau0-step; got != want {
+		t.Errorf("τ after %v = %v, want %v", step, got, want)
+	}
+}
+
+func TestSojournClampsAtZero(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 1000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+
+	s.now += sim.Second // far beyond any drain estimate
+	if got := tab.Tau(s, 0, 0); got != 0 {
+		t.Errorf("τ = %v, want clamp at 0", got)
+	}
+}
+
+func TestSojournAveragesAcrossPackets(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+
+	s.qout[[2]int{3, 0}] = 100_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	s.qout[[2]int{4, 0}] = 300_000
+	tab.OnEnqueue(s, admit(0, 0, 4))
+
+	want := (sim.TxTime(100_000, s.line) + sim.TxTime(300_000, s.line)) / 2
+	if got := tab.Tau(s, 0, 0); got != want {
+		t.Errorf("τ = %v, want mean %v", got, want)
+	}
+}
+
+func TestSojournDequeueEmptiesState(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	p := admit(0, 0, 3)
+	tab.OnEnqueue(s, p)
+	tab.OnDequeue(s, p)
+
+	if tab.Resident(0, 0) != 0 {
+		t.Error("resident count should be zero after dequeue")
+	}
+	if got := tab.Tau(s, 0, 0); got != 0 {
+		t.Errorf("τ after queue emptied = %v, want 0 (total reset)", got)
+	}
+}
+
+func TestSojournDequeueKeepsRemainderSane(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	p1 := admit(0, 0, 3)
+	tab.OnEnqueue(s, p1)
+	s.qout[[2]int{3, 0}] = 200_000
+	p2 := admit(0, 0, 3)
+	tab.OnEnqueue(s, p2)
+
+	tab.OnDequeue(s, p1)
+	if tab.Resident(0, 0) != 1 {
+		t.Fatal("one packet should remain")
+	}
+	if tau := tab.Tau(s, 0, 0); tau < 0 {
+		t.Errorf("τ = %v, want non-negative", tau)
+	}
+}
+
+func TestSojournPauseExclusion(t *testing.T) {
+	// With the §III-D mitigation on, time the destination egress priority
+	// spends paused by downstream PFC must not shrink the estimate.
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	tau0 := tab.Tau(s, 0, 0)
+
+	// Advance 10 µs of which the egress was paused the whole time.
+	s.now += 10 * sim.Microsecond
+	s.paused[[2]int{3, 0}] += 10 * sim.Microsecond
+	if got := tab.Tau(s, 0, 0); got != tau0 {
+		t.Errorf("τ with full pause overlap = %v, want unchanged %v", got, tau0)
+	}
+
+	// Another 10 µs, half paused: only the unpaused half counts.
+	s.now += 10 * sim.Microsecond
+	s.paused[[2]int{3, 0}] += 5 * sim.Microsecond
+	if got, want := tab.Tau(s, 0, 0), tau0-5*sim.Microsecond; got != want {
+		t.Errorf("τ with half pause overlap = %v, want %v", got, want)
+	}
+}
+
+func TestSojournPauseExclusionDisabled(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(false)
+	s.qout[[2]int{3, 0}] = 100_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	tau0 := tab.Tau(s, 0, 0)
+
+	s.now += 10 * sim.Microsecond
+	s.paused[[2]int{3, 0}] += 10 * sim.Microsecond
+	if got, want := tab.Tau(s, 0, 0), tau0-10*sim.Microsecond; got != want {
+		t.Errorf("τ with exclusion off = %v, want full decay to %v", got, want)
+	}
+}
+
+func TestSojournPauseOnlyAffectsMatchingEgress(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	tau0 := tab.Tau(s, 0, 0)
+
+	// Pause a different egress port: decay proceeds normally.
+	s.now += 10 * sim.Microsecond
+	s.paused[[2]int{5, 0}] += 10 * sim.Microsecond
+	if got, want := tab.Tau(s, 0, 0), tau0-10*sim.Microsecond; got != want {
+		t.Errorf("τ = %v, want %v (pause of unrelated port ignored)", got, want)
+	}
+}
+
+func TestSojournZeroDrainRateFallsBackToLineRate(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	s.drain[[2]int{3, 0}] = 0
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	if got, want := tab.Tau(s, 0, 0), sim.TxTime(100_000, s.line); got != want {
+		t.Errorf("τ = %v, want fallback to line rate %v", got, want)
+	}
+}
+
+func TestSumActiveTauAndFloor(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+
+	floor := sim.Microsecond
+	// Queue A: τ = 32 µs (100 KB at 25G). Queue B: τ ≈ 0 → floored.
+	s.qout[[2]int{3, 0}] = 100_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	s.qout[[2]int{4, 1}] = 0
+	tab.OnEnqueue(s, admit(1, 1, 4))
+
+	sum, active := tab.SumActiveTau(s, floor)
+	if active != 2 {
+		t.Fatalf("active = %d, want 2", active)
+	}
+	want := sim.TxTime(100_000, s.line) + floor
+	if sum != want {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+
+	maxTau, active := tab.MaxActiveTau(s, floor)
+	if active != 2 || maxTau != sim.TxTime(100_000, s.line) {
+		t.Errorf("max = %v (active %d), want %v (2)", maxTau, active, sim.TxTime(100_000, s.line))
+	}
+}
+
+func TestSumActiveTauSkipsEmptyQueues(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 100_000
+	p := admit(0, 0, 3)
+	tab.OnEnqueue(s, p)
+	tab.OnDequeue(s, p)
+
+	if sum, active := tab.SumActiveTau(s, sim.Microsecond); active != 0 || sum != 0 {
+		t.Errorf("sum/active over emptied table = %v/%d, want 0/0", sum, active)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// TDT reimplements the Traffic-aware Dynamic Threshold policy (Huang, Wang,
+// Cui, IEEE/ACM ToN 2022), the second DT variant the paper cites (§II-B,
+// §V). TDT classifies each egress queue's instantaneous traffic pattern and
+// switches its control factor between three modes:
+//
+//   - Normal: classic DT with α_n.
+//   - Absorption: entered when the queue builds up rapidly while the switch
+//     still has plenty of free buffer (a micro-burst); the factor is raised
+//     to α_n·AbsorbBoost so the burst fits instead of dropping.
+//   - Evacuation: entered from Absorption when the buffer is running out or
+//     the burst has passed; the factor is cut to α_n·EvacuateCut until the
+//     queue drains below its normal share, pushing the hoarded memory back
+//     to the pool.
+//
+// Like ABM and EDT, TDT manages the egress pool; the ingress pool runs
+// classic DT (α = 0.5).
+type TDT struct {
+	// AlphaEgressPool is the Normal-mode egress factor α_n.
+	AlphaEgressPool float64
+	// AlphaIngress is the ingress-pool DT factor.
+	AlphaIngress float64
+	// AbsorbBoost multiplies α_n during absorption.
+	AbsorbBoost float64
+	// EvacuateCut multiplies α_n during evacuation.
+	EvacuateCut float64
+	// BurstBytes is the queue growth within BurstWindow that signals a
+	// micro-burst.
+	BurstBytes int64
+	// BurstWindow is the observation window for burst detection.
+	BurstWindow sim.Duration
+	// FreeFraction is the minimum fraction of free buffer required to
+	// enter (or stay in) absorption.
+	FreeFraction float64
+
+	states map[[2]int]*tdtQueue
+}
+
+// tdtState is one queue's mode.
+type tdtState int
+
+const (
+	tdtNormal tdtState = iota + 1
+	tdtAbsorb
+	tdtEvacuate
+)
+
+// tdtQueue tracks burst detection state for one egress queue.
+type tdtQueue struct {
+	state     tdtState
+	windowAt  sim.Time
+	windowLen int64
+	lastLen   int64
+}
+
+// NewTDT returns TDT with the evaluation defaults.
+func NewTDT() *TDT {
+	return &TDT{
+		AlphaEgressPool: AlphaEgress,
+		AlphaIngress:    AlphaDT2,
+		AbsorbBoost:     4,
+		EvacuateCut:     0.25,
+		BurstBytes:      16 * pkt.MTUBytes,
+		BurstWindow:     20 * sim.Microsecond,
+		FreeFraction:    0.25,
+		states:          make(map[[2]int]*tdtQueue),
+	}
+}
+
+var _ Policy = (*TDT)(nil)
+
+// Name implements Policy.
+func (t *TDT) Name() string { return "TDT" }
+
+// IngressThreshold implements Policy: classic DT at the ingress pool.
+func (t *TDT) IngressThreshold(s StateView, _, _ int) int64 {
+	free := s.TotalShared() - s.SharedUsed()
+	if free < 0 {
+		free = 0
+	}
+	return int64(t.AlphaIngress * float64(free))
+}
+
+// EgressThreshold implements Policy.
+func (t *TDT) EgressThreshold(s StateView, port, prio int) int64 {
+	q := t.queue(port, prio)
+	t.step(s, q, s.EgressQueueBytes(port, prio))
+
+	alpha := t.AlphaEgressPool
+	switch q.state {
+	case tdtAbsorb:
+		alpha *= t.AbsorbBoost
+	case tdtEvacuate:
+		alpha *= t.EvacuateCut
+	}
+	return egressDT(s, prio, alpha)
+}
+
+// step advances the state machine with the queue's current length.
+func (t *TDT) step(s StateView, q *tdtQueue, qlen int64) {
+	now := s.Now()
+	if now-q.windowAt >= t.BurstWindow {
+		q.windowAt = now
+		q.windowLen = qlen
+	}
+	growth := qlen - q.windowLen
+	free := s.TotalShared() - s.SharedUsed()
+	plenty := float64(free) >= t.FreeFraction*float64(s.TotalShared())
+
+	switch q.state {
+	case tdtNormal:
+		if growth >= t.BurstBytes && plenty {
+			q.state = tdtAbsorb
+		}
+	case tdtAbsorb:
+		if !plenty || qlen < q.lastLen {
+			// Buffer pressure or the burst has crested: give it back.
+			q.state = tdtEvacuate
+		}
+	case tdtEvacuate:
+		if qlen <= egressShare(s, t.AlphaEgressPool) {
+			q.state = tdtNormal
+		}
+	}
+	q.lastLen = qlen
+}
+
+// egressShare is the normal-mode DT share used as the evacuation exit bar.
+func egressShare(s StateView, alpha float64) int64 {
+	free := s.TotalShared() - s.SharedUsed()
+	if free < 0 {
+		free = 0
+	}
+	return int64(alpha * float64(free))
+}
+
+func (t *TDT) queue(port, prio int) *tdtQueue {
+	key := [2]int{port, prio}
+	q := t.states[key]
+	if q == nil {
+		q = &tdtQueue{state: tdtNormal}
+		t.states[key] = q
+	}
+	return q
+}
+
+// State exposes the queue's current mode for tests.
+func (t *TDT) State(port, prio int) string {
+	switch t.queue(port, prio).state {
+	case tdtAbsorb:
+		return "absorb"
+	case tdtEvacuate:
+		return "evacuate"
+	default:
+		return "normal"
+	}
+}
+
+// OnEnqueue implements Policy.
+func (t *TDT) OnEnqueue(s StateView, p *pkt.Packet) {
+	t.step(s, t.queue(p.OutPort, p.Priority), s.EgressQueueBytes(p.OutPort, p.Priority))
+}
+
+// OnDequeue implements Policy.
+func (t *TDT) OnDequeue(s StateView, p *pkt.Packet) {
+	t.step(s, t.queue(p.OutPort, p.Priority), s.EgressQueueBytes(p.OutPort, p.Priority))
+}

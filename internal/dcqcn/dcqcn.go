@@ -1,0 +1,327 @@
+// Package dcqcn implements the DCQCN congestion control (Zhu et al.,
+// SIGCOMM 2015) used for the paper's lossless RDMA traffic: a rate-based
+// reaction point (sender) that cuts its rate on Congestion Notification
+// Packets and recovers through fast-recovery, additive-increase and
+// hyper-increase stages, and a notification point (receiver) that emits at
+// most one CNP per flow per interval when it sees CE-marked packets.
+//
+// Reliability: the network is lossless under PFC, so the endpoints track
+// sequence continuity only to assert the zero-loss invariant; there is no
+// go-back-N (headroom exhaustion is surfaced as a lossless violation by the
+// switch and as an incomplete flow here).
+package dcqcn
+
+import (
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// Config parameterizes DCQCN endpoints. Defaults follow the DCQCN paper and
+// common ns-3 implementations.
+type Config struct {
+	// MSS is the payload bytes per packet.
+	MSS int
+	// LineRate is the NIC line rate (bits/s), the initial and maximum rate.
+	LineRate int64
+	// MinRate floors the current rate (bits/s).
+	MinRate int64
+	// G is the EWMA gain for α.
+	G float64
+	// AlphaTimer is the α-decay period when no CNP arrives (55 µs).
+	AlphaTimer sim.Duration
+	// IncreaseTimer is the rate-increase timer period (300 µs).
+	IncreaseTimer sim.Duration
+	// ByteCounter triggers a rate-increase event every so many sent bytes.
+	ByteCounter int64
+	// FastRecoveryRounds is F, the stage count spent in fast recovery.
+	FastRecoveryRounds int
+	// RateAI and RateHAI are the additive and hyper increase steps (bits/s).
+	RateAI  int64
+	RateHAI int64
+	// CNPInterval is the NP-side minimum gap between CNPs per flow (50 µs).
+	CNPInterval sim.Duration
+	// NICGateBytes pauses the pacer while the NIC's lossless queue holds
+	// more than this backlog (models the HW send queue's backpressure
+	// under PFC pause).
+	NICGateBytes int
+}
+
+// DefaultConfig returns DCQCN parameters for a given NIC line rate.
+func DefaultConfig(lineRate int64) Config {
+	return Config{
+		MSS:                pkt.MTUPayload,
+		LineRate:           lineRate,
+		MinRate:            40e6,
+		G:                  1.0 / 256,
+		AlphaTimer:         55 * sim.Microsecond,
+		IncreaseTimer:      300 * sim.Microsecond,
+		ByteCounter:        10 << 20,
+		FastRecoveryRounds: 5,
+		RateAI:             40e6,
+		RateHAI:            200e6,
+		CNPInterval:        50 * sim.Microsecond,
+		NICGateBytes:       64 << 10,
+	}
+}
+
+// Sender is the DCQCN reaction point driving one RDMA flow.
+type Sender struct {
+	env  transport.Env
+	cfg  Config
+	flow *transport.Flow
+
+	rc    float64 // current rate, bits/s
+	rt    float64 // target rate, bits/s
+	alpha float64
+
+	sent       int64 // payload bytes emitted
+	byteCount  int64 // bytes since the last byte-counter event
+	timerStage int   // increase-timer events since last cut
+	byteStage  int   // byte-counter events since last cut
+	cutSeen    bool  // a CNP has ever arrived
+
+	alphaTimer sim.EventRef
+	incTimer   sim.EventRef
+	pacer      sim.EventRef
+
+	done   bool
+	onDone func()
+
+	// CNPsReceived counts rate cuts taken.
+	CNPsReceived uint64
+}
+
+// NewSender builds a reaction point for flow. onDone, if non-nil, fires when
+// the last payload byte has been handed to the NIC.
+func NewSender(env transport.Env, cfg Config, flow *transport.Flow, onDone func()) *Sender {
+	if err := flow.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if cfg.MSS <= 0 || cfg.LineRate <= 0 || cfg.G <= 0 || cfg.G > 1 {
+		panic("dcqcn: invalid config")
+	}
+	return &Sender{
+		env:    env,
+		cfg:    cfg,
+		flow:   flow,
+		rc:     float64(cfg.LineRate),
+		rt:     float64(cfg.LineRate),
+		alpha:  1,
+		onDone: onDone,
+	}
+}
+
+// Flow returns the flow descriptor.
+func (s *Sender) Flow() *transport.Flow { return s.flow }
+
+// Rate returns the current sending rate in bits/s (for tests).
+func (s *Sender) Rate() float64 { return s.rc }
+
+// Alpha returns the current congestion estimate (for tests).
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// Done reports sender-side completion.
+func (s *Sender) Done() bool { return s.done }
+
+// Start begins paced transmission at line rate.
+func (s *Sender) Start() {
+	s.sendNext()
+}
+
+// sendNext emits one packet and schedules the next according to the current
+// rate, gating on NIC backlog so a PFC-paused port does not accumulate an
+// unbounded software queue.
+func (s *Sender) sendNext() {
+	if s.done {
+		return
+	}
+	if s.cfg.NICGateBytes > 0 && s.env.NICBacklog(s.flow.Priority) > s.cfg.NICGateBytes {
+		s.pacer = s.env.Schedule(sim.TxTime(pkt.MTUBytes, s.cfg.LineRate), s.sendNext)
+		return
+	}
+
+	payload := s.cfg.MSS
+	if rem := s.flow.Size - s.sent; rem < int64(payload) {
+		payload = int(rem)
+	}
+	p := pkt.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, s.sent, payload)
+	p.FlowFin = s.sent+int64(payload) == s.flow.Size
+	p.SentAt = s.env.Now()
+	s.env.Send(p)
+	s.sent += int64(payload)
+
+	s.byteCount += int64(p.Size)
+	if s.byteCount >= s.cfg.ByteCounter {
+		s.byteCount = 0
+		s.byteStage++
+		s.increase()
+	}
+
+	if s.sent >= s.flow.Size {
+		s.finish()
+		return
+	}
+	gap := sim.TxTime(p.Size, int64(s.rc))
+	s.pacer = s.env.Schedule(gap, s.sendNext)
+}
+
+// HandleCNP is the reaction-point cut: α jumps toward 1, the target rate
+// remembers the pre-cut rate, and the current rate drops by α/2.
+func (s *Sender) HandleCNP() {
+	if s.done {
+		return
+	}
+	s.CNPsReceived++
+	s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G
+	s.rt = s.rc
+	s.rc *= 1 - s.alpha/2
+	s.clampRates()
+
+	// Reset the recovery machinery.
+	s.timerStage, s.byteStage = 0, 0
+	s.byteCount = 0
+	s.cutSeen = true
+	s.restartTimers()
+}
+
+// restartTimers (re)arms the α-decay and rate-increase timers.
+func (s *Sender) restartTimers() {
+	s.alphaTimer.Cancel()
+	s.incTimer.Cancel()
+	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.onAlphaTimer)
+	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.onIncreaseTimer)
+}
+
+func (s *Sender) onAlphaTimer() {
+	if s.done {
+		return
+	}
+	s.alpha *= 1 - s.cfg.G
+	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.onAlphaTimer)
+}
+
+func (s *Sender) onIncreaseTimer() {
+	if s.done {
+		return
+	}
+	s.timerStage++
+	s.increase()
+	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.onIncreaseTimer)
+}
+
+// increase applies one rate-increase event: fast recovery halves the gap to
+// the target; once either stage counter passes F the target itself grows
+// (additively, or hyper when both counters are past F).
+func (s *Sender) increase() {
+	if !s.cutSeen {
+		// Never cut: already at line rate.
+		return
+	}
+	f := s.cfg.FastRecoveryRounds
+	maxStage := s.timerStage
+	if s.byteStage > maxStage {
+		maxStage = s.byteStage
+	}
+	minStage := s.timerStage
+	if s.byteStage < minStage {
+		minStage = s.byteStage
+	}
+	switch {
+	case maxStage <= f: // fast recovery
+	case minStage > f: // hyper increase
+		s.rt += float64(s.cfg.RateHAI)
+	default: // additive increase
+		s.rt += float64(s.cfg.RateAI)
+	}
+	s.rc = (s.rt + s.rc) / 2
+	s.clampRates()
+}
+
+func (s *Sender) clampRates() {
+	if s.rc < float64(s.cfg.MinRate) {
+		s.rc = float64(s.cfg.MinRate)
+	}
+	if s.rc > float64(s.cfg.LineRate) {
+		s.rc = float64(s.cfg.LineRate)
+	}
+	if s.rt > float64(s.cfg.LineRate) {
+		s.rt = float64(s.cfg.LineRate)
+	}
+	if s.rt < s.rc {
+		s.rt = s.rc
+	}
+}
+
+func (s *Sender) finish() {
+	s.done = true
+	s.alphaTimer.Cancel()
+	s.incTimer.Cancel()
+	s.pacer.Cancel()
+	if s.onDone != nil {
+		s.onDone()
+	}
+}
+
+// Receiver is the DCQCN notification point for one flow: it reflects CE
+// marks as rate-limited CNPs and detects flow completion.
+type Receiver struct {
+	env    transport.Env
+	flowID pkt.FlowID
+	host   int
+	peer   int
+	cfg    Config
+
+	recvNxt  int64
+	gaps     uint64
+	lastCNP  sim.Time
+	sentCNP  bool
+	complete bool
+	onDone   func(at sim.Time)
+}
+
+// NewReceiver builds a notification point; onDone fires when the flow's
+// last byte arrives.
+func NewReceiver(env transport.Env, cfg Config, flowID pkt.FlowID, host, peer int, onDone func(at sim.Time)) *Receiver {
+	return &Receiver{
+		env:    env,
+		cfg:    cfg,
+		flowID: flowID,
+		host:   host,
+		peer:   peer,
+		onDone: onDone,
+	}
+}
+
+// Complete reports whether the last byte arrived.
+func (r *Receiver) Complete() bool { return r.complete }
+
+// Gaps counts sequence discontinuities observed — nonzero only if the
+// lossless guarantee was violated upstream.
+func (r *Receiver) Gaps() uint64 { return r.gaps }
+
+// HandleData processes one arriving RDMA packet.
+func (r *Receiver) HandleData(p *pkt.Packet) {
+	if p.Seq != r.recvNxt {
+		r.gaps++
+	}
+	if p.End() > r.recvNxt {
+		r.recvNxt = p.End()
+	}
+
+	if p.CE {
+		now := r.env.Now()
+		if !r.sentCNP || now-r.lastCNP >= r.cfg.CNPInterval {
+			r.sentCNP = true
+			r.lastCNP = now
+			r.env.Send(pkt.NewCNP(r.flowID, r.host, r.peer))
+		}
+	}
+
+	if p.FlowFin && !r.complete && r.gaps == 0 {
+		r.complete = true
+		if r.onDone != nil {
+			r.onDone(r.env.Now())
+		}
+	}
+}

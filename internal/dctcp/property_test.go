@@ -1,0 +1,139 @@
+package dctcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Property: whatever ACK sequence arrives (in-order, duplicate, stale,
+// marked), the sender's window stays within [1 MSS, flow size + IW] and α
+// within [0, 1].
+func TestSenderInvariantsUnderRandomAcks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := &fakeEnv{eng: sim.NewEngine(seed)}
+		flow := newFlow(1 << 20)
+		s := NewSender(env, DefaultConfig(), flow, nil)
+		s.Start()
+
+		for i := 0; i < 500 && !s.Done(); i++ {
+			var cum int64
+			switch rng.Intn(4) {
+			case 0: // normal progress
+				cum = s.sndUna + int64(rng.Intn(3)+1)*int64(pkt.MTUPayload)
+			case 1: // duplicate
+				cum = s.sndUna
+			case 2: // stale (below sndUna)
+				cum = s.sndUna - int64(rng.Intn(2000))
+				if cum < 0 {
+					cum = 0
+				}
+			default: // jump (cumulative ack of burst)
+				cum = s.sndUna + int64(rng.Intn(20_000))
+			}
+			if cum > flow.Size {
+				cum = flow.Size
+			}
+			s.HandleAck(ackFor(flow, cum, rng.Intn(3) == 0))
+
+			if s.Cwnd() < float64(pkt.MTUPayload) {
+				return false
+			}
+			if s.Alpha() < 0 || s.Alpha() > 1 {
+				return false
+			}
+			if s.sndUna > s.sndNxt || s.sndNxt > flow.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the receiver's cumulative ACK equals exactly the contiguous
+// prefix delivered, for any arrival permutation of the flow's segments.
+func TestReceiverReassemblyAnyOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := &fakeEnv{eng: sim.NewEngine(seed)}
+		done := false
+		r := NewReceiver(env, 1, 1, 0, func(sim.Time) { done = true })
+
+		const segs = 20
+		order := rng.Perm(segs)
+		for _, idx := range order {
+			p := pkt.NewData(1, 0, 1, pkt.PrioLossy, pkt.ClassLossy,
+				int64(idx*pkt.MTUPayload), pkt.MTUPayload)
+			p.FlowFin = idx == segs-1
+			r.HandleData(p)
+		}
+		return done && r.Received() == segs*int64(pkt.MTUPayload) && r.Complete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a lossy channel that eventually delivers (every segment
+// dropped at most twice), the sender-receiver pair always completes the
+// flow via retransmission.
+func TestLoopbackWithRandomLossCompletes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine(seed)
+
+		var s *Sender
+		var r *Receiver
+		dropped := make(map[int64]int)
+
+		senderEnv := &callbackEnv{eng: eng}
+		receiverEnv := &callbackEnv{eng: eng}
+
+		flow := newFlow(60_000)
+		complete := false
+		r = NewReceiver(receiverEnv, flow.ID, flow.Dst, flow.Src, func(sim.Time) { complete = true })
+		s = NewSender(senderEnv, DefaultConfig(), flow, nil)
+
+		senderEnv.deliver = func(p *pkt.Packet) {
+			// Drop ~30% of data packets, at most twice per segment.
+			if rng.Intn(10) < 3 && dropped[p.Seq] < 2 {
+				dropped[p.Seq]++
+				return
+			}
+			cp := *p
+			eng.Schedule(10*sim.Microsecond, func() { r.HandleData(&cp) })
+		}
+		receiverEnv.deliver = func(p *pkt.Packet) {
+			cp := *p
+			eng.Schedule(10*sim.Microsecond, func() { s.HandleAck(&cp) })
+		}
+
+		s.Start()
+		eng.Run(2 * sim.Second)
+		return complete && s.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// callbackEnv routes Send through a configurable delivery function.
+type callbackEnv struct {
+	eng     *sim.Engine
+	deliver func(p *pkt.Packet)
+}
+
+func (e *callbackEnv) Now() sim.Time      { return e.eng.Now() }
+func (e *callbackEnv) Send(p *pkt.Packet) { e.deliver(p) }
+func (e *callbackEnv) NICBacklog(int) int { return 0 }
+
+func (e *callbackEnv) Schedule(d sim.Duration, fn func()) sim.EventRef {
+	return e.eng.Schedule(d, fn)
+}

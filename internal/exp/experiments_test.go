@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig3aProducesOccupancyTable(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig3a(ScaleTiny, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TCPOnly == nil || res.RDMAOnly == nil {
+		t.Fatal("missing per-protocol results")
+	}
+	if len(res.TCPOnly.TCPSlowdowns) == 0 {
+		t.Error("TCP-only run has no TCP flows")
+	}
+	if len(res.TCPOnly.RDMASlowdowns) != 0 {
+		t.Error("TCP-only run produced RDMA flows")
+	}
+	if len(res.RDMAOnly.RDMASlowdowns) == 0 {
+		t.Error("RDMA-only run has no RDMA flows")
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 3(a)", "TCP", "RDMA", "occ_p99_KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	tab, err := RunTable2(ScaleTiny, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %v has %d cells, want policy + 5 loads", row, len(row))
+		}
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("missing table title")
+	}
+}
+
+func TestRunTable2ReusesPriorSweep(t *testing.T) {
+	// A prior Fig. 7 sweep at the same scale must be reused without
+	// re-simulation: verify the cells come from the prior result set.
+	var buf bytes.Buffer
+	sweep, err := runLoadSweep("fig7", ScaleTiny, []string{"DT", "DT2", "ABM", "L2BM"}, Table2Loads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.Loads = Table2Loads
+	tab, err := RunTable2(ScaleTiny, sweep, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order in RunTable2 is ABM, DT, DT2, L2BM; check one cell.
+	for i, pol := range []string{"ABM", "DT", "DT2", "L2BM"} {
+		if tab.Rows[i][0] != pol {
+			t.Fatalf("row %d policy = %q, want %q", i, tab.Rows[i][0], pol)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if csv != "a,b\n1,2\n3,4\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if f2(1.234) != "1.23" || f3(0.1234) != "0.123" {
+		t.Error("float formatting wrong")
+	}
+	nan := 0.0
+	nan /= nan
+	if f2(nan) != "-" || f3(nan) != "-" {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestIncastFanoutClampedOnTinyTopology(t *testing.T) {
+	// Tiny scale has 4 RDMA hosts; a fanout of 15 must clamp, not error.
+	res, err := RunHybrid(HybridSpec{
+		Name: "clamp", Policy: "DT", Scale: ScaleTiny,
+		TCPLoad: 0.3,
+		Incast:  &IncastSpec{Fanout: 15, RequestBytes: 300_000, QueryRate: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QueryDelays) == 0 {
+		t.Error("no queries completed after clamping")
+	}
+}

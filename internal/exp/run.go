@@ -1,0 +1,313 @@
+package exp
+
+import (
+	"fmt"
+
+	"l2bm/internal/core"
+	"l2bm/internal/metrics"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+	"l2bm/internal/transport"
+	"l2bm/internal/workload"
+)
+
+// HybridSpec describes one data point of the paper's hybrid-traffic
+// experiments: half the servers per rack offer RDMA web-search traffic,
+// the other half TCP web-search traffic, with an optional incast query
+// stream on top.
+type HybridSpec struct {
+	// Name labels the run (used in seeds and output).
+	Name string
+	// Policy is the BM scheme by name ("L2BM", "DT", "DT2", "ABM"), or use
+	// PolicyFactory for custom instances (ablations).
+	Policy string
+	// PolicyFactory overrides Policy when non-nil.
+	PolicyFactory topo.PolicyFactory
+	// Scale sets topology and window; individual fields below override.
+	Scale Scale
+	// RDMALoad and TCPLoad are offered loads as fractions of the 25 Gbps
+	// access links (paper: RDMA fixed at 0.4, TCP swept 0.1–0.8). Zero
+	// disables that traffic class.
+	RDMALoad float64
+	TCPLoad  float64
+	// InterRackOnly restricts Poisson destinations to other racks (the
+	// paper's motivation setup).
+	InterRackOnly bool
+	// Incast, when non-nil, adds the §IV-B query workload.
+	Incast *IncastSpec
+	// OccupancySampleEvery is the buffer-trace period (paper: 1 ms;
+	// default 100 µs for the shorter windows here).
+	OccupancySampleEvery sim.Duration
+	// WindowOverride, if positive, replaces the scale's window.
+	WindowOverride sim.Duration
+	// TopoOverride, if set, may mutate the scale's topology/switch
+	// configuration before the cluster is built (used by ablations).
+	TopoOverride func(*topo.Config)
+	// SeedSalt decorrelates repeated runs of the same spec.
+	SeedSalt string
+}
+
+// IncastSpec configures the fan-in query stream.
+type IncastSpec struct {
+	// Fanout is N, responders per query.
+	Fanout int
+	// RequestBytes is the per-query payload (paper: 1 MB).
+	RequestBytes int64
+	// QueryRate is mean queries per second (paper: ≈752/s).
+	QueryRate float64
+}
+
+// Result is everything a figure/table needs from one run.
+type Result struct {
+	Spec   HybridSpec
+	Policy string
+
+	// Per-class slowdowns of completed flows, ascending.
+	RDMASlowdowns []float64
+	TCPSlowdowns  []float64
+	// IncastSlowdowns covers only the query-responder flows.
+	IncastSlowdowns []float64
+	// QueryDelays are per-query response times (max FCT over its flows).
+	QueryDelays []sim.Duration
+
+	// TorOccupancy traces total resident bytes per ToR switch.
+	TorOccupancy [][]metrics.Reading
+
+	// PauseFrames is the total XOFF count across all switches (the Fig.
+	// 7(d)/Table II metric); the per-layer counters break it down.
+	PauseFrames     uint64
+	ToRPauseFrames  uint64
+	AggPauseFrames  uint64
+	CorePauseFrames uint64
+
+	// Drops and marks aggregated over all switches.
+	LossyDrops         uint64
+	LosslessViolations uint64
+	ECNMarked          uint64
+
+	// FlowsStarted/FlowsCompleted count observed (recorded) flows.
+	FlowsStarted   int
+	FlowsCompleted int
+	// LosslessGaps must be zero in a healthy run.
+	LosslessGaps uint64
+	// Events is the engine's executed-event count (cost accounting).
+	Events uint64
+	// EndTime is the simulated instant the run stopped.
+	EndTime sim.Time
+}
+
+// RDMAp99 returns the 99th-percentile RDMA FCT slowdown.
+func (r *Result) RDMAp99() float64 { return metrics.Percentile(r.RDMASlowdowns, 99) }
+
+// TCPp99 returns the 99th-percentile TCP FCT slowdown.
+func (r *Result) TCPp99() float64 { return metrics.Percentile(r.TCPSlowdowns, 99) }
+
+// Incastp99 returns the 99th-percentile incast-flow slowdown.
+func (r *Result) Incastp99() float64 { return metrics.Percentile(r.IncastSlowdowns, 99) }
+
+// OccupancyP99Fraction returns the 99th-percentile ToR occupancy as a
+// fraction of the shared buffer (pooled over ToRs), the Fig. 7(c) metric.
+func (r *Result) OccupancyP99Fraction(buffer int64) float64 {
+	var all []float64
+	for _, trace := range r.TorOccupancy {
+		for _, s := range trace {
+			all = append(all, float64(s.Value))
+		}
+	}
+	return metrics.Percentile(all, 99) / float64(buffer)
+}
+
+// QueryDelaySummary condenses per-query response times (Fig. 10(b)),
+// in milliseconds.
+func (r *Result) QueryDelaySummary() metrics.Summary {
+	xs := make([]float64, len(r.QueryDelays))
+	for i, d := range r.QueryDelays {
+		xs[i] = d.Millis()
+	}
+	return metrics.Summarize(xs)
+}
+
+// RunHybrid executes one hybrid data point.
+func RunHybrid(spec HybridSpec) (*Result, error) {
+	policyName := spec.Policy
+	factory := spec.PolicyFactory
+	if factory == nil {
+		name := spec.Policy
+		factory = func() core.Policy { return NewPolicy(name) }
+	} else if policyName == "" {
+		policyName = factory().Name()
+	}
+
+	// The seed deliberately excludes the policy: the paper compares buffer
+	// management schemes under the same offered workload, so runs differ
+	// only in MMU decisions (common random numbers).
+	seed := seedFor(spec.Name, spec.SeedSalt,
+		fmt.Sprintf("%v/%v/%v", spec.RDMALoad, spec.TCPLoad, spec.Scale))
+	eng := sim.NewEngine(seed)
+	rec := metrics.NewFCTRecorder()
+
+	var incastGen *workload.Incast
+	incastIDs := make(map[pkt.FlowID]bool)
+	ids := workload.NewIDSource()
+
+	onComplete := func(id pkt.FlowID, at sim.Time) {
+		rec.Completed(id, at)
+		if incastGen != nil {
+			incastGen.OnFlowComplete(id, at)
+		}
+	}
+
+	topoCfg := spec.Scale.Topo()
+	if spec.TopoOverride != nil {
+		spec.TopoOverride(&topoCfg)
+	}
+	cl, err := topo.Build(eng, topoCfg, factory, onComplete)
+	if err != nil {
+		return nil, err
+	}
+
+	window := spec.Scale.Window()
+	if spec.WindowOverride > 0 {
+		window = spec.WindowOverride
+	}
+
+	observe := func(f *transport.Flow) {
+		rec.Started(f, cl.IdealFCT(f.Src, f.Dst, f.Size))
+	}
+
+	// Split each rack: first half RDMA senders, second half TCP senders.
+	var rdmaHosts, tcpHosts, allHosts []int
+	perRack := topoCfg.ServersPerToR
+	for h := 0; h < cl.NumHosts(); h++ {
+		allHosts = append(allHosts, h)
+		if h%perRack < perRack/2 {
+			rdmaHosts = append(rdmaHosts, h)
+		} else {
+			tcpHosts = append(tcpHosts, h)
+		}
+	}
+	var forbid func(src, dst int) bool
+	if spec.InterRackOnly {
+		forbid = func(src, dst int) bool { return cl.ToROf(src) == cl.ToROf(dst) }
+	}
+
+	if spec.RDMALoad > 0 {
+		g, err := workload.NewPoisson(eng, cl, workload.PoissonConfig{
+			Sources:    rdmaHosts,
+			Dests:      allHosts,
+			Load:       spec.RDMALoad,
+			HostRate:   topoCfg.ServerRate,
+			Sizes:      workload.WebSearchCDF(),
+			Priority:   pkt.PrioLossless,
+			Class:      pkt.ClassLossless,
+			Window:     window,
+			Observer:   observe,
+			Forbid:     forbid,
+			StreamName: "rdma",
+			IDs:        ids,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.Install()
+	}
+	if spec.TCPLoad > 0 {
+		g, err := workload.NewPoisson(eng, cl, workload.PoissonConfig{
+			Sources:    tcpHosts,
+			Dests:      allHosts,
+			Load:       spec.TCPLoad,
+			HostRate:   topoCfg.ServerRate,
+			Sizes:      workload.WebSearchCDF(),
+			Priority:   pkt.PrioLossy,
+			Class:      pkt.ClassLossy,
+			Window:     window,
+			Observer:   observe,
+			Forbid:     forbid,
+			StreamName: "tcp",
+			IDs:        ids,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.Install()
+	}
+	if spec.Incast != nil {
+		fanout := spec.Incast.Fanout
+		if fanout >= len(allHosts) {
+			// Scaled-down topologies cannot host the full fan-in degree.
+			fanout = len(allHosts) - 1
+		}
+		// Queries target (and are answered by) any server, so fan-in
+		// bursts land on ports whose buffers the TCP background is
+		// already pressuring — the §IV-B contention the deep dive probes.
+		incastGen, err = workload.NewIncast(eng, cl, workload.IncastConfig{
+			Hosts:        allHosts,
+			Fanout:       fanout,
+			RequestBytes: spec.Incast.RequestBytes,
+			QueryRate:    spec.Incast.QueryRate,
+			Window:       window,
+			Priority:     pkt.PrioLossless,
+			Class:        pkt.ClassLossless,
+			Observer: func(f *transport.Flow) {
+				incastIDs[f.ID] = true
+				observe(f)
+			},
+			StreamName: "incast",
+			IDs:        ids,
+		})
+		if err != nil {
+			return nil, err
+		}
+		incastGen.Install()
+	}
+
+	// Occupancy samplers, one per ToR (the paper traces rack switches).
+	every := spec.OccupancySampleEvery
+	if every <= 0 {
+		every = 100 * sim.Microsecond
+	}
+	horizon := window + spec.Scale.Drain()
+	samplers := make([]*metrics.Sampler, len(cl.ToRs))
+	for i, tor := range cl.ToRs {
+		tor := tor
+		samplers[i] = metrics.NewSampler(eng, every, tor.Occupancy)
+		samplers[i].Start(window) // trace the loaded phase, like the paper
+	}
+
+	eng.Run(horizon)
+
+	res := &Result{
+		Spec:          spec,
+		Policy:        policyName,
+		RDMASlowdowns: rec.Slowdowns(pkt.ClassLossless),
+		TCPSlowdowns:  rec.Slowdowns(pkt.ClassLossy),
+		LosslessGaps:  cl.LosslessGaps(),
+		Events:        eng.Events(),
+		EndTime:       eng.Now(),
+	}
+	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
+
+	if incastGen != nil {
+		for _, fr := range rec.Records(pkt.ClassLossless) {
+			if incastIDs[fr.Flow.ID] {
+				res.IncastSlowdowns = append(res.IncastSlowdowns, fr.Slowdown())
+			}
+		}
+		res.QueryDelays = incastGen.CompletedResponseTimes()
+	}
+
+	for _, s := range samplers {
+		res.TorOccupancy = append(res.TorOccupancy, s.Samples)
+	}
+
+	all := topo.SwitchStats(cl.AllSwitches())
+	res.PauseFrames = all.PauseFramesSent
+	res.LossyDrops = all.LossyDropsIngress + all.LossyDropsEgress
+	res.LosslessViolations = all.LosslessViolations
+	res.ECNMarked = all.ECNMarked
+	res.ToRPauseFrames = topo.SwitchStats(cl.ToRs).PauseFramesSent
+	res.AggPauseFrames = topo.SwitchStats(cl.Aggs).PauseFramesSent
+	res.CorePauseFrames = topo.SwitchStats(cl.Cores).PauseFramesSent
+	return res, nil
+}

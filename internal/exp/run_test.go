@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"testing"
+
+	"l2bm/internal/sim"
+)
+
+func tinySpec(policy string) HybridSpec {
+	return HybridSpec{
+		Name:     "smoke",
+		Policy:   policy,
+		Scale:    ScaleTiny,
+		RDMALoad: 0.4,
+		TCPLoad:  0.4,
+	}
+}
+
+func TestRunHybridSmoke(t *testing.T) {
+	res, err := RunHybrid(tinySpec("L2BM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsStarted == 0 {
+		t.Fatal("no flows generated")
+	}
+	if res.FlowsCompleted == 0 {
+		t.Fatal("no flows completed")
+	}
+	if len(res.RDMASlowdowns) == 0 || len(res.TCPSlowdowns) == 0 {
+		t.Fatal("missing per-class slowdowns")
+	}
+	for _, s := range res.RDMASlowdowns {
+		if s < 0.99 { // ≥1 up to rounding of ideal
+			t.Fatalf("slowdown %v below 1", s)
+		}
+	}
+	if res.LosslessViolations != 0 || res.LosslessGaps != 0 {
+		t.Errorf("lossless integrity broken: violations=%d gaps=%d",
+			res.LosslessViolations, res.LosslessGaps)
+	}
+	if len(res.TorOccupancy) != 2 {
+		t.Errorf("occupancy traces = %d, want one per ToR", len(res.TorOccupancy))
+	}
+	if res.Events == 0 || res.EndTime == 0 {
+		t.Error("run accounting empty")
+	}
+	t.Logf("events=%d endTime=%v flows=%d/%d rdmaP99=%.2f tcpP99=%.2f pause=%d drops=%d",
+		res.Events, res.EndTime, res.FlowsCompleted, res.FlowsStarted,
+		res.RDMAp99(), res.TCPp99(), res.PauseFrames, res.LossyDrops)
+}
+
+func TestRunHybridDeterministic(t *testing.T) {
+	a, err := RunHybrid(tinySpec("DT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHybrid(tinySpec("DT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.FlowsCompleted != b.FlowsCompleted ||
+		a.PauseFrames != b.PauseFrames || a.RDMAp99() != b.RDMAp99() {
+		t.Errorf("replay diverged: %+v vs %+v", a.Events, b.Events)
+	}
+}
+
+func TestRunHybridIncast(t *testing.T) {
+	spec := tinySpec("L2BM")
+	spec.Incast = &IncastSpec{Fanout: 3, RequestBytes: 300_000, QueryRate: 2000}
+	res, err := RunHybrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IncastSlowdowns) == 0 {
+		t.Fatal("no incast flows measured")
+	}
+	if len(res.QueryDelays) == 0 {
+		t.Fatal("no query delays measured")
+	}
+	sum := res.QueryDelaySummary()
+	if sum.N != len(res.QueryDelays) || sum.Mean <= 0 {
+		t.Errorf("query summary wrong: %+v", sum)
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "full"} {
+		sc, err := ParseScale(s)
+		if err != nil || sc.String() != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s, sc, err)
+		}
+	}
+	if _, err := ParseScale("galactic"); err == nil {
+		t.Error("want error for unknown scale")
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range PolicyNames {
+		p := NewPolicy(name)
+		if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy should panic")
+		}
+	}()
+	NewPolicy("nope")
+}
+
+func TestSeedForStableAndDistinct(t *testing.T) {
+	if seedFor("a", "b") != seedFor("a", "b") {
+		t.Error("seed not stable")
+	}
+	if seedFor("a", "b") == seedFor("a", "c") {
+		t.Error("seeds collide")
+	}
+	if seedFor("ab") == seedFor("a", "b") {
+		t.Error("field separator missing")
+	}
+}
+
+func TestScaleAccessors(t *testing.T) {
+	if ScaleTiny.Window() >= ScaleFull.Window() {
+		t.Error("windows not ordered")
+	}
+	if ScaleTiny.Topo().ServersPerToR >= ScaleFull.Topo().ServersPerToR {
+		t.Error("topologies not ordered")
+	}
+	if ScaleFull.Drain() <= 0 {
+		t.Error("drain must be positive")
+	}
+	var horizon sim.Duration = ScaleTiny.Window() + ScaleTiny.Drain()
+	if horizon <= ScaleTiny.Window() {
+		t.Error("horizon must exceed window")
+	}
+}

@@ -1,0 +1,116 @@
+package host
+
+import (
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+func TestStrayControlPacketsAreIgnored(t *testing.T) {
+	tb := newTestbed(t, 2, core.NewDT())
+	h := tb.hosts[0]
+
+	// ACK and CNP for flows this host never started must be dropped
+	// silently, not crash the demux.
+	h.HandleArrival(pkt.NewAck(999, 1, 0, 100, false), h.NIC())
+	h.HandleArrival(pkt.NewCNP(999, 1, 0), h.NIC())
+	tb.eng.RunAll()
+
+	if h.FlowsStarted != 0 || h.FlowsCompleted != 0 {
+		t.Error("stray control packets perturbed flow accounting")
+	}
+}
+
+func TestReceiverCreatedOnDemandPerClass(t *testing.T) {
+	tb := newTestbed(t, 2, core.NewDT())
+	// Deliver data for unknown flows directly: receivers must materialize.
+	rdma := pkt.NewData(50, 1, 0, pkt.PrioLossless, pkt.ClassLossless, 0, 500)
+	rdma.FlowFin = true
+	tcp := pkt.NewData(51, 1, 0, pkt.PrioLossy, pkt.ClassLossy, 0, 500)
+	tcp.FlowFin = true
+
+	h := tb.hosts[0]
+	h.HandleArrival(rdma, h.NIC())
+	h.HandleArrival(tcp, h.NIC())
+	tb.eng.RunAll()
+
+	if h.FlowsCompleted != 2 {
+		t.Errorf("completions = %d, want 2 (one per on-demand receiver)", h.FlowsCompleted)
+	}
+	if _, ok := tb.completed[50]; !ok {
+		t.Error("RDMA completion not reported")
+	}
+	if _, ok := tb.completed[51]; !ok {
+		t.Error("TCP completion not reported")
+	}
+}
+
+func TestDuplicateFlowFinDoesNotDoubleCount(t *testing.T) {
+	tb := newTestbed(t, 2, core.NewDT())
+	h := tb.hosts[0]
+	p := pkt.NewData(60, 1, 0, pkt.PrioLossless, pkt.ClassLossless, 0, 500)
+	p.FlowFin = true
+	h.HandleArrival(p, h.NIC())
+	dup := *p
+	h.HandleArrival(&dup, h.NIC())
+	if h.FlowsCompleted != 1 {
+		t.Errorf("completions = %d, want 1", h.FlowsCompleted)
+	}
+}
+
+func TestManyConcurrentSmallFlows(t *testing.T) {
+	// Stress the demux: 60 flows across 6 hosts, both classes, all complete.
+	tb := newTestbed(t, 6, core.NewDefaultL2BM())
+	id := pkt.FlowID(0)
+	for src := 0; src < 6; src++ {
+		for k := 0; k < 10; k++ {
+			id++
+			class := pkt.ClassLossless
+			prio := pkt.PrioLossless
+			if k%2 == 0 {
+				class = pkt.ClassLossy
+				prio = pkt.PrioLossy
+			}
+			dst := (src + 1 + k) % 6
+			if dst == src {
+				dst = (dst + 1) % 6
+			}
+			tb.hosts[src].StartFlow(&transport.Flow{
+				ID: id, Src: src, Dst: dst, Size: int64(1000 * (k + 1)),
+				Priority: prio, Class: class,
+			})
+		}
+	}
+	tb.eng.RunAll()
+	if len(tb.completed) != 60 {
+		t.Fatalf("completed %d/60", len(tb.completed))
+	}
+	var started, completedCount uint64
+	for _, h := range tb.hosts {
+		started += h.FlowsStarted
+		completedCount += h.FlowsCompleted
+	}
+	if started != 60 || completedCount != 60 {
+		t.Errorf("host counters: started=%d completed=%d", started, completedCount)
+	}
+}
+
+func TestCompletionTimesMonotoneWithSize(t *testing.T) {
+	// Same path, same start: the 10x larger flow must finish later.
+	tb := newTestbed(t, 3, core.NewDT())
+	tb.hosts[0].StartFlow(tb.flow(1, 0, 2, 10_000, pkt.ClassLossless))
+	tb.hosts[1].StartFlow(tb.flow(2, 1, 2, 100_000, pkt.ClassLossless))
+	tb.eng.RunAll()
+	small, okS := tb.completed[1]
+	big, okB := tb.completed[2]
+	if !okS || !okB {
+		t.Fatal("flows incomplete")
+	}
+	if small >= big {
+		t.Errorf("small flow (%v) should finish before 10x flow (%v)", small, big)
+	}
+	_ = sim.Time(0)
+}

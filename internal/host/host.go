@@ -1,0 +1,182 @@
+// Package host models a server: a NIC (a netdev.Port honoring PFC) plus the
+// transport endpoints running on it. The host demultiplexes arriving
+// packets to per-flow DCTCP/DCQCN senders and receivers, creates receivers
+// on demand, and reports flow completions upward to the metrics layer.
+package host
+
+import (
+	"fmt"
+
+	"l2bm/internal/dcqcn"
+	"l2bm/internal/dctcp"
+	"l2bm/internal/netdev"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// CompletionHandler observes flow completions (receiver side: the last byte
+// arrived at time at).
+type CompletionHandler func(id pkt.FlowID, at sim.Time)
+
+// Host is one server.
+type Host struct {
+	eng  *sim.Engine
+	id   int
+	name string
+	nic  *netdev.Port
+
+	dctcpCfg dctcp.Config
+	dcqcnCfg dcqcn.Config
+
+	tcpTx  map[pkt.FlowID]*dctcp.Sender
+	tcpRx  map[pkt.FlowID]*dctcp.Receiver
+	rdmaTx map[pkt.FlowID]*dcqcn.Sender
+	rdmaRx map[pkt.FlowID]*dcqcn.Receiver
+
+	onComplete CompletionHandler
+
+	// FlowsStarted counts flows this host originated.
+	FlowsStarted uint64
+	// FlowsCompleted counts flows that finished arriving at this host.
+	FlowsCompleted uint64
+}
+
+var (
+	_ netdev.Node   = (*Host)(nil)
+	_ transport.Env = (*Host)(nil)
+)
+
+// New builds a host with the given transport configurations. Attach the NIC
+// with SetNIC after wiring the link.
+func New(eng *sim.Engine, id int, name string, dctcpCfg dctcp.Config, dcqcnCfg dcqcn.Config) *Host {
+	return &Host{
+		eng:      eng,
+		id:       id,
+		name:     name,
+		dctcpCfg: dctcpCfg,
+		dcqcnCfg: dcqcnCfg,
+		tcpTx:    make(map[pkt.FlowID]*dctcp.Sender),
+		tcpRx:    make(map[pkt.FlowID]*dctcp.Receiver),
+		rdmaTx:   make(map[pkt.FlowID]*dcqcn.Sender),
+		rdmaRx:   make(map[pkt.FlowID]*dcqcn.Receiver),
+	}
+}
+
+// ID returns the host's index in the topology host table.
+func (h *Host) ID() int { return h.id }
+
+// Name implements netdev.Node.
+func (h *Host) Name() string { return h.name }
+
+// SetNIC attaches the host side of its access link.
+func (h *Host) SetNIC(p *netdev.Port) { h.nic = p }
+
+// NIC returns the host's port.
+func (h *Host) NIC() *netdev.Port { return h.nic }
+
+// SetCompletionHandler registers the observer for receiver-side flow
+// completions.
+func (h *Host) SetCompletionHandler(fn CompletionHandler) { h.onComplete = fn }
+
+// StartFlow launches a transport sender for f. The flow's class picks the
+// protocol: lossless flows run DCQCN, lossy flows run DCTCP.
+func (h *Host) StartFlow(f *transport.Flow) {
+	if f.Src != h.id {
+		panic(fmt.Sprintf("host %d asked to start flow owned by host %d", h.id, f.Src))
+	}
+	f.Start = h.eng.Now()
+	h.FlowsStarted++
+	switch f.Class {
+	case pkt.ClassLossless:
+		s := dcqcn.NewSender(h, h.dcqcnCfg, f, nil)
+		h.rdmaTx[f.ID] = s
+		s.Start()
+	case pkt.ClassLossy:
+		s := dctcp.NewSender(h, h.dctcpCfg, f, nil)
+		h.tcpTx[f.ID] = s
+		s.Start()
+	default:
+		panic(fmt.Sprintf("host: flow %d has unroutable class %v", f.ID, f.Class))
+	}
+}
+
+// HandleArrival implements netdev.Node: demultiplex to the right endpoint.
+func (h *Host) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
+	switch p.Kind {
+	case pkt.KindData:
+		h.handleData(p)
+	case pkt.KindAck:
+		if s, ok := h.tcpTx[p.Flow]; ok {
+			s.HandleAck(p)
+		}
+	case pkt.KindCNP:
+		if s, ok := h.rdmaTx[p.Flow]; ok {
+			s.HandleCNP()
+		}
+	}
+}
+
+func (h *Host) handleData(p *pkt.Packet) {
+	switch p.Class {
+	case pkt.ClassLossless:
+		r, ok := h.rdmaRx[p.Flow]
+		if !ok {
+			id := p.Flow
+			r = dcqcn.NewReceiver(h, h.dcqcnCfg, id, h.id, p.Src, func(at sim.Time) {
+				h.complete(id, at)
+			})
+			h.rdmaRx[id] = r
+		}
+		r.HandleData(p)
+	case pkt.ClassLossy:
+		r, ok := h.tcpRx[p.Flow]
+		if !ok {
+			id := p.Flow
+			r = dctcp.NewReceiver(h, id, h.id, p.Src, func(at sim.Time) {
+				h.complete(id, at)
+			})
+			h.tcpRx[id] = r
+		}
+		r.HandleData(p)
+	}
+}
+
+func (h *Host) complete(id pkt.FlowID, at sim.Time) {
+	h.FlowsCompleted++
+	if h.onComplete != nil {
+		h.onComplete(id, at)
+	}
+}
+
+// LosslessGaps sums sequence discontinuities over this host's RDMA
+// receivers — nonzero only when the network broke the lossless guarantee.
+func (h *Host) LosslessGaps() uint64 {
+	var total uint64
+	for _, r := range h.rdmaRx {
+		total += r.Gaps()
+	}
+	return total
+}
+
+// TCPSender returns this host's DCTCP sender for flow id, if any (tests).
+func (h *Host) TCPSender(id pkt.FlowID) *dctcp.Sender { return h.tcpTx[id] }
+
+// RDMASender returns this host's DCQCN sender for flow id, if any (tests).
+func (h *Host) RDMASender(id pkt.FlowID) *dcqcn.Sender { return h.rdmaTx[id] }
+
+// --- transport.Env implementation ------------------------------------------
+
+// Now implements transport.Env.
+func (h *Host) Now() sim.Time { return h.eng.Now() }
+
+// Send implements transport.Env.
+func (h *Host) Send(p *pkt.Packet) { h.nic.Enqueue(p) }
+
+// Schedule implements transport.Env.
+func (h *Host) Schedule(delay sim.Duration, fn func()) sim.EventRef {
+	return h.eng.Schedule(delay, fn)
+}
+
+// NICBacklog implements transport.Env.
+func (h *Host) NICBacklog(prio int) int { return h.nic.QueueBytes(prio) }

@@ -1,0 +1,251 @@
+// Package metrics collects and summarizes what the paper's evaluation
+// reports: flow completion times normalized to an ideal baseline (FCT
+// slowdown), percentiles and CDFs, periodic buffer-occupancy traces, and
+// query-latency summaries with the error-bar statistics of Fig. 10(b).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// FlowRecord is one flow's lifecycle.
+type FlowRecord struct {
+	Flow  transport.Flow
+	Ideal sim.Duration
+	End   sim.Time
+	Done  bool
+}
+
+// FCT returns the measured completion time (valid when Done).
+func (r *FlowRecord) FCT() sim.Duration { return r.End - r.Flow.Start }
+
+// Slowdown returns FCT normalized by the ideal FCT on an empty network.
+func (r *FlowRecord) Slowdown() float64 {
+	if r.Ideal <= 0 {
+		return math.NaN()
+	}
+	return float64(r.FCT()) / float64(r.Ideal)
+}
+
+// FCTRecorder matches flow starts with completions. It is single-threaded
+// like the engine.
+type FCTRecorder struct {
+	flows map[pkt.FlowID]*FlowRecord
+}
+
+// NewFCTRecorder returns an empty recorder.
+func NewFCTRecorder() *FCTRecorder {
+	return &FCTRecorder{flows: make(map[pkt.FlowID]*FlowRecord)}
+}
+
+// Started records a flow at launch with its precomputed ideal FCT.
+func (r *FCTRecorder) Started(f *transport.Flow, ideal sim.Duration) {
+	r.flows[f.ID] = &FlowRecord{Flow: *f, Ideal: ideal}
+}
+
+// Completed records the flow's last-byte arrival. Unknown IDs are ignored
+// (flows of an unobserved traffic class).
+func (r *FCTRecorder) Completed(id pkt.FlowID, at sim.Time) {
+	rec, ok := r.flows[id]
+	if !ok || rec.Done {
+		return
+	}
+	// Started may run before the host stamps Flow.Start; both happen at
+	// the same instant, so backfill defensively.
+	rec.End = at
+	rec.Done = true
+}
+
+// Counts returns (started, completed) totals.
+func (r *FCTRecorder) Counts() (started, completed int) {
+	for _, rec := range r.flows {
+		started++
+		if rec.Done {
+			completed++
+		}
+	}
+	return started, completed
+}
+
+// Slowdowns returns the slowdown of every completed flow of class c
+// (any class if c == 0), sorted ascending.
+func (r *FCTRecorder) Slowdowns(c pkt.Class) []float64 {
+	var out []float64
+	for _, rec := range r.flows {
+		if rec.Done && (c == 0 || rec.Flow.Class == c) {
+			out = append(out, rec.Slowdown())
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// FCTs returns the completion times of completed flows of class c (any
+// class if c == 0), sorted ascending.
+func (r *FCTRecorder) FCTs(c pkt.Class) []sim.Duration {
+	var out []sim.Duration
+	for _, rec := range r.flows {
+		if rec.Done && (c == 0 || rec.Flow.Class == c) {
+			out = append(out, rec.FCT())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Records returns completed flow records of class c (any class if c == 0).
+func (r *FCTRecorder) Records(c pkt.Class) []*FlowRecord {
+	var out []*FlowRecord
+	for _, rec := range r.flows {
+		if rec.Done && (c == 0 || rec.Flow.Class == c) {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow.ID < out[j].Flow.ID })
+	return out
+}
+
+// Percentile returns the p-th percentile (0–100) of sorted-or-not xs using
+// nearest-rank interpolation; NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary condenses a sample set into the statistics Fig. 10(b) plots.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P25, Median, P75 float64
+}
+
+// Summarize computes a Summary; zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	var sum, sq float64
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	variance := sq/float64(len(xs)) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	s.P25 = Percentile(xs, 25)
+	s.Median = Percentile(xs, 50)
+	s.P75 = Percentile(xs, 75)
+	return s
+}
+
+// CDFPoint is one (value, cumulative fraction) coordinate.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// EmpiricalCDF reduces xs to at most n evenly spaced CDF coordinates.
+func EmpiricalCDF(xs []float64, n int) []CDFPoint {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := i*len(sorted)/n - 1
+		out = append(out, CDFPoint{
+			Value: sorted[idx],
+			Frac:  float64(idx+1) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// Sampler polls a gauge on a fixed period — the paper records switch
+// occupancy every 1 ms (Fig. 8).
+type Sampler struct {
+	eng      *sim.Engine
+	interval sim.Duration
+	gauge    func() int64
+	stopped  bool
+
+	// Samples accumulates readings in time order.
+	Samples []Reading
+}
+
+// Reading is one timestamped gauge value.
+type Reading struct {
+	At    sim.Time
+	Value int64
+}
+
+// NewSampler builds a sampler polling gauge every interval once started.
+func NewSampler(eng *sim.Engine, interval sim.Duration, gauge func() int64) *Sampler {
+	if interval <= 0 {
+		panic("metrics: sampler interval must be positive")
+	}
+	return &Sampler{eng: eng, interval: interval, gauge: gauge}
+}
+
+// Start begins sampling until the horizon (exclusive) or Stop.
+func (s *Sampler) Start(until sim.Time) {
+	var tick func()
+	tick = func() {
+		if s.stopped || s.eng.Now() > until {
+			return
+		}
+		s.Samples = append(s.Samples, Reading{At: s.eng.Now(), Value: s.gauge()})
+		s.eng.Schedule(s.interval, tick)
+	}
+	s.eng.Schedule(s.interval, tick)
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Values extracts the samples as float64s.
+func (s *Sampler) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, r := range s.Samples {
+		out[i] = float64(r.Value)
+	}
+	return out
+}

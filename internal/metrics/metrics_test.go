@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+func mkFlow(id pkt.FlowID, class pkt.Class, start sim.Time) *transport.Flow {
+	return &transport.Flow{ID: id, Src: 0, Dst: 1, Size: 1000, Class: class, Start: start}
+}
+
+func TestFCTRecorderLifecycle(t *testing.T) {
+	r := NewFCTRecorder()
+	f := mkFlow(1, pkt.ClassLossless, 10*sim.Microsecond)
+	r.Started(f, 5*sim.Microsecond)
+	r.Completed(1, 30*sim.Microsecond)
+
+	started, completed := r.Counts()
+	if started != 1 || completed != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", started, completed)
+	}
+	recs := r.Records(pkt.ClassLossless)
+	if len(recs) != 1 {
+		t.Fatal("no record")
+	}
+	if recs[0].FCT() != 20*sim.Microsecond {
+		t.Errorf("FCT = %v, want 20us", recs[0].FCT())
+	}
+	if got := recs[0].Slowdown(); got != 4 {
+		t.Errorf("slowdown = %v, want 4", got)
+	}
+}
+
+func TestFCTRecorderClassFiltering(t *testing.T) {
+	r := NewFCTRecorder()
+	for i := pkt.FlowID(1); i <= 4; i++ {
+		class := pkt.ClassLossless
+		if i%2 == 0 {
+			class = pkt.ClassLossy
+		}
+		f := mkFlow(i, class, 0)
+		r.Started(f, sim.Microsecond)
+		r.Completed(i, sim.Time(i)*sim.Microsecond)
+	}
+	if got := len(r.Slowdowns(pkt.ClassLossless)); got != 2 {
+		t.Errorf("lossless slowdowns = %d, want 2", got)
+	}
+	if got := len(r.Slowdowns(pkt.ClassLossy)); got != 2 {
+		t.Errorf("lossy slowdowns = %d, want 2", got)
+	}
+	if got := len(r.Slowdowns(0)); got != 4 {
+		t.Errorf("all slowdowns = %d, want 4", got)
+	}
+	if got := len(r.FCTs(0)); got != 4 {
+		t.Errorf("FCTs = %d, want 4", got)
+	}
+}
+
+func TestFCTRecorderIgnoresUnknownAndDuplicate(t *testing.T) {
+	r := NewFCTRecorder()
+	r.Completed(99, sim.Microsecond) // unknown: no panic
+	f := mkFlow(1, pkt.ClassLossy, 0)
+	r.Started(f, sim.Microsecond)
+	r.Completed(1, 2*sim.Microsecond)
+	r.Completed(1, 99*sim.Microsecond) // duplicate: first wins
+	if got := r.Records(0)[0].FCT(); got != 2*sim.Microsecond {
+		t.Errorf("FCT = %v, duplicate completion overwrote", got)
+	}
+}
+
+func TestFCTRecorderIncompleteExcluded(t *testing.T) {
+	r := NewFCTRecorder()
+	r.Started(mkFlow(1, pkt.ClassLossy, 0), sim.Microsecond)
+	if len(r.Slowdowns(0)) != 0 {
+		t.Error("incomplete flow leaked into slowdowns")
+	}
+	_, completed := r.Counts()
+	if completed != 0 {
+		t.Error("incomplete counted as completed")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 10},
+		{50, 5.5},
+		{25, 3.25},
+		{99, 9.91},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton P99 = %v, want 7", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return va <= vb && lo <= va && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	pts := EmpiricalCDF(xs, 10)
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10", len(pts))
+	}
+	if pts[9].Value != 100 || pts[9].Frac != 1 {
+		t.Errorf("last point = %+v, want (100, 1)", pts[9])
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value <= pts[j].Value }) {
+		t.Error("CDF values not sorted")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Frac <= pts[i-1].Frac {
+			t.Error("CDF fractions not increasing")
+		}
+	}
+	if EmpiricalCDF(nil, 10) != nil {
+		t.Error("empty input should yield nil")
+	}
+	if got := EmpiricalCDF([]float64{1, 2}, 10); len(got) != 2 {
+		t.Errorf("n > len should clamp: got %d points", len(got))
+	}
+}
+
+func TestSamplerPolls(t *testing.T) {
+	eng := sim.NewEngine(1)
+	v := int64(0)
+	eng.Schedule(5*sim.Millisecond, func() { v = 42 })
+	s := NewSampler(eng, sim.Millisecond, func() int64 { return v })
+	s.Start(10 * sim.Millisecond)
+	eng.RunAll()
+
+	if len(s.Samples) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s.Samples))
+	}
+	if s.Samples[0].At != sim.Millisecond {
+		t.Errorf("first sample at %v, want 1ms", s.Samples[0].At)
+	}
+	if s.Samples[3].Value != 0 || s.Samples[5].Value != 42 {
+		t.Error("sampler did not observe the gauge transition")
+	}
+	if got := s.Values(); len(got) != 10 || got[9] != 42 {
+		t.Error("Values() extraction wrong")
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, sim.Millisecond, func() int64 { return 1 })
+	s.Start(100 * sim.Millisecond)
+	eng.Schedule(3500*sim.Microsecond, s.Stop)
+	eng.RunAll()
+	if len(s.Samples) != 3 {
+		t.Errorf("samples = %d after early stop, want 3", len(s.Samples))
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on zero interval")
+		}
+	}()
+	NewSampler(sim.NewEngine(1), 0, func() int64 { return 0 })
+}
+
+func TestSlowdownNaNOnZeroIdeal(t *testing.T) {
+	rec := &FlowRecord{Flow: transport.Flow{Start: 0}, Ideal: 0, End: sim.Microsecond, Done: true}
+	if !math.IsNaN(rec.Slowdown()) {
+		t.Error("zero ideal should yield NaN slowdown")
+	}
+}

@@ -1,0 +1,113 @@
+package netdev
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+func TestDWRRByteFairness(t *testing.T) {
+	// Priority A sends 250-byte packets, priority B 1000-byte packets.
+	// Packet RR would give B 4x the bytes; DWRR must equalize bytes.
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, _ := Connect(eng, a, b, 25e9, 0)
+	pa.EnableDWRR(1500)
+
+	for i := 0; i < 200; i++ {
+		pa.Enqueue(data(pkt.PrioLossless, 250-pkt.HeaderBytes))
+		if i < 50 {
+			pa.Enqueue(data(pkt.PrioLossy, 1000-pkt.HeaderBytes))
+		}
+	}
+	// Run long enough to transmit ~half the backlog, then compare bytes.
+	eng.Run(sim.TxTime(60_000, 25e9))
+
+	var bytesA, bytesB int
+	for _, p := range b.got {
+		if p.Priority == pkt.PrioLossless {
+			bytesA += p.Size
+		} else {
+			bytesB += p.Size
+		}
+	}
+	if bytesA == 0 || bytesB == 0 {
+		t.Fatal("one class starved")
+	}
+	ratio := float64(bytesA) / float64(bytesB)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("byte ratio A/B = %v, want ≈1 under DWRR", ratio)
+	}
+}
+
+func TestDWRRDeliversEverything(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, _ := Connect(eng, a, b, 25e9, 0)
+	pa.EnableDWRR(500)
+
+	total := 0
+	for i := 0; i < 30; i++ {
+		pa.Enqueue(data(pkt.PrioLossless, 100+i*17))
+		pa.Enqueue(data(pkt.PrioLossy, 900-i*13))
+		total += 2
+	}
+	eng.RunAll()
+	if len(b.got) != total {
+		t.Errorf("delivered %d/%d under DWRR", len(b.got), total)
+	}
+	if pa.TotalBacklog() != 0 {
+		t.Error("backlog left behind")
+	}
+}
+
+func TestDWRRHonorsPFCPause(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, pb := Connect(eng, a, b, 25e9, 0)
+	pb.EnableDWRR(1500)
+
+	pa.SendPFC(pkt.PrioLossless, true)
+	eng.RunAll()
+	pb.Enqueue(data(pkt.PrioLossless, 500))
+	pb.Enqueue(data(pkt.PrioLossy, 500))
+	eng.RunAll()
+
+	if pb.QueuePackets(pkt.PrioLossless) != 1 {
+		t.Error("paused priority transmitted under DWRR")
+	}
+	if pb.QueuePackets(pkt.PrioLossy) != 0 {
+		t.Error("unpaused priority starved under DWRR")
+	}
+}
+
+func TestDWRRToggleBackToRR(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, _ := Connect(eng, a, b, 25e9, 0)
+	pa.EnableDWRR(1000)
+	pa.EnableDWRR(0) // back to RR
+	pa.Enqueue(data(pkt.PrioLossy, 100))
+	eng.RunAll()
+	if len(b.got) != 1 {
+		t.Error("packet lost after toggling scheduler")
+	}
+}
+
+func TestDWRRValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, _ := Connect(eng, a, b, 25e9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative quantum should panic")
+		}
+	}()
+	pa.EnableDWRR(-1)
+}

@@ -1,0 +1,342 @@
+// Package netdev models the physical layer of the simulated fabric: full-
+// duplex links with serialization and propagation delay, and ports with
+// eight 802.1p priority queues, round-robin scheduling, strict-priority
+// control frames and per-priority PFC pause state.
+//
+// Both switch ports and host NICs are netdev.Ports; the owning Node decides
+// what happens when a packet arrives.
+package netdev
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Node receives packets from its ports. Switches and hosts implement it.
+type Node interface {
+	// HandleArrival is invoked once a packet has fully arrived (after
+	// serialization and propagation) on port, which belongs to this node.
+	// PFC frames are not delivered here; they act on the port itself.
+	HandleArrival(p *pkt.Packet, port *Port)
+	// Name identifies the node in logs and test failures.
+	Name() string
+}
+
+// PortStats counts per-port activity for the metrics layer.
+type PortStats struct {
+	TxPackets   uint64
+	TxBytes     uint64
+	RxPackets   uint64
+	RxBytes     uint64
+	PFCSent     uint64 // pause frames sent (XOFF only, per the paper's metric)
+	PFCResumes  uint64 // resume frames sent
+	PFCReceived uint64 // pause frames received
+}
+
+// Port is one side of a full-duplex link: it transmits toward its peer and
+// receives what the peer transmits. Transmission is packet-granular
+// round-robin across backlogged priorities, with control frames (PFC)
+// preempting data, matching how commodity switches schedule pause frames
+// ahead of payload.
+type Port struct {
+	eng   *sim.Engine
+	owner Node
+	peer  *Port
+	rate  int64
+	prop  sim.Duration
+
+	// ID is the port's index within its owner (set by the owner).
+	ID int
+
+	queues [pkt.NumPriorities]ring
+	qbytes [pkt.NumPriorities]int
+	ctrl   ring
+
+	paused      [pkt.NumPriorities]bool
+	pausedSince [pkt.NumPriorities]sim.Time
+	cumPaused   [pkt.NumPriorities]sim.Duration
+
+	busy bool
+	rr   int
+
+	// quantum > 0 selects DWRR scheduling; deficit carries per-priority
+	// byte credit and granted marks queues already credited this turn.
+	quantum int
+	deficit [pkt.NumPriorities]int
+	granted [pkt.NumPriorities]bool
+
+	stats PortStats
+
+	// OnDequeue, when set, fires as a packet finishes serializing out of
+	// this port (the moment its buffer is released). Switches use it to
+	// decrement MMU counters.
+	OnDequeue func(p *pkt.Packet)
+	// OnPFC, when set, fires when a PFC frame from the peer takes effect
+	// on this port.
+	OnPFC func(prio int, paused bool)
+}
+
+// Connect wires a full-duplex link between nodes a and b with the given line
+// rate (bits/s) and one-way propagation delay, returning the port on each
+// side. Both directions share rate and delay, like a real cable.
+func Connect(eng *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Port, *Port) {
+	if rateBps <= 0 {
+		panic("netdev: link rate must be positive")
+	}
+	pa := &Port{eng: eng, owner: a, rate: rateBps, prop: prop}
+	pb := &Port{eng: eng, owner: b, rate: rateBps, prop: prop}
+	pa.peer, pb.peer = pb, pa
+	return pa, pb
+}
+
+// Owner returns the node this port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Peer returns the port on the other side of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Rate returns the line rate in bits per second.
+func (p *Port) Rate() int64 { return p.rate }
+
+// PropDelay returns the one-way propagation delay of the link.
+func (p *Port) PropDelay() sim.Duration { return p.prop }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueueBytes returns the bytes currently backlogged in priority queue prio.
+func (p *Port) QueueBytes(prio int) int { return p.qbytes[prio] }
+
+// QueuePackets returns the packet count backlogged in priority queue prio.
+func (p *Port) QueuePackets(prio int) int { return p.queues[prio].len() }
+
+// TotalBacklog returns the bytes backlogged across all data priorities.
+func (p *Port) TotalBacklog() int {
+	total := 0
+	for _, b := range p.qbytes {
+		total += b
+	}
+	return total
+}
+
+// Paused reports whether transmission of prio is paused by peer PFC.
+func (p *Port) Paused(prio int) bool { return p.paused[prio] }
+
+// CumPausedTime returns the total simulated time priority prio has spent
+// paused, including the current pause interval if one is in progress. The
+// L2BM sojourn module uses this to exclude PFC stalls from its congestion
+// estimate (paper §III-D).
+func (p *Port) CumPausedTime(prio int) sim.Duration {
+	total := p.cumPaused[prio]
+	if p.paused[prio] {
+		total += p.eng.Now() - p.pausedSince[prio]
+	}
+	return total
+}
+
+// backloggedPriorities counts data priorities with queued packets that are
+// not paused — the set competing for the line in round-robin.
+func (p *Port) backloggedPriorities() int {
+	n := 0
+	for prio := 0; prio < pkt.NumPriorities; prio++ {
+		if p.queues[prio].len() > 0 && !p.paused[prio] {
+			n++
+		}
+	}
+	return n
+}
+
+// DrainRate estimates the service rate (bits/s) priority prio currently
+// receives: the full line rate divided among the backlogged, unpaused data
+// priorities sharing it round-robin. An idle or sole-backlogged priority
+// gets the full rate.
+func (p *Port) DrainRate(prio int) int64 {
+	n := p.backloggedPriorities()
+	if n == 0 || (p.queues[prio].len() > 0 && !p.paused[prio] && n == 1) {
+		return p.rate
+	}
+	if p.queues[prio].len() == 0 || p.paused[prio] {
+		// Joining packet would add one more competitor.
+		n++
+	}
+	return p.rate / int64(n)
+}
+
+// Enqueue places a data/ACK/CNP packet on its priority queue and starts the
+// transmitter if idle.
+func (p *Port) Enqueue(q *pkt.Packet) {
+	if q.Kind == pkt.KindPFC {
+		panic("netdev: PFC frames go through SendPFC")
+	}
+	p.queues[q.Priority].push(q)
+	p.qbytes[q.Priority] += q.Size
+	p.tryTransmit()
+}
+
+// SendPFC queues a pause (XOFF) or resume (XON) frame for prio toward the
+// peer. Control frames preempt data scheduling.
+func (p *Port) SendPFC(prio int, pause bool) {
+	frame := pkt.NewPFC(prio, pause)
+	p.ctrl.push(frame)
+	if pause {
+		p.stats.PFCSent++
+	} else {
+		p.stats.PFCResumes++
+	}
+	p.tryTransmit()
+}
+
+// tryTransmit starts serializing the next eligible packet if the line is
+// idle: control frames first, then round-robin over unpaused backlogged
+// priorities.
+func (p *Port) tryTransmit() {
+	if p.busy {
+		return
+	}
+	q := p.nextPacket()
+	if q == nil {
+		return
+	}
+	p.busy = true
+	txDone := sim.TxTime(q.Size, p.rate)
+	p.eng.Schedule(txDone, func() { p.finishTransmit(q) })
+}
+
+// nextPacket dequeues the packet to transmit, or nil when nothing is
+// eligible: control frames first, then the configured data scheduler.
+func (p *Port) nextPacket() *pkt.Packet {
+	if p.ctrl.len() > 0 {
+		return p.ctrl.pop()
+	}
+	if p.quantum > 0 {
+		return p.nextDWRR()
+	}
+	for i := 0; i < pkt.NumPriorities; i++ {
+		prio := (p.rr + i) % pkt.NumPriorities
+		if p.paused[prio] || p.queues[prio].len() == 0 {
+			continue
+		}
+		q := p.queues[prio].pop()
+		p.qbytes[prio] -= q.Size
+		p.rr = (prio + 1) % pkt.NumPriorities
+		return q
+	}
+	return nil
+}
+
+// EnableDWRR switches the port's data scheduler from packet-granular round
+// robin to byte-fair Deficit Weighted Round Robin with the given quantum
+// (bytes credited to each backlogged priority per round). Packet RR slightly
+// favours small-packet classes; DWRR equalizes bytes. Pass 0 to return to
+// packet RR.
+func (p *Port) EnableDWRR(quantumBytes int) {
+	if quantumBytes < 0 {
+		panic("netdev: DWRR quantum must be non-negative")
+	}
+	p.quantum = quantumBytes
+	for i := range p.deficit {
+		p.deficit[i] = 0
+		p.granted[i] = false
+	}
+}
+
+// nextDWRR implements deficit round robin over the unpaused backlogged
+// priorities. The transmitter takes one packet per call, so the scheduler
+// stays parked on a queue while its deficit still covers the next head —
+// that is what makes the schedule byte-fair rather than packet-fair.
+func (p *Port) nextDWRR() *pkt.Packet {
+	eligible := false
+	for prio := 0; prio < pkt.NumPriorities; prio++ {
+		if !p.paused[prio] && p.queues[prio].len() > 0 {
+			eligible = true
+		} else {
+			p.deficit[prio] = 0 // idle/paused queues hold no credit
+		}
+	}
+	if !eligible {
+		return nil
+	}
+	for {
+		prio := p.rr
+		if p.paused[prio] || p.queues[prio].len() == 0 {
+			p.deficit[prio] = 0
+			p.granted[prio] = false
+			p.rr = (p.rr + 1) % pkt.NumPriorities
+			continue
+		}
+		// One quantum per turn; the queue then transmits while its
+		// deficit covers the head packet.
+		if !p.granted[prio] {
+			p.deficit[prio] += p.quantum
+			p.granted[prio] = true
+		}
+		head := p.queues[prio].peek()
+		if p.deficit[prio] >= head.Size {
+			q := p.queues[prio].pop()
+			p.qbytes[prio] -= q.Size
+			p.deficit[prio] -= q.Size
+			if p.queues[prio].len() == 0 {
+				p.deficit[prio] = 0
+				p.granted[prio] = false
+				p.rr = (p.rr + 1) % pkt.NumPriorities
+			}
+			return q
+		}
+		// Turn over: yield to the next priority. Deficits of backlogged
+		// queues accumulate across turns, so the loop terminates.
+		p.granted[prio] = false
+		p.rr = (p.rr + 1) % pkt.NumPriorities
+	}
+}
+
+// finishTransmit runs when the last bit of q hits the wire: release the
+// buffer (OnDequeue), hand the packet to the peer after propagation, and
+// keep the line busy with the next packet.
+func (p *Port) finishTransmit(q *pkt.Packet) {
+	p.stats.TxPackets++
+	p.stats.TxBytes += uint64(q.Size)
+	if q.Kind != pkt.KindPFC && p.OnDequeue != nil {
+		p.OnDequeue(q)
+	}
+	peer := p.peer
+	p.eng.Schedule(p.prop, func() { peer.receive(q) })
+	p.busy = false
+	p.tryTransmit()
+}
+
+// receive handles full arrival of a packet on this side of the link.
+func (p *Port) receive(q *pkt.Packet) {
+	p.stats.RxPackets++
+	p.stats.RxBytes += uint64(q.Size)
+	if q.Kind == pkt.KindPFC {
+		p.applyPFC(q)
+		return
+	}
+	p.owner.HandleArrival(q, p)
+}
+
+// applyPFC pauses or resumes a priority of this port's transmit direction.
+func (p *Port) applyPFC(q *pkt.Packet) {
+	prio := q.PFCPriority
+	if q.PFCPause {
+		p.stats.PFCReceived++
+		if !p.paused[prio] {
+			p.paused[prio] = true
+			p.pausedSince[prio] = p.eng.Now()
+		}
+	} else if p.paused[prio] {
+		p.paused[prio] = false
+		p.cumPaused[prio] += p.eng.Now() - p.pausedSince[prio]
+		p.tryTransmit()
+	}
+	if p.OnPFC != nil {
+		p.OnPFC(prio, q.PFCPause)
+	}
+}
+
+// String identifies the port for diagnostics.
+func (p *Port) String() string {
+	return fmt.Sprintf("%s.port[%d]", p.owner.Name(), p.ID)
+}

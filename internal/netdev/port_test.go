@@ -1,0 +1,332 @@
+package netdev
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// captureNode records arrivals with timestamps.
+type captureNode struct {
+	name string
+	eng  *sim.Engine
+	got  []*pkt.Packet
+	at   []sim.Time
+}
+
+func (c *captureNode) HandleArrival(p *pkt.Packet, _ *Port) {
+	c.got = append(c.got, p)
+	c.at = append(c.at, c.eng.Now())
+}
+
+func (c *captureNode) Name() string { return c.name }
+
+func newPair(t *testing.T, rate int64, prop sim.Duration) (*sim.Engine, *captureNode, *captureNode, *Port, *Port) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, pb := Connect(eng, a, b, rate, prop)
+	return eng, a, b, pa, pb
+}
+
+func data(prio, payload int) *pkt.Packet {
+	return pkt.NewData(1, 0, 1, prio, pkt.ClassLossy, 0, payload)
+}
+
+func TestLinkTimingExact(t *testing.T) {
+	eng, _, b, pa, _ := newPair(t, 25e9, sim.Microsecond)
+	p := data(pkt.PrioLossy, pkt.MTUPayload) // 1048 bytes
+	pa.Enqueue(p)
+	eng.RunAll()
+
+	if len(b.got) != 1 {
+		t.Fatalf("arrivals = %d, want 1", len(b.got))
+	}
+	want := sim.TxTime(pkt.MTUBytes, 25e9) + sim.Microsecond
+	if b.at[0] != want {
+		t.Errorf("arrival at %v, want %v", b.at[0], want)
+	}
+}
+
+func TestBackToBackSerialization(t *testing.T) {
+	eng, _, b, pa, _ := newPair(t, 25e9, sim.Microsecond)
+	pa.Enqueue(data(pkt.PrioLossy, 500))
+	pa.Enqueue(data(pkt.PrioLossy, 500))
+	eng.RunAll()
+
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(b.got))
+	}
+	tx := sim.TxTime(500+pkt.HeaderBytes, 25e9)
+	if b.at[0] != tx+sim.Microsecond {
+		t.Errorf("first arrival at %v, want %v", b.at[0], tx+sim.Microsecond)
+	}
+	if b.at[1] != 2*tx+sim.Microsecond {
+		t.Errorf("second arrival at %v, want %v (pipelined serialization)", b.at[1], 2*tx+sim.Microsecond)
+	}
+}
+
+func TestRoundRobinAcrossPriorities(t *testing.T) {
+	eng, _, b, pa, _ := newPair(t, 25e9, 0)
+	// Three packets on lossy, three on lossless, enqueued before anything
+	// transmits: expect strict alternation after the first.
+	for i := 0; i < 3; i++ {
+		pa.Enqueue(data(pkt.PrioLossless, 100))
+		pa.Enqueue(data(pkt.PrioLossy, 100))
+	}
+	eng.RunAll()
+
+	if len(b.got) != 6 {
+		t.Fatalf("arrivals = %d, want 6", len(b.got))
+	}
+	for i := 0; i < 6; i += 2 {
+		if b.got[i].Priority != pkt.PrioLossless || b.got[i+1].Priority != pkt.PrioLossy {
+			prios := make([]int, 6)
+			for j, p := range b.got {
+				prios[j] = p.Priority
+			}
+			t.Fatalf("expected alternating priorities, got %v", prios)
+		}
+	}
+}
+
+func TestControlFramesPreemptData(t *testing.T) {
+	eng, _, b, pa, pb := newPair(t, 25e9, 0)
+	_ = pb
+	pa.Enqueue(data(pkt.PrioLossy, 1000))
+	pa.Enqueue(data(pkt.PrioLossy, 1000))
+	pa.SendPFC(0, true) // queued while first data packet is on the wire
+	eng.RunAll()
+
+	// PFC is consumed by the peer port, so only data arrives at the node;
+	// but the pause must have taken effect before the second data packet
+	// finished — verify via ordering of effects: peer's priority 0 paused.
+	if !pb.Paused(0) {
+		t.Error("peer priority 0 should be paused")
+	}
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2 data packets", len(b.got))
+	}
+	// The PFC frame (64B) must have been sent between the two 1048B data
+	// packets: second data arrival delayed by the control frame time.
+	tx := sim.TxTime(pkt.MTUBytes, 25e9)
+	ctrl := sim.TxTime(pkt.CtrlBytes, 25e9)
+	if b.at[1] != 2*tx+ctrl {
+		t.Errorf("second data arrival at %v, want %v (control preemption)", b.at[1], 2*tx+ctrl)
+	}
+}
+
+func TestPFCPausesOnlyTargetPriority(t *testing.T) {
+	eng, _, b, pa, pb := newPair(t, 25e9, 0)
+
+	// Pause lossless on pb's transmit side (pa sends the pause frame).
+	pa.SendPFC(pkt.PrioLossless, true)
+	eng.RunAll()
+	if !pb.Paused(pkt.PrioLossless) {
+		t.Fatal("lossless priority should be paused on peer")
+	}
+
+	pb.Enqueue(data(pkt.PrioLossless, 100))
+	pb.Enqueue(data(pkt.PrioLossy, 100))
+	eng.RunAll()
+
+	if len(b.got) != 0 {
+		t.Fatal("b should receive nothing (b owns pa side)")
+	}
+	// Only the lossy packet should have crossed to a's side... capture is
+	// on node a via pa. Recheck: pb transmits toward pa, owner of pa is a.
+	eng.RunAll()
+	if pb.QueuePackets(pkt.PrioLossless) != 1 {
+		t.Error("paused lossless packet should remain queued")
+	}
+	if pb.QueuePackets(pkt.PrioLossy) != 0 {
+		t.Error("lossy packet should have been transmitted")
+	}
+}
+
+func TestPFCResumeRestartsTransmission(t *testing.T) {
+	eng, a, _, pa, pb := newPair(t, 25e9, 0)
+	pa.SendPFC(pkt.PrioLossless, true)
+	eng.RunAll()
+	pb.Enqueue(data(pkt.PrioLossless, 100))
+	eng.RunAll()
+	if len(a.got) != 0 {
+		t.Fatal("packet leaked through pause")
+	}
+
+	pauseEnd := eng.Now()
+	pa.SendPFC(pkt.PrioLossless, false)
+	eng.RunAll()
+	if len(a.got) != 1 {
+		t.Fatal("packet not released after resume")
+	}
+	if got := pb.CumPausedTime(pkt.PrioLossless); got <= 0 {
+		t.Error("CumPausedTime should be positive after a pause interval")
+	} else if got > pauseEnd+sim.Microsecond {
+		t.Errorf("CumPausedTime %v implausibly large", got)
+	}
+}
+
+func TestCumPausedTimeDuringActivePause(t *testing.T) {
+	eng, _, _, pa, pb := newPair(t, 25e9, 0)
+	pa.SendPFC(0, true)
+	eng.RunAll()
+	start := eng.Now()
+	eng.Schedule(5*sim.Microsecond, func() {})
+	eng.RunAll()
+	if got := pb.CumPausedTime(0); got != eng.Now()-start {
+		t.Errorf("CumPausedTime = %v, want %v (in-progress pause counts)", got, eng.Now()-start)
+	}
+}
+
+func TestOnDequeueFiresAtTxComplete(t *testing.T) {
+	eng, _, _, pa, _ := newPair(t, 25e9, sim.Microsecond)
+	var at sim.Time = -1
+	pa.OnDequeue = func(p *pkt.Packet) { at = eng.Now() }
+	pa.Enqueue(data(pkt.PrioLossy, 1000))
+	eng.RunAll()
+	want := sim.TxTime(pkt.MTUBytes, 25e9)
+	if at != want {
+		t.Errorf("OnDequeue at %v, want %v (end of serialization, before propagation)", at, want)
+	}
+}
+
+func TestOnPFCHookObservesBothEdges(t *testing.T) {
+	eng, _, _, pa, pb := newPair(t, 25e9, 0)
+	var events []bool
+	pb.OnPFC = func(prio int, paused bool) { events = append(events, paused) }
+	pa.SendPFC(0, true)
+	pa.SendPFC(0, false)
+	eng.RunAll()
+	if len(events) != 2 || !events[0] || events[1] {
+		t.Errorf("OnPFC events = %v, want [true false]", events)
+	}
+}
+
+func TestDuplicatePauseFramesAreIdempotent(t *testing.T) {
+	eng, _, _, pa, pb := newPair(t, 25e9, 0)
+	pa.SendPFC(0, true)
+	pa.SendPFC(0, true)
+	eng.RunAll()
+	mid := eng.Now()
+	_ = mid
+	pa.SendPFC(0, false)
+	eng.RunAll()
+	if pb.Paused(0) {
+		t.Error("one resume should clear pause regardless of duplicate pauses")
+	}
+	pa.SendPFC(0, false) // duplicate resume: no panic, no negative time
+	eng.RunAll()
+	if pb.CumPausedTime(0) < 0 {
+		t.Error("CumPausedTime went negative")
+	}
+}
+
+func TestPFCStatsCounted(t *testing.T) {
+	eng, _, _, pa, pb := newPair(t, 25e9, 0)
+	pa.SendPFC(0, true)
+	pa.SendPFC(0, false)
+	pa.SendPFC(0, true)
+	eng.RunAll()
+	if got := pa.Stats().PFCSent; got != 2 {
+		t.Errorf("PFCSent = %d, want 2 (pauses only)", got)
+	}
+	if got := pa.Stats().PFCResumes; got != 1 {
+		t.Errorf("PFCResumes = %d, want 1", got)
+	}
+	if got := pb.Stats().PFCReceived; got != 2 {
+		t.Errorf("peer PFCReceived = %d, want 2", got)
+	}
+}
+
+func TestDrainRateSharing(t *testing.T) {
+	eng, _, _, pa, _ := newPair(t, 100e9, 0)
+	_ = eng
+	if got := pa.DrainRate(0); got != 100e9 {
+		t.Errorf("idle port DrainRate = %d, want full rate", got)
+	}
+	// Two backlogged priorities share the line. Stall the port so queues
+	// stay backlogged: pause both priorities via a fake peer pause... use
+	// direct state: enqueue without running the engine only marks one
+	// in-flight; simpler: three priorities with packets, engine not run,
+	// first packet of one priority is already in flight.
+	pa.Enqueue(data(pkt.PrioLossless, 1000))
+	pa.Enqueue(data(pkt.PrioLossless, 1000))
+	pa.Enqueue(data(pkt.PrioLossy, 1000))
+	pa.Enqueue(data(pkt.PrioLossy, 1000))
+	// One lossless packet went to the wire; both queues still backlogged.
+	if got := pa.DrainRate(pkt.PrioLossless); got != 50e9 {
+		t.Errorf("DrainRate with 2 backlogged = %d, want 50e9", got)
+	}
+	// A third, idle priority would make three competitors.
+	if got, want := pa.DrainRate(pkt.PrioControl), int64(100e9)/3; got != want {
+		t.Errorf("DrainRate for joining priority = %d, want %d", got, want)
+	}
+}
+
+func TestEnqueuePFCPanics(t *testing.T) {
+	_, _, _, pa, _ := newPair(t, 25e9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Enqueue of a PFC frame should panic")
+		}
+	}()
+	pa.Enqueue(pkt.NewPFC(0, true))
+}
+
+func TestQueueAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, _ := Connect(eng, a, b, 25e9, 0)
+	pa.SendPFC(0, true) // keep the line busy briefly so packets queue
+	// Pause pa's own queues? No: block by enqueueing while busy.
+	pa.Enqueue(data(pkt.PrioLossy, 500))
+	pa.Enqueue(data(pkt.PrioLossy, 300))
+	// First data may already be in flight after the control frame; check
+	// conservation instead of exact split.
+	total := pa.QueueBytes(pkt.PrioLossy)
+	if total > (500+pkt.HeaderBytes)+(300+pkt.HeaderBytes) {
+		t.Errorf("queued bytes %d exceeds enqueued total", total)
+	}
+	eng.RunAll()
+	if pa.QueueBytes(pkt.PrioLossy) != 0 || pa.QueuePackets(pkt.PrioLossy) != 0 {
+		t.Error("queue accounting should drain to zero")
+	}
+	if pa.TotalBacklog() != 0 {
+		t.Error("TotalBacklog should be zero after drain")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	defer func() {
+		if recover() == nil {
+			t.Error("Connect with zero rate should panic")
+		}
+	}()
+	Connect(eng, a, b, 0, 0)
+}
+
+func TestPortStringAndAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &captureNode{name: "a", eng: eng}
+	b := &captureNode{name: "b", eng: eng}
+	pa, pb := Connect(eng, a, b, 25e9, sim.Microsecond)
+	if pa.Peer() != pb || pb.Peer() != pa {
+		t.Error("peers not wired")
+	}
+	if pa.Owner().Name() != "a" {
+		t.Error("owner wrong")
+	}
+	if pa.Rate() != 25e9 || pa.PropDelay() != sim.Microsecond {
+		t.Error("link parameters wrong")
+	}
+	if pa.String() != "a.port[0]" {
+		t.Errorf("String() = %q", pa.String())
+	}
+}

@@ -1,0 +1,53 @@
+package netdev
+
+import "l2bm/internal/pkt"
+
+// ring is a growable FIFO of packets backed by a circular buffer. It avoids
+// the per-element allocation of container/list on the simulator's hottest
+// path.
+type ring struct {
+	buf  []*pkt.Packet
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(p *pkt.Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *ring) pop() *pkt.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+func (r *ring) peek() *pkt.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*pkt.Packet, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

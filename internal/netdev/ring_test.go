@@ -1,0 +1,69 @@
+package netdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"l2bm/internal/pkt"
+)
+
+func TestRingFIFO(t *testing.T) {
+	var r ring
+	if r.pop() != nil || r.peek() != nil || r.len() != 0 {
+		t.Fatal("empty ring misbehaves")
+	}
+	ps := make([]*pkt.Packet, 100)
+	for i := range ps {
+		ps[i] = pkt.NewData(pkt.FlowID(i), 0, 1, 0, pkt.ClassLossy, int64(i), 10)
+		r.push(ps[i])
+	}
+	if r.len() != 100 {
+		t.Fatalf("len = %d, want 100", r.len())
+	}
+	if r.peek() != ps[0] {
+		t.Fatal("peek should return the oldest element")
+	}
+	for i := range ps {
+		if got := r.pop(); got != ps[i] {
+			t.Fatalf("pop %d returned wrong packet", i)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatal("ring should be empty")
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order across
+// growth boundaries.
+func TestRingInterleavedProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var r ring
+		var model []*pkt.Packet
+		seq := int64(0)
+		for _, push := range ops {
+			if push || len(model) == 0 {
+				p := pkt.NewData(1, 0, 1, 0, pkt.ClassLossy, seq, 1)
+				seq++
+				r.push(p)
+				model = append(model, p)
+			} else {
+				got := r.pop()
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			}
+		}
+		for len(model) > 0 {
+			if r.pop() != model[0] {
+				return false
+			}
+			model = model[1:]
+		}
+		return r.len() == 0 && r.pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// Callback is the body of a scheduled event. It runs on the engine goroutine
+// at the event's timestamp.
+type Callback func()
+
+// event is one pending entry in the queue. Events with equal timestamps fire
+// in scheduling order (seq), which makes runs deterministic. Events are
+// pooled; gen distinguishes incarnations so stale EventRefs stay inert.
+type event struct {
+	at  Time
+	seq uint64
+	gen uint64
+	fn  Callback
+}
+
+// EventRef identifies a scheduled event so it can be cancelled. The zero
+// value refers to no event and is safe to Cancel.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
+
+// Cancel prevents the referenced event from firing. Cancelling an event that
+// already fired, was already cancelled, or was never scheduled is a no-op.
+// It reports whether the event was actually descheduled.
+func (r *EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.gen != r.gen || r.ev.fn == nil {
+		r.ev = nil
+		return false
+	}
+	r.ev.fn = nil // fires as a no-op and recycles
+	r.ev = nil
+	return true
+}
+
+// Pending reports whether the referenced event is still scheduled.
+func (r *EventRef) Pending() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.fn != nil
+}
+
+// Engine is a deterministic discrete-event scheduler built on a 4-ary heap
+// with pooled event records.
+//
+// The zero value is not usable; construct with NewEngine. All methods must
+// be called from the goroutine running the simulation (event callbacks or
+// the caller of Run between runs).
+type Engine struct {
+	now     Time
+	queue   []*event
+	free    []*event
+	seq     uint64
+	stopped bool
+	fired   uint64
+	rng     *Source
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose master
+// random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewSource(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far (cancelled events are
+// not counted).
+func (e *Engine) Events() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Rand returns a named deterministic random stream derived from the engine
+// seed. Equal names yield identical streams across runs.
+func (e *Engine) Rand(name string) *Rand { return e.rng.Stream(name) }
+
+// Schedule runs fn after delay. Scheduling into the past panics; a zero
+// delay fires after all events already scheduled for the current instant.
+func (e *Engine) Schedule(delay Duration, fn Callback) EventRef {
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute time at.
+func (e *Engine) ScheduleAt(at Time, fn Callback) EventRef {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling a nil callback")
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// Stop makes Run return after the current event completes. Further Run calls
+// resume from the stop point.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue empties, the clock
+// would pass until, or Stop is called. It returns the simulated time at exit
+// (== until when the horizon was reached, even if no event fired there).
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		e.pop()
+		e.dispatch(next)
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called, with no
+// time horizon. It returns the time of the last event.
+func (e *Engine) RunAll() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		e.pop()
+		e.dispatch(next)
+	}
+	return e.now
+}
+
+// dispatch fires (or skips, when cancelled) one popped event and recycles it.
+func (e *Engine) dispatch(ev *event) {
+	fn := ev.fn
+	if fn != nil {
+		e.now = ev.at
+		ev.fn = nil
+		e.fired++
+	}
+	ev.gen++
+	e.free = append(e.free, ev)
+	if fn != nil {
+		fn()
+	}
+}
+
+// less orders events by (time, sequence).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts into the 4-ary min-heap.
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes the minimum element (e.queue[0]).
+func (e *Engine) pop() {
+	q := e.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	e.queue = q
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !less(q[min], q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamsAreReproducible(t *testing.T) {
+	a := NewSource(42).Stream("arrivals")
+	b := NewSource(42).Stream("arrivals")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-named streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsWithDifferentNamesDiffer(t *testing.T) {
+	src := NewSource(42)
+	a, b := src.Stream("arrivals"), src.Stream("sizes")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("differently named streams collided on %d/100 draws", same)
+	}
+}
+
+func TestStreamsWithDifferentSeedsDiffer(t *testing.T) {
+	a := NewSource(1).Stream("arrivals")
+	b := NewSource(2).Stream("arrivals")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided on %d/100 draws", same)
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	r := NewSource(7).Stream("exp")
+	mean := 100 * Microsecond
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.ExpDuration(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean))/float64(mean) > 0.02 {
+		t.Errorf("empirical mean %v, want within 2%% of %v", Duration(got), mean)
+	}
+}
+
+func TestExpDurationNeverZero(t *testing.T) {
+	r := NewSource(7).Stream("exp")
+	for i := 0; i < 10000; i++ {
+		if d := r.ExpDuration(Nanosecond); d < 1 {
+			t.Fatalf("ExpDuration returned %v < 1ps", d)
+		}
+	}
+	if d := r.ExpDuration(0); d != 1 {
+		t.Errorf("ExpDuration(0) = %v, want 1ps floor", d)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSource(9).Stream("u")
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewSource(3).Stream("perm")
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEngineRandIsDeterministic(t *testing.T) {
+	e1, e2 := NewEngine(5), NewEngine(5)
+	r1, r2 := e1.Rand("x"), e2.Rand("x")
+	for i := 0; i < 100; i++ {
+		if r1.Intn(1000) != r2.Intn(1000) {
+			t.Fatal("engine-derived streams with equal seeds diverged")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTimeExactRates(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes int
+		rate  int64
+		want  Duration
+	}{
+		{"one byte at 100G", 1, 100e9, 80 * Picosecond},
+		{"one byte at 25G", 1, 25e9, 320 * Picosecond},
+		{"MTU at 25G", 1000, 25e9, 320 * Nanosecond},
+		{"MTU at 100G", 1000, 100e9, 80 * Nanosecond},
+		{"64B control frame at 100G", 64, 100e9, 5120 * Picosecond},
+		{"1MB at 25G", 1 << 20, 25e9, Duration(1<<20) * 320 * Picosecond},
+		{"zero bytes", 0, 25e9, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TxTime(tt.bytes, tt.rate); got != tt.want {
+				t.Errorf("TxTime(%d, %d) = %v, want %v", tt.bytes, tt.rate, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTxTimeAdditive(t *testing.T) {
+	// Serializing a+b bytes must cost exactly TxTime(a)+TxTime(b) at rates
+	// where a byte time is integral; otherwise queues would drift.
+	f := func(a, b uint16) bool {
+		const rate = 25e9
+		return TxTime(int(a)+int(b), rate) == TxTime(int(a), rate)+TxTime(int(b), rate)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxTimePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TxTime with zero rate should panic")
+		}
+	}()
+	TxTime(1, 0)
+}
+
+func TestBytesOverInvertsTxTime(t *testing.T) {
+	const rate = 100e9
+	for _, n := range []int{1, 64, 999, 1500, 1 << 20} {
+		d := TxTime(n, rate)
+		if got := BytesOver(d, rate); got != int64(n) {
+			t.Errorf("BytesOver(TxTime(%d)) = %d, want %d", n, got, n)
+		}
+	}
+	if BytesOver(-Nanosecond, rate) != 0 {
+		t.Error("BytesOver of negative duration should be 0")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{Nanosecond, "1ns"},
+		{1200 * Nanosecond, "1.2us"},
+		{Millisecond, "1ms"},
+		{2 * Second, "2s"},
+		{-Millisecond, "-1ms"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v, want 500ms", got)
+	}
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Errorf("FromSeconds(1e-6) = %v, want 1us", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if (2 * Millisecond).Seconds() != 0.002 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (3 * Microsecond).Micros() != 3 {
+		t.Error("Micros conversion wrong")
+	}
+	if (7 * Millisecond).Millis() != 7 {
+		t.Error("Millis conversion wrong")
+	}
+	if (5 * Microsecond).Std().Microseconds() != 5 {
+		t.Error("Std conversion wrong")
+	}
+}

@@ -1,0 +1,73 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"l2bm/internal/core"
+	"l2bm/internal/pkt"
+)
+
+// CheckInvariants audits the MMU's internal consistency and returns the
+// first violation found, or nil. It is O(ports × priorities) and intended
+// for tests and debugging runs, where it is called between events; the
+// conditions it checks must hold at every event boundary:
+//
+//  1. no counter is negative;
+//  2. sharedUsed equals the summed over-reserve ingress usage;
+//  3. each egress class pool equals the sum of its queues' counters;
+//  4. resident equals total ingress + headroom bytes, and also total
+//     egress bytes (every resident packet is counted once on each side);
+//  5. the per-priority congested-queue census matches the counters;
+//  6. a paused ingress queue is lossless (only lossless queues send PFC).
+func (s *Switch) CheckInvariants() error {
+	var ingSum, hrSum, egSum, sharedSum int64
+	var poolSum [4]int64
+	var congested [pkt.NumPriorities]int
+
+	for port := range s.ports {
+		for prio := 0; prio < pkt.NumPriorities; prio++ {
+			ing := s.mmu.ing[port][prio]
+			eg := s.mmu.eg[port][prio]
+			hr := s.mmu.hr[port][prio]
+			if ing < 0 || eg < 0 || hr < 0 {
+				return fmt.Errorf("switch %s: negative counter at (%d,%d): ing=%d eg=%d hr=%d",
+					s.name, port, prio, ing, eg, hr)
+			}
+			ingSum += ing
+			hrSum += hr
+			egSum += eg
+			sharedSum += sharedPart(ing, s.cfg.ReservedPerQueue)
+			poolSum[int(core.ClassOfPriority(prio))] += eg
+			if eg > s.cfg.CongestionMark {
+				congested[prio]++
+			}
+			if s.mmu.paused[port][prio] && core.ClassOfPriority(prio) != pkt.ClassLossless {
+				return fmt.Errorf("switch %s: non-lossless queue (%d,%d) is PFC-paused",
+					s.name, port, prio)
+			}
+		}
+	}
+
+	if sharedSum != s.mmu.sharedUsed {
+		return fmt.Errorf("switch %s: sharedUsed=%d, recomputed %d", s.name, s.mmu.sharedUsed, sharedSum)
+	}
+	if got := ingSum + hrSum; got != s.mmu.resident {
+		return fmt.Errorf("switch %s: resident=%d, ingress+headroom=%d", s.name, s.mmu.resident, got)
+	}
+	if egSum != s.mmu.resident {
+		return fmt.Errorf("switch %s: resident=%d, egress sum=%d", s.name, s.mmu.resident, egSum)
+	}
+	for c := 1; c <= 3; c++ {
+		if poolSum[c] != s.mmu.poolUsed[c] {
+			return fmt.Errorf("switch %s: pool[%v]=%d, recomputed %d",
+				s.name, pkt.Class(c), s.mmu.poolUsed[c], poolSum[c])
+		}
+	}
+	for prio := 0; prio < pkt.NumPriorities; prio++ {
+		if congested[prio] != s.mmu.congested[prio] {
+			return fmt.Errorf("switch %s: congested[%d]=%d, recomputed %d",
+				s.name, prio, s.mmu.congested[prio], congested[prio])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package switchsim
+
+import (
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// TestInvariantsHoldDuringHybridRun audits the MMU periodically while a
+// mixed workload churns through the switch under every policy.
+func TestInvariantsHoldDuringHybridRun(t *testing.T) {
+	policies := []core.Policy{
+		core.NewDT(), core.NewDT2(), core.NewABM(),
+		core.NewDefaultL2BM(), core.NewEDT(), core.NewTDT(),
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			r := newRig(t, 5, DefaultConfig(), pol, 25e9, sim.Microsecond)
+			for src := 0; src < 4; src++ {
+				r.send(src, 4, 150, pkt.PrioLossless, pkt.ClassLossless)
+				r.send(src, 4, 150, pkt.PrioLossy, pkt.ClassLossy)
+			}
+			// Audit every 5 µs until the switch drains (the audit chain
+			// must terminate or RunAll never empties the event queue).
+			var audit func()
+			failures := 0
+			audit = func() {
+				if err := r.sw.CheckInvariants(); err != nil {
+					failures++
+					if failures == 1 {
+						t.Error(err)
+					}
+					return
+				}
+				if r.eng.Now() > 50*sim.Microsecond && r.sw.Occupancy() == 0 {
+					return
+				}
+				r.eng.Schedule(5*sim.Microsecond, audit)
+			}
+			r.eng.Schedule(5*sim.Microsecond, audit)
+			r.eng.RunAll()
+
+			if err := r.sw.CheckInvariants(); err != nil {
+				t.Errorf("final audit: %v", err)
+			}
+		})
+	}
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig(), core.NewDT(), 25e9, 0)
+	r.send(0, 2, 5, pkt.PrioLossy, pkt.ClassLossy)
+	r.eng.Run(10 * sim.Microsecond)
+
+	if err := r.sw.CheckInvariants(); err != nil {
+		t.Fatalf("clean switch flagged: %v", err)
+	}
+	// Corrupt a counter: the auditor must notice.
+	r.sw.mmu.sharedUsed += 17
+	if err := r.sw.CheckInvariants(); err == nil {
+		t.Error("auditor missed sharedUsed corruption")
+	}
+	r.sw.mmu.sharedUsed -= 17
+
+	r.sw.mmu.resident += 5
+	if err := r.sw.CheckInvariants(); err == nil {
+		t.Error("auditor missed resident corruption")
+	}
+	r.sw.mmu.resident -= 5
+
+	r.sw.mmu.congested[pkt.PrioLossy]++
+	if err := r.sw.CheckInvariants(); err == nil {
+		t.Error("auditor missed congestion census corruption")
+	}
+	r.sw.mmu.congested[pkt.PrioLossy]--
+
+	r.sw.mmu.paused[0][pkt.PrioLossy] = true
+	if err := r.sw.CheckInvariants(); err == nil {
+		t.Error("auditor missed lossy pause state")
+	}
+	r.sw.mmu.paused[0][pkt.PrioLossy] = false
+
+	if err := r.sw.CheckInvariants(); err != nil {
+		t.Errorf("restored switch still flagged: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package switchsim implements the paper's output-queued shared-memory
+// switch (§II-A): an MMU that maintains ingress-pool and egress-pool virtual
+// counters per port/priority, admits packets only when both pools agree,
+// triggers per-priority PFC with headroom for lossless traffic, marks ECN at
+// egress queues, and delegates all threshold decisions to a core.Policy.
+package switchsim
+
+import (
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Config sizes the switch buffer and its ancillary mechanisms. All byte
+// quantities are per the paper's 4 MB shallow-buffer ToR switch; use
+// DefaultConfig and override what an experiment varies.
+type Config struct {
+	// TotalShared is B, the shared service pool in bytes (paper: 4 MB).
+	TotalShared int64
+	// ReservedPerQueue is the static per-queue buffer used before a queue
+	// starts charging the shared pool (paper's "static buffer").
+	ReservedPerQueue int64
+	// HeadroomPerQueue is reserved, per lossless ingress (port, priority),
+	// for in-flight packets arriving after XOFF was sent (paper's
+	// "headroom pool"). Sized for 2·(BDP of one hop + MTU).
+	HeadroomPerQueue int64
+	// PFCHysteresis is how far the ingress counter must fall below the
+	// threshold before XON resumes the upstream (2 MTU is typical).
+	PFCHysteresis int64
+	// ECNLossyThreshold is DCTCP-style step marking: a lossy egress queue
+	// marks CE when its backlog exceeds this many bytes.
+	ECNLossyThreshold int64
+	// ECNLosslessKmin/Kmax/Pmax configure DCQCN's RED-style marking on the
+	// lossless egress queue.
+	ECNLosslessKmin int64
+	ECNLosslessKmax int64
+	ECNLosslessPmax float64
+	// CongestionMark is the egress backlog above which a queue counts as
+	// congested for ABM's n_p(t).
+	CongestionMark int64
+}
+
+// DefaultConfig returns the evaluation defaults (paper §IV setup, DCQCN and
+// DCTCP marking parameters from their respective papers scaled to 25 Gbps).
+func DefaultConfig() Config {
+	return Config{
+		TotalShared:      4 << 20, // 4 MB
+		ReservedPerQueue: 2 * pkt.MTUBytes,
+		HeadroomPerQueue: 160_000, // covers 2·BDP of the slowest hop (5 µs · 100 Gbps) + reaction
+		PFCHysteresis:    2 * pkt.MTUBytes,
+		// DCTCP step-marking threshold. Deliberately permissive (≈400
+		// pkts): the paper's premise (Fig. 3a) is TCP occupying a large
+		// share of the 4 MB buffer, making the ingress pool the binding
+		// constraint buffer management arbitrates; a tight K would cap
+		// TCP at the egress and mask the policies under study.
+		ECNLossyThreshold: 400_000,
+		ECNLosslessKmin:   5_000,
+		ECNLosslessKmax:   200_000,
+		ECNLosslessPmax:   0.01,
+		CongestionMark:    pkt.MTUBytes,
+	}
+}
+
+// Stats aggregates switch-level counters the experiments report.
+type Stats struct {
+	// RxPackets counts data packets offered to the MMU.
+	RxPackets uint64
+	// TxPackets counts data packets fully serialized out.
+	TxPackets uint64
+	// LossyDropsIngress counts lossy packets dropped at the ingress pool
+	// threshold.
+	LossyDropsIngress uint64
+	// LossyDropsEgress counts lossy packets dropped at the egress queue
+	// threshold.
+	LossyDropsEgress uint64
+	// LosslessHeadroom counts lossless packets absorbed by headroom.
+	LosslessHeadroom uint64
+	// LosslessViolations counts lossless packets dropped because headroom
+	// was exhausted — zero in any correctly configured run.
+	LosslessViolations uint64
+	// ECNMarked counts CE marks applied.
+	ECNMarked uint64
+	// PauseFramesSent counts XOFF frames generated (the paper's Fig. 7(d)
+	// metric); resumes are tracked separately.
+	PauseFramesSent uint64
+	// ResumeFramesSent counts XON frames generated.
+	ResumeFramesSent uint64
+	// PeakOccupancy is the high-water mark of total resident bytes.
+	PeakOccupancy int64
+}
+
+// OccupancySample is one timestamped reading of switch buffer occupancy.
+type OccupancySample struct {
+	At    sim.Time
+	Bytes int64
+}

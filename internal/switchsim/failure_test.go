@@ -1,0 +1,178 @@
+package switchsim
+
+import (
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/netdev"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// zeroPolicy grants no shared buffer at all: every queue is limited to its
+// static reserve. A pathological-but-legal policy the MMU must survive.
+type zeroPolicy struct{}
+
+var _ core.Policy = (*zeroPolicy)(nil)
+
+func (zeroPolicy) Name() string                                    { return "Zero" }
+func (zeroPolicy) IngressThreshold(core.StateView, int, int) int64 { return 0 }
+func (zeroPolicy) EgressThreshold(core.StateView, int, int) int64  { return 0 }
+func (zeroPolicy) OnEnqueue(core.StateView, *pkt.Packet)           {}
+func (zeroPolicy) OnDequeue(core.StateView, *pkt.Packet)           {}
+
+func TestZeroThresholdPolicyLossyAllDropOrReserved(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig(), zeroPolicy{}, 25e9, 0)
+	r.send(0, 2, 50, pkt.PrioLossy, pkt.ClassLossy)
+	r.send(1, 2, 50, pkt.PrioLossy, pkt.ClassLossy)
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	// Only the static reserve can be used; the rest must drop cleanly.
+	if st.LossyDropsIngress+st.LossyDropsEgress == 0 {
+		t.Error("expected drops under a zero-threshold policy")
+	}
+	if delivered := len(r.hosts[2].got); uint64(delivered) != st.TxPackets {
+		t.Error("delivery accounting inconsistent")
+	}
+	r.mmuDrained(t)
+}
+
+func TestZeroThresholdPolicyLosslessPausesImmediately(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig(), zeroPolicy{}, 25e9, 0)
+	// Two senders toward one port: the egress backlog pushes ingress
+	// counters past the static reserve immediately.
+	r.send(0, 2, 50, pkt.PrioLossless, pkt.ClassLossless)
+	r.send(1, 2, 50, pkt.PrioLossless, pkt.ClassLossless)
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	if st.PauseFramesSent == 0 {
+		t.Error("zero threshold must assert PFC")
+	}
+	if st.LosslessViolations != 0 {
+		t.Errorf("violations = %d; headroom must still protect in-flight data", st.LosslessViolations)
+	}
+	if got := len(r.hosts[2].got); got != 100 {
+		t.Errorf("delivered %d/100 lossless packets", got)
+	}
+	r.mmuDrained(t)
+}
+
+// greedyPolicy grants the whole buffer to everyone: the opposite extreme.
+type greedyPolicy struct{}
+
+var _ core.Policy = (*greedyPolicy)(nil)
+
+func (greedyPolicy) Name() string { return "Greedy" }
+
+func (greedyPolicy) IngressThreshold(s core.StateView, _, _ int) int64 {
+	return s.TotalShared()
+}
+
+func (greedyPolicy) EgressThreshold(s core.StateView, _, _ int) int64 {
+	return s.TotalShared()
+}
+
+func (greedyPolicy) OnEnqueue(core.StateView, *pkt.Packet) {}
+func (greedyPolicy) OnDequeue(core.StateView, *pkt.Packet) {}
+
+func TestGreedyPolicyNeverPausesOrDrops(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig(), greedyPolicy{}, 25e9, 0)
+	for src := 0; src < 3; src++ {
+		r.send(src, 3, 100, pkt.PrioLossless, pkt.ClassLossless)
+		r.send(src, 3, 100, pkt.PrioLossy, pkt.ClassLossy)
+	}
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	if st.PauseFramesSent != 0 || st.LossyDropsIngress+st.LossyDropsEgress != 0 {
+		t.Errorf("greedy policy paused %d / dropped %d", st.PauseFramesSent,
+			st.LossyDropsIngress+st.LossyDropsEgress)
+	}
+	if got := len(r.hosts[3].got); got != 600 {
+		t.Errorf("delivered %d/600", got)
+	}
+	r.mmuDrained(t)
+}
+
+func TestPFCChainPropagatesUpstream(t *testing.T) {
+	// Two switches in series: receiver-side congestion at sw2 must pause
+	// sw1's egress, back up sw1's buffer, and eventually pause the hosts —
+	// hop-by-hop backpressure with zero lossless loss end to end.
+	eng := sim.NewEngine(5)
+	cfg := DefaultConfig()
+	cfg.TotalShared = 64 << 10 // small pool so backpressure cascades
+	sw1 := NewSwitch(eng, "sw1", cfg, core.NewDT())
+	sw2 := NewSwitch(eng, "sw2", cfg, core.NewDT())
+
+	var hosts []*testHost
+	// Hosts 0..3 on sw1, host 4 (sink) on sw2; sw1<->sw2 trunk.
+	for i := 0; i < 4; i++ {
+		h := &testHost{name: "h" + string(rune('0'+i)), eng: eng}
+		hp, sp := netdevConnect(eng, h, sw1)
+		h.port = hp
+		sw1.AddPort(sp)
+		hosts = append(hosts, h)
+	}
+	sink := &testHost{name: "sink", eng: eng}
+	sp, swp := netdevConnect(eng, sink, sw2)
+	sink.port = sp
+	sw2.AddPort(swp) // port 0 on sw2
+	hosts = append(hosts, sink)
+
+	t1, t2 := netdevConnect2(eng, sw1, sw2)
+	sw1.AddPort(t1) // port 4 on sw1
+	sw2.AddPort(t2) // port 1 on sw2
+
+	sw1.SetRouter(func(p *pkt.Packet, _ int) int {
+		if p.Dst == 4 {
+			return 4 // trunk
+		}
+		return p.Dst
+	})
+	sw2.SetRouter(func(p *pkt.Packet, _ int) int { return 0 })
+
+	for src := 0; src < 4; src++ {
+		for i := 0; i < 200; i++ {
+			p := pkt.NewData(pkt.FlowID(src+1), src, 4, pkt.PrioLossless, pkt.ClassLossless,
+				int64(i*pkt.MTUPayload), pkt.MTUPayload)
+			hosts[src].port.Enqueue(p)
+		}
+	}
+	eng.RunAll()
+
+	if got := len(sink.got); got != 800 {
+		t.Fatalf("sink received %d/800 (lossless chain must deliver all)", got)
+	}
+	st1, st2 := sw1.Stats(), sw2.Stats()
+	if st2.PauseFramesSent == 0 {
+		t.Error("sw2 should pause the trunk")
+	}
+	if st1.PauseFramesSent == 0 {
+		t.Error("backpressure should cascade: sw1 should pause the hosts")
+	}
+	if st1.LosslessViolations+st2.LosslessViolations != 0 {
+		t.Error("lossless violation in the chain")
+	}
+}
+
+// netdevConnect wires a host to a switch at 25 Gbps / 1 µs.
+func netdevConnect(eng *sim.Engine, h *testHost, sw *Switch) (*netdev.Port, *netdev.Port) {
+	return netdev.Connect(eng, h, sw, 25e9, sim.Microsecond)
+}
+
+// netdevConnect2 wires a 100 Gbps trunk between two switches, so the
+// downstream switch (not the trunk) is the bottleneck.
+func netdevConnect2(eng *sim.Engine, a, b *Switch) (*netdev.Port, *netdev.Port) {
+	return netdev.Connect(eng, a, b, 100e9, sim.Microsecond)
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(), core.NewDT(), 25e9, 0)
+	snap := r.sw.Stats()
+	snap.RxPackets = 999
+	if r.sw.Stats().RxPackets == 999 {
+		t.Error("Stats must return a copy")
+	}
+}

@@ -1,0 +1,360 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"l2bm/internal/core"
+	"l2bm/internal/netdev"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Router chooses the egress port index for a packet entering the switch.
+// The topology layer installs one (typically ECMP over shortest paths).
+type Router func(p *pkt.Packet, inPort int) int
+
+// Switch is an output-queued shared-memory switch. Packets arriving on any
+// port traverse the MMU admission check and, if admitted, are enqueued at
+// their egress port's priority queue; the MMU releases their buffer when the
+// egress port finishes serializing them.
+type Switch struct {
+	eng    *sim.Engine
+	name   string
+	cfg    Config
+	policy core.Policy
+	ports  []*netdev.Port
+	route  Router
+
+	mmu   mmuState
+	stats Stats
+	rng   *sim.Rand
+}
+
+var _ netdev.Node = (*Switch)(nil)
+
+// mmuState holds the virtual counters of the ingress and egress pools,
+// indexed [port][priority] (slices grow as ports are added — the admission
+// path is the simulator's hottest loop, so no maps here).
+type mmuState struct {
+	// ing and eg are the per-(port,priority) ingress- and egress-pool
+	// counters Q_in and Q_out (bytes, normal path: reserved then shared).
+	ing [][pkt.NumPriorities]int64
+	eg  [][pkt.NumPriorities]int64
+	// hr is headroom usage per lossless ingress queue.
+	hr [][pkt.NumPriorities]int64
+	// sharedUsed is Q(t): bytes charged to the shared service pool
+	// (ingress-side accounting beyond each queue's reserve).
+	sharedUsed int64
+	// poolUsed is the egress-pool occupancy per traffic class.
+	poolUsed [4]int64
+	// congested counts egress queues over the congestion mark, per
+	// priority (for ABM).
+	congested [pkt.NumPriorities]int
+	// paused records ingress queues we have XOFF'd upstream.
+	paused [][pkt.NumPriorities]bool
+	// resident is the total bytes resident in the switch (reserved +
+	// shared + headroom), the occupancy the paper plots.
+	resident int64
+}
+
+// ensurePorts grows the per-port tables to cover port index n-1.
+func (m *mmuState) ensurePorts(n int) {
+	for len(m.ing) < n {
+		m.ing = append(m.ing, [pkt.NumPriorities]int64{})
+		m.eg = append(m.eg, [pkt.NumPriorities]int64{})
+		m.hr = append(m.hr, [pkt.NumPriorities]int64{})
+		m.paused = append(m.paused, [pkt.NumPriorities]bool{})
+	}
+}
+
+// NewSwitch builds a switch with no ports. Attach ports with AddPort after
+// wiring links via netdev.Connect.
+func NewSwitch(eng *sim.Engine, name string, cfg Config, policy core.Policy) *Switch {
+	if cfg.TotalShared <= 0 {
+		panic("switchsim: TotalShared must be positive")
+	}
+	if policy == nil {
+		panic("switchsim: policy must not be nil")
+	}
+	return &Switch{
+		eng:    eng,
+		name:   name,
+		cfg:    cfg,
+		policy: policy,
+		mmu:    mmuState{},
+		rng:    eng.Rand("switch/" + name + "/ecn"),
+	}
+}
+
+// Name implements netdev.Node.
+func (s *Switch) Name() string { return s.name }
+
+// Policy returns the buffer-management policy in force.
+func (s *Switch) Policy() core.Policy { return s.policy }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the switch counters. Pause/resume frame
+// counts are gathered from the ports at call time.
+func (s *Switch) Stats() Stats {
+	out := s.stats
+	for _, p := range s.ports {
+		out.PauseFramesSent += p.Stats().PFCSent
+		out.ResumeFramesSent += p.Stats().PFCResumes
+	}
+	return out
+}
+
+// AddPort registers a port (the switch side of a link) and returns its
+// index. The port must have been created with this switch as its owner.
+func (s *Switch) AddPort(p *netdev.Port) int {
+	if p.Owner() != netdev.Node(s) {
+		panic("switchsim: AddPort called with a port owned by another node")
+	}
+	id := len(s.ports)
+	p.ID = id
+	p.OnDequeue = s.onDequeue
+	s.ports = append(s.ports, p)
+	s.mmu.ensurePorts(len(s.ports))
+	return id
+}
+
+// Port returns the port at index i.
+func (s *Switch) Port(i int) *netdev.Port { return s.ports[i] }
+
+// NumPorts implements core.StateView.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetRouter installs the forwarding function.
+func (s *Switch) SetRouter(r Router) { s.route = r }
+
+// Occupancy returns the total bytes resident in the switch buffer
+// (reserved + shared + headroom), the quantity Figs. 7(c), 8 and 10(c) plot.
+func (s *Switch) Occupancy() int64 { return s.mmu.resident }
+
+// HandleArrival implements netdev.Node: the MMU admission path.
+func (s *Switch) HandleArrival(p *pkt.Packet, port *netdev.Port) {
+	if s.route == nil {
+		panic("switchsim: no router installed on " + s.name)
+	}
+	out := s.route(p, port.ID)
+	if out < 0 || out >= len(s.ports) {
+		panic(fmt.Sprintf("switchsim: router returned invalid port %d on %s", out, s.name))
+	}
+
+	// Control packets (ACK/CNP) ride the strict-priority control queue
+	// without charging the shared data pool: commodity switches reserve a
+	// sliver of buffer for them and they are three orders of magnitude
+	// smaller than the data backlog.
+	if p.Class == pkt.ClassControl {
+		s.ports[out].Enqueue(p)
+		return
+	}
+
+	s.stats.RxPackets++
+	s.admitData(p, port.ID, out)
+}
+
+// admitData runs the dual admission check of §II-A and enqueues or drops.
+func (s *Switch) admitData(p *pkt.Packet, in, out int) {
+	prio := p.Priority
+	size := int64(p.Size)
+
+	inHeadroom := false
+	ingTh := s.policy.IngressThreshold(s, in, prio)
+	if s.mmu.ing[in][prio]+size > s.cfg.ReservedPerQueue+ingTh {
+		// Over the ingress threshold: lossy drops; lossless goes to
+		// headroom (PFC is already, or is about to be, asserted).
+		if p.Class == pkt.ClassLossy {
+			s.stats.LossyDropsIngress++
+			return
+		}
+		if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
+			// Headroom exhausted: the lossless guarantee is broken.
+			s.stats.LosslessViolations++
+			return
+		}
+		inHeadroom = true
+	}
+
+	if p.Class == pkt.ClassLossy {
+		egTh := s.policy.EgressThreshold(s, out, prio)
+		if s.mmu.eg[out][prio]+size > s.cfg.ReservedPerQueue+egTh {
+			s.stats.LossyDropsEgress++
+			return
+		}
+	}
+	// Lossless egress queues are no-drop: overload is pushed back to the
+	// ingress side via PFC rather than enforced here.
+
+	// Admission: charge the pools.
+	p.InPort, p.InPrio, p.OutPort = in, prio, out
+	p.InHeadroom = inHeadroom
+	if inHeadroom {
+		s.mmu.hr[in][prio] += size
+		s.stats.LosslessHeadroom++
+	} else {
+		before := sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue)
+		s.mmu.ing[in][prio] += size
+		s.mmu.sharedUsed += sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue) - before
+	}
+	s.bumpEgress(out, prio, size)
+	s.mmu.resident += size
+	if s.mmu.resident > s.stats.PeakOccupancy {
+		s.stats.PeakOccupancy = s.mmu.resident
+	}
+
+	s.maybeMarkECN(p, out, prio)
+	s.policy.OnEnqueue(s, p)
+	s.checkPFC(in, prio)
+	s.ports[out].Enqueue(p)
+}
+
+// onDequeue releases a packet's buffer as its last bit leaves the egress
+// port.
+func (s *Switch) onDequeue(p *pkt.Packet) {
+	if p.Class == pkt.ClassControl || p.Kind == pkt.KindPFC {
+		return
+	}
+	size := int64(p.Size)
+	in, prio := p.InPort, p.InPrio
+
+	if p.InHeadroom {
+		s.mmu.hr[in][prio] -= size
+		p.InHeadroom = false
+	} else {
+		before := sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue)
+		s.mmu.ing[in][prio] -= size
+		s.mmu.sharedUsed += sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue) - before
+	}
+	s.bumpEgress(p.OutPort, p.Priority, -size)
+	s.mmu.resident -= size
+	s.stats.TxPackets++
+
+	s.policy.OnDequeue(s, p)
+	s.checkPFC(in, prio)
+}
+
+// bumpEgress adjusts the egress counter, its class pool and the congestion
+// census by delta bytes.
+func (s *Switch) bumpEgress(out, prio int, delta int64) {
+	before := s.mmu.eg[out][prio]
+	after := before + delta
+	s.mmu.eg[out][prio] = after
+	s.mmu.poolUsed[core.ClassOfPriority(prio)] += delta
+	mark := s.cfg.CongestionMark
+	switch {
+	case before <= mark && after > mark:
+		s.mmu.congested[prio]++
+	case before > mark && after <= mark:
+		s.mmu.congested[prio]--
+	}
+}
+
+// checkPFC asserts or releases PFC for a lossless ingress queue against the
+// policy's current threshold (with hysteresis on release).
+func (s *Switch) checkPFC(in, prio int) {
+	if core.ClassOfPriority(prio) != pkt.ClassLossless {
+		return
+	}
+	th := s.cfg.ReservedPerQueue + s.policy.IngressThreshold(s, in, prio)
+	occ := s.mmu.ing[in][prio] + s.mmu.hr[in][prio]
+	if !s.mmu.paused[in][prio] {
+		if occ >= th {
+			s.mmu.paused[in][prio] = true
+			s.ports[in].SendPFC(prio, true)
+		}
+		return
+	}
+	release := th - s.cfg.PFCHysteresis
+	if release < 0 {
+		release = 0
+	}
+	if occ <= release {
+		s.mmu.paused[in][prio] = false
+		s.ports[in].SendPFC(prio, false)
+	}
+}
+
+// maybeMarkECN applies egress-queue ECN marking: DCTCP step marking on
+// lossy queues, DCQCN RED-style marking on lossless queues.
+func (s *Switch) maybeMarkECN(p *pkt.Packet, out, prio int) {
+	backlog := s.mmu.eg[out][prio]
+	switch p.Class {
+	case pkt.ClassLossy:
+		if s.cfg.ECNLossyThreshold > 0 && backlog > s.cfg.ECNLossyThreshold {
+			p.CE = true
+			s.stats.ECNMarked++
+		}
+	case pkt.ClassLossless:
+		if s.cfg.ECNLosslessKmax <= 0 {
+			return
+		}
+		var prob float64
+		switch {
+		case backlog <= s.cfg.ECNLosslessKmin:
+			return
+		case backlog >= s.cfg.ECNLosslessKmax:
+			prob = 1
+		default:
+			span := float64(s.cfg.ECNLosslessKmax - s.cfg.ECNLosslessKmin)
+			prob = s.cfg.ECNLosslessPmax * float64(backlog-s.cfg.ECNLosslessKmin) / span
+		}
+		if prob >= 1 || s.rng.Float64() < prob {
+			p.CE = true
+			s.stats.ECNMarked++
+		}
+	}
+}
+
+// sharedPart is how much of a queue counter is charged to the shared pool
+// (the excess over the static reserve).
+func sharedPart(q, reserved int64) int64 {
+	if q <= reserved {
+		return 0
+	}
+	return q - reserved
+}
+
+// --- core.StateView implementation -----------------------------------------
+
+var _ core.StateView = (*Switch)(nil)
+
+// Now implements core.StateView.
+func (s *Switch) Now() sim.Time { return s.eng.Now() }
+
+// TotalShared implements core.StateView.
+func (s *Switch) TotalShared() int64 { return s.cfg.TotalShared }
+
+// SharedUsed implements core.StateView.
+func (s *Switch) SharedUsed() int64 { return s.mmu.sharedUsed }
+
+// EgressPoolUsed implements core.StateView.
+func (s *Switch) EgressPoolUsed(c pkt.Class) int64 { return s.mmu.poolUsed[int(c)] }
+
+// IngressQueueBytes implements core.StateView.
+func (s *Switch) IngressQueueBytes(port, prio int) int64 {
+	return s.mmu.ing[port][prio]
+}
+
+// EgressQueueBytes implements core.StateView.
+func (s *Switch) EgressQueueBytes(port, prio int) int64 {
+	return s.mmu.eg[port][prio]
+}
+
+// EgressDrainRate implements core.StateView.
+func (s *Switch) EgressDrainRate(port, prio int) int64 {
+	return s.ports[port].DrainRate(prio)
+}
+
+// EgressLineRate implements core.StateView.
+func (s *Switch) EgressLineRate(port int) int64 { return s.ports[port].Rate() }
+
+// EgressPausedTime implements core.StateView.
+func (s *Switch) EgressPausedTime(port, prio int) sim.Duration {
+	return s.ports[port].CumPausedTime(prio)
+}
+
+// CongestedEgressQueues implements core.StateView.
+func (s *Switch) CongestedEgressQueues(prio int) int { return s.mmu.congested[prio] }

@@ -1,0 +1,330 @@
+// Package topo builds the paper's evaluation network (Fig. 6): a three-layer
+// Clos with 2 core switches, 4 aggregation switches, 4 ToR switches and 32
+// servers per rack — 25 Gbps access links, 100 Gbps fabric links, 1 µs
+// propagation everywhere except 5 µs between aggregation and core. The
+// fabric is organized in pods (2 by default): a ToR connects to every
+// aggregation switch in its pod, and every aggregation switch connects to
+// every core. Per-flow ECMP hashing spreads load over the parallel paths.
+//
+// Everything is parameterized so tests and benchmarks can shrink the
+// cluster while experiments run the paper-scale version.
+package topo
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"l2bm/internal/core"
+	"l2bm/internal/dcqcn"
+	"l2bm/internal/dctcp"
+	"l2bm/internal/host"
+	"l2bm/internal/netdev"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/switchsim"
+	"l2bm/internal/transport"
+)
+
+// Config describes the cluster to build.
+type Config struct {
+	// Pods partitions ToRs and aggregation switches into pods.
+	Pods int
+	// CoreCount, AggCount and ToRCount size the switch layers (AggCount
+	// and ToRCount must divide evenly by Pods).
+	CoreCount int
+	AggCount  int
+	ToRCount  int
+	// ServersPerToR is the rack size.
+	ServersPerToR int
+	// ServerRate and FabricRate are the link speeds in bits/s.
+	ServerRate int64
+	FabricRate int64
+	// ServerDelay, TorAggDelay and AggCoreDelay are one-way propagation
+	// delays.
+	ServerDelay  sim.Duration
+	TorAggDelay  sim.Duration
+	AggCoreDelay sim.Duration
+	// Switch configures every switch MMU.
+	Switch switchsim.Config
+	// DCTCP and DCQCN configure host transports. DCQCN.LineRate is
+	// overridden with ServerRate when zero.
+	DCTCP dctcp.Config
+	DCQCN dcqcn.Config
+}
+
+// DefaultConfig returns the paper's topology (§IV Setup): 128 servers,
+// 10 switches, 25/100 Gbps, 4 MB shared buffer.
+func DefaultConfig() Config {
+	return Config{
+		Pods:          2,
+		CoreCount:     2,
+		AggCount:      4,
+		ToRCount:      4,
+		ServersPerToR: 32,
+		ServerRate:    25e9,
+		FabricRate:    100e9,
+		ServerDelay:   sim.Microsecond,
+		TorAggDelay:   sim.Microsecond,
+		AggCoreDelay:  5 * sim.Microsecond,
+		Switch:        switchsim.DefaultConfig(),
+		DCTCP:         dctcp.DefaultConfig(),
+		DCQCN:         dcqcn.DefaultConfig(25e9),
+	}
+}
+
+// TinyConfig returns a scaled-down cluster (2 pods × 1 ToR × 4 servers) for
+// tests and fast benchmarks, preserving the paper's oversubscription shape.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Pods = 2
+	cfg.CoreCount = 1
+	cfg.AggCount = 2
+	cfg.ToRCount = 2
+	cfg.ServersPerToR = 4
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Pods <= 0:
+		return fmt.Errorf("topo: Pods = %d, want > 0", c.Pods)
+	case c.ToRCount%c.Pods != 0:
+		return fmt.Errorf("topo: ToRCount %d not divisible by Pods %d", c.ToRCount, c.Pods)
+	case c.AggCount%c.Pods != 0:
+		return fmt.Errorf("topo: AggCount %d not divisible by Pods %d", c.AggCount, c.Pods)
+	case c.CoreCount <= 0 || c.ServersPerToR <= 0:
+		return fmt.Errorf("topo: switch/server counts must be positive")
+	case c.ServerRate <= 0 || c.FabricRate <= 0:
+		return fmt.Errorf("topo: link rates must be positive")
+	default:
+		return nil
+	}
+}
+
+// PolicyFactory creates one buffer-management policy instance per switch
+// (policies such as L2BM carry per-switch state and must not be shared).
+type PolicyFactory func() core.Policy
+
+// Cluster is a built network.
+type Cluster struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Hosts []*host.Host
+	ToRs  []*switchsim.Switch
+	Aggs  []*switchsim.Switch
+	Cores []*switchsim.Switch
+}
+
+// Build wires the cluster and installs routing. Flow completions are fanned
+// out to onComplete (may be nil).
+func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host.CompletionHandler) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DCQCN.LineRate == 0 {
+		cfg.DCQCN = dcqcn.DefaultConfig(cfg.ServerRate)
+	}
+	cl := &Cluster{Eng: eng, Cfg: cfg}
+
+	for i := 0; i < cfg.ToRCount; i++ {
+		cl.ToRs = append(cl.ToRs, switchsim.NewSwitch(eng, fmt.Sprintf("tor%d", i), cfg.Switch, newPolicy()))
+	}
+	for i := 0; i < cfg.AggCount; i++ {
+		cl.Aggs = append(cl.Aggs, switchsim.NewSwitch(eng, fmt.Sprintf("agg%d", i), cfg.Switch, newPolicy()))
+	}
+	for i := 0; i < cfg.CoreCount; i++ {
+		cl.Cores = append(cl.Cores, switchsim.NewSwitch(eng, fmt.Sprintf("core%d", i), cfg.Switch, newPolicy()))
+	}
+
+	// Servers: host h sits under ToR h/ServersPerToR on port h%ServersPerToR.
+	total := cfg.ToRCount * cfg.ServersPerToR
+	for h := 0; h < total; h++ {
+		hst := host.New(eng, h, fmt.Sprintf("host%d", h), cfg.DCTCP, cfg.DCQCN)
+		hp, sp := netdev.Connect(eng, hst, cl.ToRs[h/cfg.ServersPerToR], cfg.ServerRate, cfg.ServerDelay)
+		hst.SetNIC(hp)
+		cl.ToRs[h/cfg.ServersPerToR].AddPort(sp)
+		hst.SetCompletionHandler(onComplete)
+		cl.Hosts = append(cl.Hosts, hst)
+	}
+
+	// ToR ↔ Agg, full bipartite within each pod. ToR uplink ports follow
+	// the server ports; agg down ports are indexed by ToR-within-pod.
+	aggsPerPod := cfg.AggCount / cfg.Pods
+	torsPerPod := cfg.ToRCount / cfg.Pods
+	for t, tor := range cl.ToRs {
+		pod := t / torsPerPod
+		for a := 0; a < aggsPerPod; a++ {
+			agg := cl.Aggs[pod*aggsPerPod+a]
+			tp, ap := netdev.Connect(eng, tor, agg, cfg.FabricRate, cfg.TorAggDelay)
+			tor.AddPort(tp)
+			agg.AddPort(ap)
+		}
+	}
+
+	// Agg ↔ Core, full bipartite. Core down ports indexed by agg id.
+	for _, agg := range cl.Aggs {
+		for c := 0; c < cfg.CoreCount; c++ {
+			ap, cp := netdev.Connect(eng, agg, cl.Cores[c], cfg.FabricRate, cfg.AggCoreDelay)
+			agg.AddPort(ap)
+			cl.Cores[c].AddPort(cp)
+		}
+	}
+
+	cl.installRouting()
+	return cl, nil
+}
+
+// MustBuild is Build for tests and examples with static configs.
+func MustBuild(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host.CompletionHandler) *Cluster {
+	cl, err := Build(eng, cfg, newPolicy, onComplete)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// ecmpHash spreads flows over n parallel next hops, salted so consecutive
+// layers make independent choices.
+func ecmpHash(f pkt.FlowID, salt uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	v := uint64(f)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+		buf[8+i] = byte(salt >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// installRouting programs every switch's forwarding closure.
+func (cl *Cluster) installRouting() {
+	cfg := cl.Cfg
+	aggsPerPod := cfg.AggCount / cfg.Pods
+	torsPerPod := cfg.ToRCount / cfg.Pods
+	s := cfg.ServersPerToR
+
+	for t, tor := range cl.ToRs {
+		t := t
+		tor.SetRouter(func(p *pkt.Packet, _ int) int {
+			dstToR := p.Dst / s
+			if dstToR == t {
+				return p.Dst % s // local server port
+			}
+			return s + ecmpHash(p.Flow, 0x746f72, aggsPerPod) // uplink
+		})
+	}
+
+	for a, agg := range cl.Aggs {
+		pod := a / aggsPerPod
+		agg.SetRouter(func(p *pkt.Packet, _ int) int {
+			dstToR := p.Dst / s
+			dstPod := dstToR / torsPerPod
+			if dstPod == pod {
+				return dstToR % torsPerPod // down to the rack
+			}
+			return torsPerPod + ecmpHash(p.Flow, 0x616767, cfg.CoreCount) // up
+		})
+	}
+
+	for _, cr := range cl.Cores {
+		cr.SetRouter(func(p *pkt.Packet, _ int) int {
+			dstToR := p.Dst / s
+			dstPod := dstToR / torsPerPod
+			// Core port layout: one port per agg, in agg-id order.
+			return dstPod*aggsPerPod + ecmpHash(p.Flow, 0x636f7265, aggsPerPod)
+		})
+	}
+}
+
+// NumHosts returns the server count.
+func (cl *Cluster) NumHosts() int { return len(cl.Hosts) }
+
+// StartFlow launches f from its source host.
+func (cl *Cluster) StartFlow(f *transport.Flow) { cl.Hosts[f.Src].StartFlow(f) }
+
+// ToROf returns the index of the rack switch serving host h.
+func (cl *Cluster) ToROf(h int) int { return h / cl.Cfg.ServersPerToR }
+
+// Hops returns the number of links a packet traverses from src to dst
+// (2 within a rack, 4 within a pod, 6 across pods).
+func (cl *Cluster) Hops(src, dst int) int {
+	torsPerPod := cl.Cfg.ToRCount / cl.Cfg.Pods
+	switch {
+	case cl.ToROf(src) == cl.ToROf(dst):
+		return 2
+	case cl.ToROf(src)/torsPerPod == cl.ToROf(dst)/torsPerPod:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// BasePathDelay returns the empty-network latency of a single MTU packet
+// from src to dst: propagation plus store-and-forward serialization at each
+// hop.
+func (cl *Cluster) BasePathDelay(src, dst int) sim.Duration {
+	cfg := cl.Cfg
+	mtuServer := sim.TxTime(pkt.MTUBytes, cfg.ServerRate)
+	mtuFabric := sim.TxTime(pkt.MTUBytes, cfg.FabricRate)
+	switch cl.Hops(src, dst) {
+	case 2:
+		return 2*cfg.ServerDelay + 2*mtuServer
+	case 4:
+		return 2*cfg.ServerDelay + 2*cfg.TorAggDelay + mtuServer + 3*mtuFabric
+	default:
+		return 2*cfg.ServerDelay + 2*cfg.TorAggDelay + 2*cfg.AggCoreDelay + mtuServer + 5*mtuFabric
+	}
+}
+
+// IdealFCT returns the empty-network completion time of a size-byte flow
+// from src to dst: pipeline the payload at the (server-link) bottleneck and
+// add the base path latency of the last packet.
+func (cl *Cluster) IdealFCT(src, dst int, size int64) sim.Duration {
+	wire := size + (size+int64(pkt.MTUPayload)-1)/int64(pkt.MTUPayload)*int64(pkt.HeaderBytes)
+	return sim.TxTime(int(wire), cl.Cfg.ServerRate) + cl.BasePathDelay(src, dst) - sim.TxTime(pkt.MTUBytes, cl.Cfg.ServerRate)
+}
+
+// LosslessGaps sums sequence gaps across all hosts (zero unless the
+// lossless guarantee broke).
+func (cl *Cluster) LosslessGaps() uint64 {
+	var total uint64
+	for _, h := range cl.Hosts {
+		total += h.LosslessGaps()
+	}
+	return total
+}
+
+// SwitchStats aggregates stats over a slice of switches.
+func SwitchStats(switches []*switchsim.Switch) switchsim.Stats {
+	var agg switchsim.Stats
+	for _, sw := range switches {
+		st := sw.Stats()
+		agg.RxPackets += st.RxPackets
+		agg.TxPackets += st.TxPackets
+		agg.LossyDropsIngress += st.LossyDropsIngress
+		agg.LossyDropsEgress += st.LossyDropsEgress
+		agg.LosslessHeadroom += st.LosslessHeadroom
+		agg.LosslessViolations += st.LosslessViolations
+		agg.ECNMarked += st.ECNMarked
+		agg.PauseFramesSent += st.PauseFramesSent
+		agg.ResumeFramesSent += st.ResumeFramesSent
+		if st.PeakOccupancy > agg.PeakOccupancy {
+			agg.PeakOccupancy = st.PeakOccupancy
+		}
+	}
+	return agg
+}
+
+// AllSwitches returns every switch in the cluster (ToRs, aggs, cores).
+func (cl *Cluster) AllSwitches() []*switchsim.Switch {
+	out := make([]*switchsim.Switch, 0, len(cl.ToRs)+len(cl.Aggs)+len(cl.Cores))
+	out = append(out, cl.ToRs...)
+	out = append(out, cl.Aggs...)
+	out = append(out, cl.Cores...)
+	return out
+}

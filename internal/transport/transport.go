@@ -1,0 +1,57 @@
+// Package transport holds the pieces shared by the DCTCP and DCQCN
+// endpoints: the environment they run in (clock, NIC, timers) and the flow
+// descriptor the workload and metrics layers exchange.
+package transport
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// Env is the world a transport endpoint sees: the simulated clock, the host
+// NIC to emit packets through, and the event scheduler for timers. The host
+// implements it.
+type Env interface {
+	// Now returns the current simulated time.
+	Now() sim.Time
+	// Send enqueues a packet on the host NIC.
+	Send(p *pkt.Packet)
+	// Schedule arranges fn to run after delay and returns a cancellable
+	// reference.
+	Schedule(delay sim.Duration, fn func()) sim.EventRef
+	// NICBacklog returns the bytes queued on the NIC for priority prio,
+	// letting rate-based senders gate their pacing while PFC holds the
+	// port down.
+	NICBacklog(prio int) int
+}
+
+// Flow describes one application transfer. The workload layer creates it,
+// the sending host runs it, and the metrics layer matches its completion by
+// ID.
+type Flow struct {
+	ID   pkt.FlowID
+	Src  int
+	Dst  int
+	Size int64
+	// Priority and Class choose the switch queue and loss behaviour.
+	Priority int
+	Class    pkt.Class
+	// Start is when the application initiated the flow.
+	Start sim.Time
+}
+
+// Validate reports a descriptive error for malformed flows.
+func (f *Flow) Validate() error {
+	switch {
+	case f.Size <= 0:
+		return fmt.Errorf("transport: flow %d has non-positive size %d", f.ID, f.Size)
+	case f.Src == f.Dst:
+		return fmt.Errorf("transport: flow %d sends to itself (host %d)", f.ID, f.Src)
+	case f.Priority < 0 || f.Priority >= pkt.NumPriorities:
+		return fmt.Errorf("transport: flow %d has invalid priority %d", f.ID, f.Priority)
+	default:
+		return nil
+	}
+}

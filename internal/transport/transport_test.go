@@ -1,0 +1,33 @@
+package transport
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+)
+
+func TestFlowValidate(t *testing.T) {
+	valid := Flow{ID: 1, Src: 0, Dst: 1, Size: 1000, Priority: pkt.PrioLossy, Class: pkt.ClassLossy}
+
+	tests := []struct {
+		name    string
+		mutate  func(*Flow)
+		wantErr bool
+	}{
+		{"valid", func(*Flow) {}, false},
+		{"zero size", func(f *Flow) { f.Size = 0 }, true},
+		{"negative size", func(f *Flow) { f.Size = -5 }, true},
+		{"self send", func(f *Flow) { f.Dst = f.Src }, true},
+		{"priority too high", func(f *Flow) { f.Priority = pkt.NumPriorities }, true},
+		{"negative priority", func(f *Flow) { f.Priority = -1 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := valid
+			tt.mutate(&f)
+			if err := f.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}

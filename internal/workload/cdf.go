@@ -1,0 +1,141 @@
+// Package workload generates the paper's two traffic patterns: all-to-all
+// Poisson flows drawn from the heavy-tailed web-search flow-size CDF, and
+// incast (fan-in) queries where one requester pulls a file simultaneously
+// from N responders over high-load background traffic.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"l2bm/internal/sim"
+)
+
+// CDFPoint is one breakpoint of a flow-size distribution: P is the
+// cumulative probability of a flow being at most Bytes long.
+type CDFPoint struct {
+	Bytes int64
+	P     float64
+}
+
+// CDF is a piecewise-linear flow-size distribution sampled by inverse
+// transform.
+type CDF struct {
+	points []CDFPoint
+}
+
+// NewCDF validates and builds a distribution from breakpoints. Points must
+// be sorted by size with nondecreasing probability ending at 1.
+func NewCDF(points []CDFPoint) (*CDF, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: CDF needs at least 2 points, got %d", len(points))
+	}
+	for i, p := range points {
+		if p.Bytes <= 0 && !(i == 0 && p.Bytes == 0) {
+			return nil, fmt.Errorf("workload: CDF point %d has invalid size %d", i, p.Bytes)
+		}
+		if p.P < 0 || p.P > 1 {
+			return nil, fmt.Errorf("workload: CDF point %d has invalid probability %v", i, p.P)
+		}
+		if i > 0 && (p.Bytes <= points[i-1].Bytes || p.P < points[i-1].P) {
+			return nil, fmt.Errorf("workload: CDF point %d not monotone", i)
+		}
+	}
+	if last := points[len(points)-1]; last.P != 1 {
+		return nil, fmt.Errorf("workload: CDF must end at probability 1, got %v", last.P)
+	}
+	cp := make([]CDFPoint, len(points))
+	copy(cp, points)
+	return &CDF{points: cp}, nil
+}
+
+// MustCDF is NewCDF for static tables.
+func MustCDF(points []CDFPoint) *CDF {
+	c, err := NewCDF(points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// WebSearchCDF returns the web-search flow-size distribution (Alizadeh et
+// al., DCTCP, SIGCOMM 2010) the paper generates its "realistic workload
+// heavy tailed" from: mostly sub-100 KB query traffic with multi-megabyte
+// background elephants carrying most bytes.
+func WebSearchCDF() *CDF {
+	return MustCDF([]CDFPoint{
+		{0, 0},
+		{6_000, 0.15},
+		{13_000, 0.2},
+		{19_000, 0.3},
+		{33_000, 0.4},
+		{53_000, 0.53},
+		{133_000, 0.6},
+		{667_000, 0.7},
+		{1_333_000, 0.8},
+		{3_333_000, 0.9},
+		{6_667_000, 0.97},
+		{20_000_000, 1.0},
+	})
+}
+
+// DataMiningCDF returns the data-mining flow-size distribution (Greenberg
+// et al., VL2, SIGCOMM 2009), the other workload customary in DCN buffer
+// studies: even more extreme than web search — the vast majority of flows
+// are a few KB while a tiny fraction of multi-MB flows carries almost all
+// bytes. Provided for experiments beyond the paper's web-search setup.
+func DataMiningCDF() *CDF {
+	return MustCDF([]CDFPoint{
+		{0, 0},
+		{100, 0.1},
+		{180, 0.2},
+		{250, 0.3},
+		{560, 0.4},
+		{900, 0.5},
+		{1_100, 0.6},
+		{1_870, 0.7},
+		{3_160, 0.8},
+		{10_000, 0.9},
+		{400_000, 0.95},
+		{3_160_000, 0.98},
+		{100_000_000, 1.0},
+	})
+}
+
+// Sample draws a flow size by inverse-transform sampling with linear
+// interpolation between breakpoints. Sizes are at least 1 byte.
+func (c *CDF) Sample(r *sim.Rand) int64 {
+	u := r.Float64()
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i].P >= u })
+	if i == 0 {
+		i = 1
+	}
+	lo, hi := c.points[i-1], c.points[i]
+	var size int64
+	if hi.P == lo.P {
+		size = hi.Bytes
+	} else {
+		frac := (u - lo.P) / (hi.P - lo.P)
+		size = lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Mean returns the distribution's expected flow size in bytes (trapezoidal:
+// sizes interpolate linearly between breakpoints, so each segment
+// contributes its probability mass times its midpoint size).
+func (c *CDF) Mean() float64 {
+	var mean float64
+	for i := 1; i < len(c.points); i++ {
+		lo, hi := c.points[i-1], c.points[i]
+		mass := hi.P - lo.P
+		mean += mass * float64(lo.Bytes+hi.Bytes) / 2
+	}
+	return mean
+}
+
+// MaxBytes returns the largest possible sample.
+func (c *CDF) MaxBytes() int64 { return c.points[len(c.points)-1].Bytes }

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"l2bm/internal/sim"
+)
+
+func TestWebSearchCDFShape(t *testing.T) {
+	c := WebSearchCDF()
+	if c.MaxBytes() != 20_000_000 {
+		t.Errorf("max = %d, want 20MB tail", c.MaxBytes())
+	}
+	mean := c.Mean()
+	// The web-search mean is ~1.6 MB (heavy tail dominates).
+	if mean < 500_000 || mean > 3_000_000 {
+		t.Errorf("mean = %v, implausible for web search", mean)
+	}
+}
+
+func TestCDFSampleBoundsAndDeterminism(t *testing.T) {
+	c := WebSearchCDF()
+	r1 := sim.NewSource(5).Stream("s")
+	r2 := sim.NewSource(5).Stream("s")
+	for i := 0; i < 10_000; i++ {
+		a, b := c.Sample(r1), c.Sample(r2)
+		if a != b {
+			t.Fatal("sampling not deterministic")
+		}
+		if a < 1 || a > c.MaxBytes() {
+			t.Fatalf("sample %d out of bounds", a)
+		}
+	}
+}
+
+func TestCDFEmpiricalMeanMatches(t *testing.T) {
+	c := WebSearchCDF()
+	r := sim.NewSource(9).Stream("mean")
+	var sum float64
+	const n = 300_000
+	for i := 0; i < n; i++ {
+		sum += float64(c.Sample(r))
+	}
+	got := sum / n
+	want := c.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("empirical mean %v vs analytic %v (>5%% off)", got, want)
+	}
+}
+
+func TestCDFHeavyTail(t *testing.T) {
+	// Most flows are small but most bytes are in big flows.
+	c := WebSearchCDF()
+	r := sim.NewSource(3).Stream("tail")
+	small, smallBytes, totalBytes := 0, int64(0), int64(0)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s := c.Sample(r)
+		totalBytes += s
+		if s <= 100_000 {
+			small++
+			smallBytes += s
+		}
+	}
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Errorf("small-flow fraction = %v, want majority", frac)
+	}
+	if byteFrac := float64(smallBytes) / float64(totalBytes); byteFrac > 0.2 {
+		t.Errorf("small flows carry %v of bytes, want heavy tail (<20%%)", byteFrac)
+	}
+}
+
+func TestNewCDFValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []CDFPoint
+	}{
+		{"too few", []CDFPoint{{100, 1}}},
+		{"not ending at 1", []CDFPoint{{0, 0}, {100, 0.9}}},
+		{"non-monotone size", []CDFPoint{{0, 0}, {100, 0.5}, {50, 1}}},
+		{"non-monotone prob", []CDFPoint{{0, 0}, {100, 0.5}, {200, 0.4}, {300, 1}}},
+		{"bad probability", []CDFPoint{{0, -0.1}, {100, 1}}},
+		{"negative size", []CDFPoint{{-5, 0}, {100, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCDF(tt.points); err == nil {
+				t.Error("NewCDF should reject", tt.name)
+			}
+		})
+	}
+	if _, err := NewCDF([]CDFPoint{{0, 0}, {1000, 1}}); err != nil {
+		t.Errorf("valid CDF rejected: %v", err)
+	}
+}
+
+func TestMustCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCDF should panic on invalid input")
+		}
+	}()
+	MustCDF([]CDFPoint{{100, 0.5}})
+}
+
+func TestUniformTwoPointCDF(t *testing.T) {
+	c := MustCDF([]CDFPoint{{0, 0}, {1000, 1}})
+	r := sim.NewSource(1).Stream("u")
+	var sum float64
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += float64(c.Sample(r))
+	}
+	if mean := sum / n; math.Abs(mean-500) > 15 {
+		t.Errorf("uniform(0,1000) empirical mean %v, want ≈500", mean)
+	}
+	if got := c.Mean(); got != 500 {
+		t.Errorf("analytic mean = %v, want 500", got)
+	}
+}
+
+func TestDataMiningCDFShape(t *testing.T) {
+	c := DataMiningCDF()
+	if c.MaxBytes() != 100_000_000 {
+		t.Errorf("max = %d, want 100MB tail", c.MaxBytes())
+	}
+	// Data mining is dominated by tiny flows: the median sample is < 1KB.
+	r := sim.NewSource(4).Stream("dm")
+	small := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if c.Sample(r) <= 1000 {
+			small++
+		}
+	}
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Errorf("sub-1KB fraction = %v, want majority", frac)
+	}
+	// Yet the mean is pulled up by the elephants.
+	if c.Mean() < 100_000 {
+		t.Errorf("mean = %v, want elephant-dominated (>100KB)", c.Mean())
+	}
+}

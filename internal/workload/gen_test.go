@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// captureSink records started flows without running a network.
+type captureSink struct {
+	flows []*transport.Flow
+}
+
+func (s *captureSink) StartFlow(f *transport.Flow) { s.flows = append(s.flows, f) }
+
+func hostsRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func poissonCfg() PoissonConfig {
+	return PoissonConfig{
+		Sources:    hostsRange(8),
+		Dests:      hostsRange(8),
+		Load:       0.5,
+		HostRate:   25e9,
+		Sizes:      WebSearchCDF(),
+		Priority:   pkt.PrioLossy,
+		Class:      pkt.ClassLossy,
+		Window:     20 * sim.Millisecond,
+		StreamName: "test",
+	}
+}
+
+func TestPoissonOfferedLoad(t *testing.T) {
+	eng := sim.NewEngine(11)
+	sink := &captureSink{}
+	cfg := poissonCfg()
+	cfg.Window = 100 * sim.Millisecond
+	g, err := NewPoisson(eng, sink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Install()
+	eng.RunAll()
+
+	// Offered bits per host per second ≈ load × rate.
+	perHost := float64(g.BytesOffered) * 8 / float64(len(cfg.Sources)) / cfg.Window.Seconds()
+	want := cfg.Load * float64(cfg.HostRate)
+	if math.Abs(perHost-want)/want > 0.25 {
+		t.Errorf("offered load %v bps/host, want within 25%% of %v", perHost, want)
+	}
+	if g.Generated == 0 || uint64(len(sink.flows)) != g.Generated {
+		t.Errorf("generated %d, sink got %d", g.Generated, len(sink.flows))
+	}
+}
+
+func TestPoissonNeverSelfSends(t *testing.T) {
+	eng := sim.NewEngine(11)
+	sink := &captureSink{}
+	g, err := NewPoisson(eng, sink, poissonCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Install()
+	eng.RunAll()
+	for _, f := range sink.flows {
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d sends to itself", f.ID)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("generated invalid flow: %v", err)
+		}
+	}
+}
+
+func TestPoissonStopsAtWindow(t *testing.T) {
+	eng := sim.NewEngine(11)
+	sink := &captureSink{}
+	cfg := poissonCfg()
+	var lastGen sim.Time
+	cfg.Observer = func(*transport.Flow) { lastGen = eng.Now() }
+	g, _ := NewPoisson(eng, sink, cfg)
+	g.Install()
+	eng.RunAll()
+	if g.Generated == 0 {
+		t.Fatal("nothing generated")
+	}
+	if lastGen >= cfg.Window {
+		t.Errorf("flow generated at %v, at/after window %v", lastGen, cfg.Window)
+	}
+}
+
+func TestPoissonObserverSeesEveryFlow(t *testing.T) {
+	eng := sim.NewEngine(11)
+	sink := &captureSink{}
+	cfg := poissonCfg()
+	seen := 0
+	cfg.Observer = func(f *transport.Flow) { seen++ }
+	g, _ := NewPoisson(eng, sink, cfg)
+	g.Install()
+	eng.RunAll()
+	if uint64(seen) != g.Generated {
+		t.Errorf("observer saw %d of %d flows", seen, g.Generated)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tests := []struct {
+		name   string
+		mutate func(*PoissonConfig)
+	}{
+		{"no sources", func(c *PoissonConfig) { c.Sources = nil }},
+		{"one dest", func(c *PoissonConfig) { c.Dests = []int{1} }},
+		{"zero load", func(c *PoissonConfig) { c.Load = 0 }},
+		{"zero rate", func(c *PoissonConfig) { c.HostRate = 0 }},
+		{"no sizes", func(c *PoissonConfig) { c.Sizes = nil }},
+		{"zero window", func(c *PoissonConfig) { c.Window = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := poissonCfg()
+			tt.mutate(&cfg)
+			if _, err := NewPoisson(eng, &captureSink{}, cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func incastCfg() IncastConfig {
+	return IncastConfig{
+		Hosts:        hostsRange(16),
+		Fanout:       5,
+		RequestBytes: 1 << 20,
+		QueryRate:    752,
+		Window:       50 * sim.Millisecond,
+		Priority:     pkt.PrioLossless,
+		Class:        pkt.ClassLossless,
+		StreamName:   "incast-test",
+	}
+}
+
+func TestIncastQueryShape(t *testing.T) {
+	eng := sim.NewEngine(13)
+	sink := &captureSink{}
+	g, err := NewIncast(eng, sink, incastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Install()
+	eng.RunAll()
+
+	if len(g.Queries()) == 0 {
+		t.Fatal("no queries issued")
+	}
+	if g.FlowsGenerated != uint64(len(g.Queries())*5) {
+		t.Errorf("flows = %d, want 5 per query (%d queries)", g.FlowsGenerated, len(g.Queries()))
+	}
+	// Every flow's size is the shard and none self-sends.
+	shard := int64(1<<20) / 5
+	byQuery := make(map[int][]*transport.Flow)
+	i := 0
+	for _, q := range g.Queries() {
+		for j := 0; j < 5; j++ {
+			f := sink.flows[i]
+			i++
+			if f.Size != shard {
+				t.Fatalf("flow size %d, want shard %d", f.Size, shard)
+			}
+			if f.Dst != q.Target {
+				t.Fatalf("flow targets %d, want query target %d", f.Dst, q.Target)
+			}
+			if f.Src == q.Target {
+				t.Fatal("responder equals target")
+			}
+			byQuery[q.ID] = append(byQuery[q.ID], f)
+		}
+	}
+	// Responders within a query are distinct.
+	for id, fs := range byQuery {
+		seen := map[int]bool{}
+		for _, f := range fs {
+			if seen[f.Src] {
+				t.Fatalf("query %d reuses responder %d", id, f.Src)
+			}
+			seen[f.Src] = true
+		}
+	}
+}
+
+func TestIncastQueryRate(t *testing.T) {
+	eng := sim.NewEngine(13)
+	cfg := incastCfg()
+	cfg.Window = 500 * sim.Millisecond
+	g, _ := NewIncast(eng, &captureSink{}, cfg)
+	g.Install()
+	eng.RunAll()
+
+	// Paper: 376 requests in 0.5 s at λ=752/s.
+	got := float64(len(g.Queries()))
+	if math.Abs(got-376)/376 > 0.2 {
+		t.Errorf("queries = %v in 0.5s, want ≈376", got)
+	}
+}
+
+func TestIncastCompletionTracking(t *testing.T) {
+	eng := sim.NewEngine(13)
+	sink := &captureSink{}
+	cfg := incastCfg()
+	cfg.QueryRate = 100
+	cfg.Window = 10 * sim.Millisecond
+	g, _ := NewIncast(eng, sink, cfg)
+	g.Install()
+	eng.RunAll()
+	if len(g.Queries()) == 0 {
+		t.Skip("no queries in short window")
+	}
+
+	// Complete all flows of the first query with staggered times.
+	q := g.Queries()[0]
+	var qFlows []*transport.Flow
+	for _, f := range sink.flows {
+		if f.Dst == q.Target && len(qFlows) < 5 {
+			qFlows = append(qFlows, f)
+		}
+	}
+	base := eng.Now()
+	for i, f := range qFlows {
+		g.OnFlowComplete(f.ID, base+sim.Duration(i)*sim.Microsecond)
+	}
+	if !q.Complete {
+		t.Fatal("query not complete after all flows finished")
+	}
+	if q.Done != base+4*sim.Microsecond {
+		t.Errorf("query done at %v, want max FCT %v", q.Done, base+4*sim.Microsecond)
+	}
+	if got := len(g.CompletedResponseTimes()); got != 1 {
+		t.Errorf("completed queries = %d, want 1", got)
+	}
+	// Unknown flow IDs are ignored.
+	g.OnFlowComplete(999_999, base)
+}
+
+func TestIncastValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tests := []struct {
+		name   string
+		mutate func(*IncastConfig)
+	}{
+		{"one host", func(c *IncastConfig) { c.Hosts = []int{0} }},
+		{"fanout too big", func(c *IncastConfig) { c.Fanout = 16 }},
+		{"fanout zero", func(c *IncastConfig) { c.Fanout = 0 }},
+		{"tiny request", func(c *IncastConfig) { c.RequestBytes = 2 }},
+		{"zero rate", func(c *IncastConfig) { c.QueryRate = 0 }},
+		{"zero window", func(c *IncastConfig) { c.Window = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := incastCfg()
+			tt.mutate(&cfg)
+			if _, err := NewIncast(eng, &captureSink{}, cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestIDSourceUniqueAndFresh(t *testing.T) {
+	ids := NewIDSource()
+	seen := make(map[pkt.FlowID]bool)
+	for i := 0; i < 1000; i++ {
+		id := ids.Next()
+		if seen[id] {
+			t.Fatal("duplicate flow ID")
+		}
+		seen[id] = true
+	}
+	// A fresh source restarts, making runs independent of process history.
+	if NewIDSource().Next() != 1 {
+		t.Error("fresh IDSource should start at 1")
+	}
+}

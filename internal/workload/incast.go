@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// IncastConfig describes the paper's burst deep-dive workload (§IV-B): a
+// Poisson stream of queries; each query picks a random target server that
+// simultaneously requests RequestBytes/Fanout bytes from Fanout other
+// random servers as lossless RDMA flows, over whatever background traffic
+// is installed separately.
+type IncastConfig struct {
+	// Hosts are the servers participating as targets and responders.
+	Hosts []int
+	// Fanout is N, the number of concurrent responders per query.
+	Fanout int
+	// RequestBytes is the total query payload (paper: 1 MB, i.e. 25% of
+	// the 4 MB switch buffer).
+	RequestBytes int64
+	// QueryRate is the mean number of queries per second (paper: 376
+	// queries in 0.5 s ≈ 752/s).
+	QueryRate float64
+	// Window is how long queries are generated.
+	Window sim.Duration
+	// Priority and Class select the protocol (paper: lossless RDMA).
+	Priority int
+	Class    pkt.Class
+	// Observer, if set, sees every flow before it starts.
+	Observer FlowObserver
+	// StreamName salts the random streams.
+	StreamName string
+	// IDs allocates flow IDs; share one across a simulation's generators.
+	IDs *IDSource
+}
+
+// Validate reports configuration errors.
+func (c *IncastConfig) Validate() error {
+	switch {
+	case len(c.Hosts) < 2:
+		return fmt.Errorf("workload: incast needs at least 2 hosts")
+	case c.Fanout < 1 || c.Fanout >= len(c.Hosts):
+		return fmt.Errorf("workload: fanout %d must be in [1, len(hosts))", c.Fanout)
+	case c.RequestBytes < int64(c.Fanout):
+		return fmt.Errorf("workload: request of %d bytes too small for fanout %d", c.RequestBytes, c.Fanout)
+	case c.QueryRate <= 0:
+		return fmt.Errorf("workload: query rate must be positive")
+	case c.Window <= 0:
+		return fmt.Errorf("workload: window must be positive")
+	default:
+		return nil
+	}
+}
+
+// Query tracks one fan-in request: it completes when all of its flows have
+// completed, and its response time is the max FCT among them (the paper's
+// "actual response latency").
+type Query struct {
+	// ID numbers queries in issue order.
+	ID int
+	// Target is the requesting server.
+	Target int
+	// Issued is when the query (and all its flows) started.
+	Issued sim.Time
+	// Done is when the last flow finished (valid once Complete).
+	Done sim.Time
+	// Complete reports whether every flow has finished.
+	Complete bool
+
+	pending int
+}
+
+// ResponseTime returns the query latency (valid once Complete).
+func (q *Query) ResponseTime() sim.Duration { return q.Done - q.Issued }
+
+// Incast drives the query workload.
+type Incast struct {
+	cfg  IncastConfig
+	eng  *sim.Engine
+	sink Sink
+
+	queries []*Query
+	flowToQ map[pkt.FlowID]*Query
+	// FlowsGenerated counts responder flows started.
+	FlowsGenerated uint64
+}
+
+// NewIncast builds the generator; call Install to schedule queries, and
+// route flow completions to OnFlowComplete.
+func NewIncast(eng *sim.Engine, sink Sink, cfg IncastConfig) (*Incast, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IDs == nil {
+		cfg.IDs = NewIDSource()
+	}
+	return &Incast{cfg: cfg, eng: eng, sink: sink, flowToQ: make(map[pkt.FlowID]*Query)}, nil
+}
+
+// Install schedules the Poisson query stream.
+func (g *Incast) Install() {
+	meanGap := sim.Duration(float64(sim.Second) / g.cfg.QueryRate)
+	arrivals := g.eng.Rand(g.cfg.StreamName + "/queries")
+	picks := g.eng.Rand(g.cfg.StreamName + "/picks")
+
+	var tick func()
+	tick = func() {
+		if g.eng.Now() >= g.cfg.Window {
+			return
+		}
+		g.issue(picks)
+		g.eng.Schedule(arrivals.ExpDuration(meanGap), tick)
+	}
+	g.eng.Schedule(arrivals.ExpDuration(meanGap), tick)
+}
+
+// issue launches one query: Fanout responders each send an equal shard to
+// the target at the same instant (the paper's synchronized fan-in burst).
+func (g *Incast) issue(picks *sim.Rand) {
+	target := g.cfg.Hosts[picks.Intn(len(g.cfg.Hosts))]
+	q := &Query{ID: len(g.queries), Target: target, Issued: g.eng.Now(), pending: g.cfg.Fanout}
+	g.queries = append(g.queries, q)
+
+	shard := g.cfg.RequestBytes / int64(g.cfg.Fanout)
+	perm := picks.Perm(len(g.cfg.Hosts))
+	launched := 0
+	for _, idx := range perm {
+		responder := g.cfg.Hosts[idx]
+		if responder == target {
+			continue
+		}
+		f := &transport.Flow{
+			ID:       g.cfg.IDs.Next(),
+			Src:      responder,
+			Dst:      target,
+			Size:     shard,
+			Priority: g.cfg.Priority,
+			Class:    g.cfg.Class,
+			Start:    g.eng.Now(),
+		}
+		g.flowToQ[f.ID] = q
+		g.FlowsGenerated++
+		if g.cfg.Observer != nil {
+			g.cfg.Observer(f)
+		}
+		g.sink.StartFlow(f)
+		launched++
+		if launched == g.cfg.Fanout {
+			break
+		}
+	}
+}
+
+// OnFlowComplete notifies the generator that a flow finished; unknown flows
+// (background traffic) are ignored.
+func (g *Incast) OnFlowComplete(id pkt.FlowID, at sim.Time) {
+	q, ok := g.flowToQ[id]
+	if !ok {
+		return
+	}
+	delete(g.flowToQ, id)
+	q.pending--
+	if at > q.Done {
+		q.Done = at
+	}
+	if q.pending == 0 {
+		q.Complete = true
+	}
+}
+
+// Queries returns all issued queries (completed or not).
+func (g *Incast) Queries() []*Query { return g.queries }
+
+// CompletedResponseTimes returns the response times of completed queries.
+func (g *Incast) CompletedResponseTimes() []sim.Duration {
+	var out []sim.Duration
+	for _, q := range g.queries {
+		if q.Complete {
+			out = append(out, q.ResponseTime())
+		}
+	}
+	return out
+}

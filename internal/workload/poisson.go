@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// Sink receives generated flows; topo.Cluster satisfies it.
+type Sink interface {
+	StartFlow(f *transport.Flow)
+}
+
+// FlowObserver is notified as each flow is created, before it starts —
+// the hook the metrics layer uses to record start times and ideal FCTs.
+type FlowObserver func(f *transport.Flow)
+
+// IDSource hands out run-unique flow IDs. All generators feeding one
+// simulation must share one IDSource; keeping it per-run (rather than a
+// process global) makes flow IDs — and therefore ECMP path choices —
+// reproducible regardless of what else ran in the process.
+type IDSource struct {
+	next uint64
+}
+
+// NewIDSource returns a fresh allocator starting at 1.
+func NewIDSource() *IDSource { return &IDSource{} }
+
+// Next returns a fresh flow ID.
+func (s *IDSource) Next() pkt.FlowID {
+	s.next++
+	return pkt.FlowID(s.next)
+}
+
+// PoissonConfig describes one all-to-all Poisson traffic class (the paper's
+// web-search workload): every host in Sources independently generates flows
+// with exponential inter-arrival gaps sized so its average offered rate is
+// Load × HostRate, each flow targeting a uniformly random host in Dests.
+type PoissonConfig struct {
+	// Sources are the generating host IDs.
+	Sources []int
+	// Dests are candidate destinations (the source itself is excluded).
+	Dests []int
+	// Load is the offered load as a fraction of HostRate.
+	Load float64
+	// HostRate is the access-link rate in bits/s.
+	HostRate int64
+	// Sizes is the flow-size distribution.
+	Sizes *CDF
+	// Priority and Class select the protocol (lossless = DCQCN RDMA,
+	// lossy = DCTCP).
+	Priority int
+	Class    pkt.Class
+	// Window is how long generation lasts; flows started inside the window
+	// run to completion afterwards.
+	Window sim.Duration
+	// Observer, if set, sees every flow before it starts.
+	Observer FlowObserver
+	// Forbid, if set, vetoes (src, dst) pairs — e.g. the motivation
+	// experiment only sends between servers under different leaf switches.
+	Forbid func(src, dst int) bool
+	// StreamName salts this generator's random streams, letting several
+	// generators coexist independently.
+	StreamName string
+	// IDs allocates flow IDs; generators sharing a simulation must share
+	// one. A private allocator is used when nil.
+	IDs *IDSource
+}
+
+// Validate reports configuration errors.
+func (c *PoissonConfig) Validate() error {
+	switch {
+	case len(c.Sources) == 0:
+		return fmt.Errorf("workload: no source hosts")
+	case len(c.Dests) < 2:
+		return fmt.Errorf("workload: need at least 2 destination candidates")
+	case c.Load <= 0:
+		return fmt.Errorf("workload: load %v must be positive", c.Load)
+	case c.HostRate <= 0:
+		return fmt.Errorf("workload: host rate must be positive")
+	case c.Sizes == nil:
+		return fmt.Errorf("workload: no size distribution")
+	case c.Window <= 0:
+		return fmt.Errorf("workload: window must be positive")
+	default:
+		return nil
+	}
+}
+
+// Poisson drives one Poisson traffic class on a cluster.
+type Poisson struct {
+	cfg  PoissonConfig
+	eng  *sim.Engine
+	sink Sink
+
+	// Generated counts flows started.
+	Generated uint64
+	// BytesOffered sums generated flow sizes.
+	BytesOffered int64
+}
+
+// NewPoisson builds the generator; call Install to schedule traffic.
+func NewPoisson(eng *sim.Engine, sink Sink, cfg PoissonConfig) (*Poisson, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IDs == nil {
+		cfg.IDs = NewIDSource()
+	}
+	return &Poisson{cfg: cfg, eng: eng, sink: sink}, nil
+}
+
+// Install schedules the first arrival of every source host. The mean
+// inter-arrival gap per host is meanSize·8 / (Load·HostRate).
+func (g *Poisson) Install() {
+	meanGap := sim.Duration(g.cfg.Sizes.Mean() * 8 / (g.cfg.Load * float64(g.cfg.HostRate)) * float64(sim.Second))
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	for _, src := range g.cfg.Sources {
+		src := src
+		arrivals := g.eng.Rand(fmt.Sprintf("%s/arrivals/%d", g.cfg.StreamName, src))
+		sizes := g.eng.Rand(fmt.Sprintf("%s/sizes/%d", g.cfg.StreamName, src))
+		dests := g.eng.Rand(fmt.Sprintf("%s/dests/%d", g.cfg.StreamName, src))
+
+		var tick func()
+		tick = func() {
+			if g.eng.Now() >= g.cfg.Window {
+				return
+			}
+			g.launch(src, sizes, dests)
+			g.eng.Schedule(arrivals.ExpDuration(meanGap), tick)
+		}
+		g.eng.Schedule(arrivals.ExpDuration(meanGap), tick)
+	}
+}
+
+// launch creates and starts one flow from src.
+func (g *Poisson) launch(src int, sizes, dests *sim.Rand) {
+	dst := src
+	for tries := 0; dst == src || (g.cfg.Forbid != nil && g.cfg.Forbid(src, dst)); tries++ {
+		if tries > 10_000 {
+			panic("workload: Forbid rejects every destination")
+		}
+		dst = g.cfg.Dests[dests.Intn(len(g.cfg.Dests))]
+	}
+	f := &transport.Flow{
+		ID:       g.cfg.IDs.Next(),
+		Src:      src,
+		Dst:      dst,
+		Size:     g.cfg.Sizes.Sample(sizes),
+		Priority: g.cfg.Priority,
+		Class:    g.cfg.Class,
+		Start:    g.eng.Now(),
+	}
+	g.Generated++
+	g.BytesOffered += f.Size
+	if g.cfg.Observer != nil {
+		g.cfg.Observer(f)
+	}
+	g.sink.StartFlow(f)
+}
