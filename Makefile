@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench faults clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the slow multi-policy fault sweeps; race still covers
+# every package's core paths.
+race:
+	$(GO) test -race -short ./...
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The robustness ablation: link flaps + BER + recovery, four policies.
+faults:
+	$(GO) run ./cmd/l2bmexp -exp faults -scale tiny
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,10 @@
 //	l2bmexp -exp fig7 -scale small
 //	l2bmexp -exp all -scale full -out results.txt
 //
-// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 all.
+// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults all.
+// The faults experiment is a beyond-the-paper robustness ablation: link
+// flaps plus frame corruption with go-back-N recovery and PFC deadlock
+// detection enabled.
 // Scales: tiny (seconds), small (minutes), full (paper topology; tens of
 // minutes for the sweeps).
 package main
@@ -28,7 +31,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("l2bmexp", flag.ContinueOnError)
-	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|all")
+	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|all")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +59,7 @@ func Run(expName, scaleName string, w io.Writer) error {
 	}
 
 	runners := experimentRunners()
-	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11"}
+	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
 
 	var selected []string
 	if expName == "all" {

@@ -56,5 +56,9 @@ func experimentRunners() map[string]func(exp.Scale, io.Writer) error {
 			_, err := exp.RunFig11(s, w)
 			return err
 		},
+		"faults": func(s exp.Scale, w io.Writer) error {
+			_, err := exp.RunFaultTolerance(s, w)
+			return err
+		},
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
@@ -96,6 +97,22 @@ type WeightBounds struct {
 	Max float64
 }
 
+// Validate rejects bounds that would silently corrupt every threshold they
+// clamp: NaN or infinite endpoints, negative endpoints, or an inverted
+// band. Zero fields remain "unbounded" and are always valid.
+func (b WeightBounds) Validate() error {
+	switch {
+	case math.IsNaN(b.Min) || math.IsInf(b.Min, 0) || math.IsNaN(b.Max) || math.IsInf(b.Max, 0):
+		return fmt.Errorf("core: WeightBounds must be finite (got Min=%v Max=%v)", b.Min, b.Max)
+	case b.Min < 0 || b.Max < 0:
+		return fmt.Errorf("core: WeightBounds must be >= 0 (got Min=%v Max=%v)", b.Min, b.Max)
+	case b.Max > 0 && b.Min > b.Max:
+		return fmt.Errorf("core: WeightBounds inverted (Min=%v > Max=%v)", b.Min, b.Max)
+	default:
+		return nil
+	}
+}
+
 // clamp applies the bounds to w.
 func (b WeightBounds) clamp(w float64) float64 {
 	if b.Max > 0 && w > b.Max {
@@ -138,16 +155,35 @@ type L2BM struct {
 	sojourn *SojournTable
 }
 
+// Validate reports the pathological-α class of configuration errors DESIGN
+// §5 promises to reject: NaN/Inf/non-positive control factors, a
+// non-positive τ floor (division blow-up in Eq. 4), unknown normalizations,
+// and malformed weight bounds — each would otherwise become a silent
+// garbage threshold rather than an error.
+func (cfg *L2BMConfig) Validate() error {
+	switch {
+	case math.IsNaN(cfg.Alpha) || math.IsInf(cfg.Alpha, 0) || cfg.Alpha <= 0:
+		return fmt.Errorf("core: L2BM Alpha = %v, want finite > 0", cfg.Alpha)
+	case math.IsNaN(cfg.AlphaEgressPool) || math.IsInf(cfg.AlphaEgressPool, 0) || cfg.AlphaEgressPool <= 0:
+		return fmt.Errorf("core: L2BM AlphaEgressPool = %v, want finite > 0", cfg.AlphaEgressPool)
+	case cfg.TauFloor <= 0:
+		return fmt.Errorf("core: L2BM TauFloor = %v, want > 0 (zero divides Eq. 4)", cfg.TauFloor)
+	case cfg.Normalization < NormSumTau || cfg.Normalization > NormCount:
+		return fmt.Errorf("core: L2BM Normalization = %d, want a defined Normalization", cfg.Normalization)
+	}
+	if err := cfg.BoundsLossless.Validate(); err != nil {
+		return fmt.Errorf("lossless %w", err)
+	}
+	if err := cfg.BoundsLossy.Validate(); err != nil {
+		return fmt.Errorf("lossy %w", err)
+	}
+	return nil
+}
+
 // NewL2BM returns an L2BM policy with the given configuration.
 func NewL2BM(cfg L2BMConfig) *L2BM {
-	if cfg.Alpha <= 0 {
-		panic("core: L2BM requires a positive Alpha")
-	}
-	if cfg.TauFloor <= 0 {
-		panic("core: L2BM requires a positive TauFloor")
-	}
-	if cfg.Normalization < NormSumTau || cfg.Normalization > NormCount {
-		panic("core: L2BM requires a valid Normalization")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &L2BM{cfg: cfg, sojourn: NewSojournTable(cfg.ExcludePauseTime)}
 }

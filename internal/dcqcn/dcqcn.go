@@ -5,10 +5,14 @@
 // hyper-increase stages, and a notification point (receiver) that emits at
 // most one CNP per flow per interval when it sees CE-marked packets.
 //
-// Reliability: the network is lossless under PFC, so the endpoints track
-// sequence continuity only to assert the zero-loss invariant; there is no
-// go-back-N (headroom exhaustion is surfaced as a lossless violation by the
-// switch and as an incomplete flow here).
+// Reliability: on a healthy fabric the network is lossless under PFC, so by
+// default the endpoints track sequence continuity only to assert the
+// zero-loss invariant. When Config.GoBackN is set (fault-injection runs), the
+// endpoints instead implement RoCE-style go-back-N recovery: the receiver is
+// strictly in-order, NACKs out-of-sequence arrivals (rate-limited) and emits
+// cumulative ACKs; the sender keeps an unacknowledged mark, rewinds on NACK
+// or retransmission timeout with exponential backoff, and completes only
+// when every byte has been acknowledged.
 package dcqcn
 
 import (
@@ -45,6 +49,23 @@ type Config struct {
 	// more than this backlog (models the HW send queue's backpressure
 	// under PFC pause).
 	NICGateBytes int
+
+	// GoBackN enables RoCE-style loss recovery. Off by default: a healthy
+	// PFC fabric never drops lossless packets, and the recovery machinery
+	// (ACK traffic, timers) would perturb the paper's baseline runs. The
+	// fault-injection harness turns it on.
+	GoBackN bool
+	// AckInterval is how many in-order payload bytes the receiver lets
+	// accumulate before emitting a cumulative ACK (a FIN always ACKs).
+	AckInterval int64
+	// NACKInterval rate-limits out-of-sequence NACKs per flow, so a burst
+	// of in-flight packets behind one loss triggers one rewind, not many.
+	NACKInterval sim.Duration
+	// RetxTimeout is the base retransmission timeout armed per
+	// transmission; it recovers tail loss (including lost FIN or ACK).
+	RetxTimeout sim.Duration
+	// MaxRetxBackoff caps the exponential timeout backoff multiplier.
+	MaxRetxBackoff int
 }
 
 // DefaultConfig returns DCQCN parameters for a given NIC line rate.
@@ -62,6 +83,11 @@ func DefaultConfig(lineRate int64) Config {
 		RateHAI:            200e6,
 		CNPInterval:        50 * sim.Microsecond,
 		NICGateBytes:       64 << 10,
+		GoBackN:            false,
+		AckInterval:        32 << 10,
+		NACKInterval:       10 * sim.Microsecond,
+		RetxTimeout:        500 * sim.Microsecond,
+		MaxRetxBackoff:     16,
 	}
 }
 
@@ -85,11 +111,24 @@ type Sender struct {
 	incTimer   sim.EventRef
 	pacer      sim.EventRef
 
+	// Go-back-N state, active only when cfg.GoBackN.
+	sndUna        int64 // cumulative bytes acknowledged by the receiver
+	rewindBarrier int64 // NACKs asking below this are stale; ignore them
+	retxTimer     sim.EventRef
+	retxBackoff   int
+
 	done   bool
 	onDone func()
 
 	// CNPsReceived counts rate cuts taken.
 	CNPsReceived uint64
+	// NACKsReceived counts go-back-N rewinds taken on receiver NACKs.
+	NACKsReceived uint64
+	// Timeouts counts retransmission-timeout rewinds.
+	Timeouts uint64
+	// RetransmittedBytes totals payload bytes scheduled for re-emission by
+	// rewinds (the recovery cost the fault experiments report).
+	RetransmittedBytes int64
 }
 
 // NewSender builds a reaction point for flow. onDone, if non-nil, fires when
@@ -101,14 +140,18 @@ func NewSender(env transport.Env, cfg Config, flow *transport.Flow, onDone func(
 	if cfg.MSS <= 0 || cfg.LineRate <= 0 || cfg.G <= 0 || cfg.G > 1 {
 		panic("dcqcn: invalid config")
 	}
+	if cfg.GoBackN && (cfg.AckInterval <= 0 || cfg.RetxTimeout <= 0 || cfg.MaxRetxBackoff < 1) {
+		panic("dcqcn: GoBackN requires positive AckInterval, RetxTimeout and MaxRetxBackoff")
+	}
 	return &Sender{
-		env:    env,
-		cfg:    cfg,
-		flow:   flow,
-		rc:     float64(cfg.LineRate),
-		rt:     float64(cfg.LineRate),
-		alpha:  1,
-		onDone: onDone,
+		env:         env,
+		cfg:         cfg,
+		flow:        flow,
+		rc:          float64(cfg.LineRate),
+		rt:          float64(cfg.LineRate),
+		alpha:       1,
+		retxBackoff: 1,
+		onDone:      onDone,
 	}
 }
 
@@ -150,6 +193,11 @@ func (s *Sender) sendNext() {
 	p.SentAt = s.env.Now()
 	s.env.Send(p)
 	s.sent += int64(payload)
+	if s.cfg.GoBackN {
+		// Each transmission restarts the tail-loss timer: it only fires
+		// RetxTimeout after the *last* emission without full acknowledgement.
+		s.armRetx()
+	}
 
 	s.byteCount += int64(p.Size)
 	if s.byteCount >= s.cfg.ByteCounter {
@@ -159,11 +207,87 @@ func (s *Sender) sendNext() {
 	}
 
 	if s.sent >= s.flow.Size {
+		if s.cfg.GoBackN {
+			// All bytes emitted, not yet all acknowledged: stay alive and
+			// let the ACK path (or the retx timer) decide what happens.
+			return
+		}
 		s.finish()
 		return
 	}
 	gap := sim.TxTime(p.Size, int64(s.rc))
 	s.pacer = s.env.Schedule(gap, s.sendNext)
+}
+
+// HandleAck advances the cumulative acknowledgement mark. Fresh progress
+// resets the timeout backoff; acknowledging the last byte completes the
+// sender.
+func (s *Sender) HandleAck(cum int64) {
+	if s.done || !s.cfg.GoBackN || cum <= s.sndUna {
+		return
+	}
+	s.sndUna = cum
+	s.retxBackoff = 1
+	if s.sndUna >= s.flow.Size {
+		s.finish()
+		return
+	}
+	s.armRetx()
+}
+
+// HandleNACK rewinds transmission to the receiver's expected byte. The
+// rewind barrier makes the rewind monotone: stale NACKs for bytes an earlier
+// rewind already covers (still in flight when the receiver recovered) are
+// ignored, so a NACK storm cannot livelock retransmission.
+func (s *Sender) HandleNACK(expected int64) {
+	if s.done || !s.cfg.GoBackN {
+		return
+	}
+	if expected < s.rewindBarrier {
+		return
+	}
+	s.rewindBarrier = expected + 1
+	if expected > s.sndUna {
+		s.sndUna = expected
+	}
+	s.NACKsReceived++
+	s.retxBackoff = 1
+	s.rewind(expected)
+}
+
+// armRetx (re)arms the retransmission timeout while unacknowledged bytes
+// are outstanding.
+func (s *Sender) armRetx() {
+	s.retxTimer.Cancel()
+	if s.done || s.sndUna >= s.sent {
+		return
+	}
+	s.retxTimer = s.env.Schedule(s.cfg.RetxTimeout*sim.Duration(s.retxBackoff), s.onRetxTimeout)
+}
+
+func (s *Sender) onRetxTimeout() {
+	if s.done || s.sndUna >= s.sent {
+		return
+	}
+	s.Timeouts++
+	if s.retxBackoff < s.cfg.MaxRetxBackoff {
+		s.retxBackoff *= 2
+	}
+	s.rewind(s.sndUna)
+}
+
+// rewind restarts transmission from byte `to`, charging the re-covered span
+// to RetransmittedBytes and re-entering the paced send loop immediately.
+func (s *Sender) rewind(to int64) {
+	if to < 0 || to >= s.sent {
+		s.armRetx()
+		return
+	}
+	s.RetransmittedBytes += s.sent - to
+	s.sent = to
+	s.byteCount = 0
+	s.pacer.Cancel()
+	s.sendNext()
 }
 
 // HandleCNP is the reaction-point cut: α jumps toward 1, the target rate
@@ -258,6 +382,7 @@ func (s *Sender) finish() {
 	s.alphaTimer.Cancel()
 	s.incTimer.Cancel()
 	s.pacer.Cancel()
+	s.retxTimer.Cancel()
 	if s.onDone != nil {
 		s.onDone()
 	}
@@ -278,6 +403,18 @@ type Receiver struct {
 	sentCNP  bool
 	complete bool
 	onDone   func(at sim.Time)
+
+	// Go-back-N state, active only when cfg.GoBackN.
+	lastNACK   sim.Time
+	sentNACK   bool
+	lastAcked  int64
+	lastDupAck sim.Time
+	sentDupAck bool
+
+	// NACKsSent counts out-of-sequence NACKs emitted (rate-limited).
+	NACKsSent uint64
+	// AcksSent counts cumulative ACKs emitted.
+	AcksSent uint64
 }
 
 // NewReceiver builds a notification point; onDone fires when the flow's
@@ -302,13 +439,6 @@ func (r *Receiver) Gaps() uint64 { return r.gaps }
 
 // HandleData processes one arriving RDMA packet.
 func (r *Receiver) HandleData(p *pkt.Packet) {
-	if p.Seq != r.recvNxt {
-		r.gaps++
-	}
-	if p.End() > r.recvNxt {
-		r.recvNxt = p.End()
-	}
-
 	if p.CE {
 		now := r.env.Now()
 		if !r.sentCNP || now-r.lastCNP >= r.cfg.CNPInterval {
@@ -318,7 +448,66 @@ func (r *Receiver) HandleData(p *pkt.Packet) {
 		}
 	}
 
+	if r.cfg.GoBackN {
+		r.handleDataGBN(p)
+		return
+	}
+
+	if p.Seq != r.recvNxt {
+		r.gaps++
+	}
+	if p.End() > r.recvNxt {
+		r.recvNxt = p.End()
+	}
+
 	if p.FlowFin && !r.complete && r.gaps == 0 {
+		r.complete = true
+		if r.onDone != nil {
+			r.onDone(r.env.Now())
+		}
+	}
+}
+
+// handleDataGBN is the strictly in-order receive path: out-of-sequence
+// packets are discarded and NACKed (rate-limited), in-order progress is
+// acknowledged cumulatively every AckInterval bytes and on FIN, and the flow
+// completes when the FIN arrives in order — gaps count recovered loss
+// events, not permanent damage.
+func (r *Receiver) handleDataGBN(p *pkt.Packet) {
+	if p.Seq > r.recvNxt {
+		// A loss upstream left a hole: ask the sender to rewind.
+		r.gaps++
+		now := r.env.Now()
+		if !r.sentNACK || now-r.lastNACK >= r.cfg.NACKInterval {
+			r.sentNACK = true
+			r.lastNACK = now
+			r.NACKsSent++
+			r.env.Send(pkt.NewNack(r.flowID, r.host, r.peer, r.recvNxt))
+		}
+		return
+	}
+	if p.End() <= r.recvNxt {
+		// Duplicate from a rewind that overshot or a lost ACK: re-ACK
+		// (rate-limited) so the sender can resynchronize — without this a
+		// lost final ACK would leave the sender retransmitting forever.
+		now := r.env.Now()
+		if !r.sentDupAck || now-r.lastDupAck >= r.cfg.NACKInterval {
+			r.sentDupAck = true
+			r.lastDupAck = now
+			r.AcksSent++
+			r.env.Send(pkt.NewAck(r.flowID, r.host, r.peer, r.recvNxt, false))
+		}
+		return
+	}
+	r.recvNxt = p.End()
+
+	if p.FlowFin || r.recvNxt-r.lastAcked >= r.cfg.AckInterval {
+		r.lastAcked = r.recvNxt
+		r.AcksSent++
+		r.env.Send(pkt.NewAck(r.flowID, r.host, r.peer, r.recvNxt, false))
+	}
+
+	if p.FlowFin && !r.complete {
 		r.complete = true
 		if r.onDone != nil {
 			r.onDone(r.env.Now())

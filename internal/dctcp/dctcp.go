@@ -65,6 +65,7 @@ type Sender struct {
 
 	rto        sim.EventRef
 	rtoBackoff int
+	maxSent    int64 // highest byte ever emitted, for retransmit accounting
 	done       bool
 	onDone     func()
 
@@ -72,6 +73,9 @@ type Sender struct {
 	Retransmissions uint64
 	// Timeouts counts RTO firings.
 	Timeouts uint64
+	// RetransmittedBytes totals payload bytes re-emitted below the
+	// high-water mark (fast retransmits and RTO rewinds).
+	RetransmittedBytes int64
 }
 
 // NewSender builds a sender for flow. onDone, if non-nil, fires when every
@@ -139,6 +143,11 @@ func (s *Sender) segmentLen(seq int64) int {
 
 func (s *Sender) sendSegment(seq int64) {
 	payload := s.segmentLen(seq)
+	if end := seq + int64(payload); end > s.maxSent {
+		s.maxSent = end
+	} else {
+		s.RetransmittedBytes += int64(payload)
+	}
 	p := pkt.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, seq, payload)
 	p.FlowFin = seq+int64(payload) == s.flow.Size
 	p.SentAt = s.env.Now()

@@ -68,7 +68,24 @@ func RunFig3a(scale Scale, w io.Writer) (*Fig3aResult, error) {
 	if err := tab.Fprint(w); err != nil {
 		return nil, err
 	}
+	integ := newIntegrityTable("Fig 3(a) integrity: lossless gaps / violations / MMU audits")
+	addIntegrityRow(integ, "TCP", tcp)
+	addIntegrityRow(integ, "RDMA", rdma)
+	if err := integ.Fprint(w); err != nil {
+		return nil, err
+	}
 	return &Fig3aResult{TCPOnly: tcp, RDMAOnly: rdma}, nil
+}
+
+// sweepIntegrity renders the integrity table of a (policy × load) sweep.
+func sweepIntegrity(title string, sweep *SweepResult, w io.Writer) error {
+	integ := newIntegrityTable(title)
+	for _, pol := range sweep.Policies {
+		for i, res := range sweep.Cells[pol] {
+			addIntegrityRow(integ, fmt.Sprintf("%s@%.1f", pol, sweep.Loads[i]), res)
+		}
+	}
+	return integ.Fprint(w)
 }
 
 // SweepResult is a (policy, load) grid of results.
@@ -120,6 +137,9 @@ func RunFig3b(scale Scale, w io.Writer) (*SweepResult, error) {
 	if err := tab.Fprint(w); err != nil {
 		return nil, err
 	}
+	if err := sweepIntegrity("Fig 3(b) integrity: lossless gaps / violations / MMU audits", sweep, w); err != nil {
+		return nil, err
+	}
 	return sweep, nil
 }
 
@@ -162,6 +182,9 @@ func RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
 			return nil, err
 		}
 	}
+	if err := sweepIntegrity("Fig 7 integrity: lossless gaps / violations / MMU audits", sweep, w); err != nil {
+		return nil, err
+	}
 	return sweep, nil
 }
 
@@ -170,6 +193,7 @@ func RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
 func RunTable2(scale Scale, prior *SweepResult, w io.Writer) (*Table, error) {
 	tab := NewTable("Table II: number of PFC pause frames",
 		"policy", "load=0.4", "load=0.5", "load=0.6", "load=0.7", "load=0.8")
+	integ := newIntegrityTable("Table II integrity: lossless gaps / violations / MMU audits")
 	for _, pol := range []string{"ABM", "DT", "DT2", "L2BM"} {
 		row := []string{pol}
 		for _, load := range Table2Loads {
@@ -192,10 +216,14 @@ func RunTable2(scale Scale, prior *SweepResult, w io.Writer) (*Table, error) {
 				}
 			}
 			row = append(row, fmt.Sprint(res.PauseFrames))
+			addIntegrityRow(integ, fmt.Sprintf("%s@%.1f", pol, load), res)
 		}
 		tab.AddRow(row...)
 	}
 	if err := tab.Fprint(w); err != nil {
+		return nil, err
+	}
+	if err := integ.Fprint(w); err != nil {
 		return nil, err
 	}
 	return tab, nil
@@ -213,6 +241,7 @@ func RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
 	out := &Fig8Result{CDFs: make(map[string][][]metrics.CDFPoint)}
 	tab := NewTable("Fig 8: ToR occupancy at TCP load 0.8 (KB at CDF points)",
 		"policy", "tor", "p25", "p50", "p75", "p90", "p99")
+	integ := newIntegrityTable("Fig 8 integrity: lossless gaps / violations / MMU audits")
 	for _, pol := range PolicyNames {
 		res, err := RunHybrid(HybridSpec{
 			Name: "fig8", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
@@ -220,6 +249,7 @@ func RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		addIntegrityRow(integ, pol, res)
 		for tor, trace := range res.TorOccupancy {
 			xs := make([]float64, len(trace))
 			for i, s := range trace {
@@ -233,6 +263,9 @@ func RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
 		}
 	}
 	if err := tab.Fprint(w); err != nil {
+		return nil, err
+	}
+	if err := integ.Fprint(w); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -254,6 +287,7 @@ func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
 	}
 	tab := NewTable("Fig 9: FCT slowdown at TCP load 0.8",
 		"policy", "class", "p50", "p90", "p99")
+	integ := newIntegrityTable("Fig 9 integrity: lossless gaps / violations / MMU audits")
 	for _, pol := range PolicyNames {
 		res, err := RunHybrid(HybridSpec{
 			Name: "fig9", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
@@ -261,6 +295,7 @@ func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		addIntegrityRow(integ, pol, res)
 		out.RDMA[pol] = metrics.EmpiricalCDF(res.RDMASlowdowns, 100)
 		out.TCP[pol] = metrics.EmpiricalCDF(res.TCPSlowdowns, 100)
 		tab.AddRow(pol, pkt.ClassLossless.String(),
@@ -273,6 +308,9 @@ func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
 			f2(res.TCPp99()))
 	}
 	if err := tab.Fprint(w); err != nil {
+		return nil, err
+	}
+	if err := integ.Fprint(w); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -296,6 +334,7 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 		"policy", "mean", "std", "min", "p25", "median", "p75", "max")
 	occ := NewTable("Fig 10(c): ToR occupancy under incast (KB)",
 		"policy", "p50", "p90", "p99")
+	integ := newIntegrityTable("Fig 10 integrity: lossless gaps / violations / MMU audits")
 	for _, pol := range PolicyNames {
 		res, err := RunHybrid(HybridSpec{
 			Name: "fig10", Policy: pol, Scale: scale,
@@ -305,6 +344,7 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 			return nil, err
 		}
 		out[pol] = res
+		addIntegrityRow(integ, pol, res)
 
 		under10 := 0
 		for _, s := range res.IncastSlowdowns {
@@ -333,7 +373,7 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 		occ.AddRow(pol, f2(metrics.Percentile(all, 50)/1024),
 			f2(metrics.Percentile(all, 90)/1024), f2(metrics.Percentile(all, 99)/1024))
 	}
-	for _, tab := range []*Table{cdf, bars, occ} {
+	for _, tab := range []*Table{cdf, bars, occ, integ} {
 		if err := tab.Fprint(w); err != nil {
 			return nil, err
 		}
@@ -351,6 +391,7 @@ func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
 		"policy", "N=5", "N=10", "N=15")
 	pauses := NewTable("Fig 11(c): PFC pause frames",
 		"policy", "N=5", "N=10", "N=15")
+	integ := newIntegrityTable("Fig 11 integrity: lossless gaps / violations / MMU audits")
 	for _, pol := range PolicyNames {
 		out[pol] = make(map[int]*Result)
 		tailRow, avgRow, pauseRow := []string{pol}, []string{pol}, []string{pol}
@@ -363,6 +404,7 @@ func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
 				return nil, err
 			}
 			out[pol][n] = res
+			addIntegrityRow(integ, fmt.Sprintf("%s@N=%d", pol, n), res)
 			tailRow = append(tailRow, f2(res.Incastp99()))
 			avgRow = append(avgRow, f2(res.QueryDelaySummary().Mean))
 			pauseRow = append(pauseRow, fmt.Sprint(res.PauseFrames))
@@ -371,7 +413,7 @@ func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
 		avg.AddRow(avgRow...)
 		pauses.AddRow(pauseRow...)
 	}
-	for _, tab := range []*Table{tail, avg, pauses} {
+	for _, tab := range []*Table{tail, avg, pauses, integ} {
 		if err := tab.Fprint(w); err != nil {
 			return nil, err
 		}

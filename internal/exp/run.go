@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"l2bm/internal/core"
+	"l2bm/internal/dcqcn"
+	"l2bm/internal/faults"
 	"l2bm/internal/metrics"
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
@@ -41,11 +43,35 @@ type HybridSpec struct {
 	OccupancySampleEvery sim.Duration
 	// WindowOverride, if positive, replaces the scale's window.
 	WindowOverride sim.Duration
+	// DrainOverride, if positive, replaces the scale's post-window drain
+	// phase. Fault runs use a longer drain: recovery (RTO backoff, DCQCN
+	// rate ramp-up after loss) needs more quiet time than a clean run.
+	DrainOverride sim.Duration
 	// TopoOverride, if set, may mutate the scale's topology/switch
 	// configuration before the cluster is built (used by ablations).
 	TopoOverride func(*topo.Config)
 	// SeedSalt decorrelates repeated runs of the same spec.
 	SeedSalt string
+	// Faults, when non-nil, arms the fault-injection subsystem: the plan's
+	// events fire during the run, DCQCN switches to go-back-N recovery,
+	// and the deadlock detector plus no-progress watchdog observe the
+	// fabric. Nil reproduces the paper's perfect-fabric runs bit-for-bit.
+	Faults *FaultSpec
+}
+
+// FaultSpec couples a fault plan with the detection machinery settings.
+type FaultSpec struct {
+	// Plan declares what to inject. If Plan.LinkFilter is nil and flapping
+	// is enabled, flaps are restricted to fabric (ToR–agg, agg–core)
+	// links: flapping an access link merely disconnects one host, which
+	// tests nothing about the fabric.
+	Plan faults.Plan
+	// DetectorPeriod overrides the deadlock scan interval (0 = default).
+	DetectorPeriod sim.Duration
+	// BreakDeadlocks enables the detector's documented degraded mode.
+	BreakDeadlocks bool
+	// WatchdogWindow overrides the no-progress window (0 = default).
+	WatchdogWindow sim.Duration
 }
 
 // IncastSpec configures the fan-in query stream.
@@ -89,12 +115,37 @@ type Result struct {
 	// FlowsStarted/FlowsCompleted count observed (recorded) flows.
 	FlowsStarted   int
 	FlowsCompleted int
-	// LosslessGaps must be zero in a healthy run.
+	// LosslessGaps must be zero in a healthy run; under go-back-N faults it
+	// counts recovered out-of-sequence events.
 	LosslessGaps uint64
 	// Events is the engine's executed-event count (cost accounting).
 	Events uint64
 	// EndTime is the simulated instant the run stopped.
 	EndTime sim.Time
+
+	// Incomplete lists flows that started but never finished (normally
+	// empty; under faults it pinpoints lost transfers).
+	Incomplete []*metrics.FlowRecord
+
+	// AuditErrors lists MMU-counter invariant violations found by the
+	// end-of-run CheckInvariants sweep over every switch; always empty in
+	// a correct simulator, faults or not.
+	AuditErrors []string
+
+	// Fault-injection and robustness observability, all zero on a healthy
+	// fabric without a FaultSpec.
+	RecoveryBytes   int64  // payload bytes retransmitted by any sender
+	RDMANACKs       uint64 // go-back-N NACK-triggered rewinds
+	RDMATimeouts    uint64 // go-back-N timeout-triggered rewinds
+	PFCReissues     uint64 // XOFF frames re-sent after a suspected lost pause
+	LinkDownEvents  uint64 // carrier cuts that fired (flaps, schedules, blackouts)
+	CorruptedFrames uint64 // data frames destroyed by the BER process
+	LostPFC         uint64 // PFC frames destroyed by the loss process
+	CarrierDrops    uint64 // frames lost to dead carriers
+	DeadlockScans   uint64 // detector sweeps run
+	DeadlockCycles  uint64 // confirmed PFC wait-for cycles
+	DeadlocksBroken uint64 // forced resumes issued to break cycles
+	WatchdogStalls  uint64 // no-progress windows with resident bytes
 }
 
 // RDMAp99 returns the 99th-percentile RDMA FCT slowdown.
@@ -162,9 +213,50 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 	if spec.TopoOverride != nil {
 		spec.TopoOverride(&topoCfg)
 	}
+	if spec.Faults != nil {
+		// Injected loss breaks the lossless assumption, so RDMA needs the
+		// go-back-N recovery path; fault-free runs keep it off to preserve
+		// the paper's baseline byte-for-byte.
+		if topoCfg.DCQCN.LineRate == 0 {
+			topoCfg.DCQCN = dcqcn.DefaultConfig(topoCfg.ServerRate)
+		}
+		topoCfg.DCQCN.GoBackN = true
+	}
 	cl, err := topo.Build(eng, topoCfg, factory, onComplete)
 	if err != nil {
 		return nil, err
+	}
+
+	var inj *faults.Injector
+	var det *faults.DeadlockDetector
+	var wd *faults.Watchdog
+	if spec.Faults != nil {
+		links, tiers := clusterFaultLinks(cl)
+		plan := spec.Faults.Plan
+		if plan.LinkFilter == nil && plan.FlapRate > 0 {
+			plan.LinkFilter = func(name string) bool {
+				t := tiers[name]
+				return t == topo.TierTorAgg || t == topo.TierAggCore
+			}
+		}
+		inj, err = faults.NewInjector(eng, plan, links)
+		if err != nil {
+			return nil, err
+		}
+		inj.Install()
+
+		det = faults.NewDeadlockDetector(eng, cl.AllSwitches())
+		if spec.Faults.DetectorPeriod > 0 {
+			det.Period = spec.Faults.DetectorPeriod
+		}
+		det.Break = spec.Faults.BreakDeadlocks
+		det.Start()
+
+		wd = faults.NewWatchdog(eng, cl.DataReceived, cl.ResidentBytes)
+		if spec.Faults.WatchdogWindow > 0 {
+			wd.Window = spec.Faults.WatchdogWindow
+		}
+		wd.Start()
 	}
 
 	window := spec.Scale.Window()
@@ -267,7 +359,11 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 	if every <= 0 {
 		every = 100 * sim.Microsecond
 	}
-	horizon := window + spec.Scale.Drain()
+	drain := spec.Scale.Drain()
+	if spec.DrainOverride > 0 {
+		drain = spec.DrainOverride
+	}
+	horizon := window + drain
 	samplers := make([]*metrics.Sampler, len(cl.ToRs))
 	for i, tor := range cl.ToRs {
 		tor := tor
@@ -287,6 +383,7 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 		EndTime:       eng.Now(),
 	}
 	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
+	res.Incomplete = rec.IncompleteRecords()
 
 	if incastGen != nil {
 		for _, fr := range rec.Records(pkt.ClassLossless) {
@@ -306,8 +403,53 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 	res.LossyDrops = all.LossyDropsIngress + all.LossyDropsEgress
 	res.LosslessViolations = all.LosslessViolations
 	res.ECNMarked = all.ECNMarked
+	res.PFCReissues = all.PFCReissues
 	res.ToRPauseFrames = topo.SwitchStats(cl.ToRs).PauseFramesSent
 	res.AggPauseFrames = topo.SwitchStats(cl.Aggs).PauseFramesSent
 	res.CorePauseFrames = topo.SwitchStats(cl.Cores).PauseFramesSent
+
+	res.RecoveryBytes = cl.RecoveryBytes()
+	res.RDMANACKs, res.RDMATimeouts = cl.RDMARecoveryStats()
+	for _, sw := range cl.AllSwitches() {
+		if err := sw.CheckInvariants(); err != nil {
+			res.AuditErrors = append(res.AuditErrors, err.Error())
+		}
+	}
+	if inj != nil {
+		s := inj.Stats()
+		res.LinkDownEvents = s.LinkDownEvents
+		res.CorruptedFrames = s.CorruptedFrames
+		res.LostPFC = s.LostPFC
+		res.CarrierDrops = inj.CarrierDrops()
+	}
+	if det != nil {
+		det.Stop()
+		ds := det.Stats()
+		res.DeadlockScans = ds.Scans
+		res.DeadlockCycles = ds.CyclesDetected
+		res.DeadlocksBroken = ds.CyclesBroken
+	}
+	if wd != nil {
+		wd.Stop()
+		res.WatchdogStalls = wd.Stalls
+	}
 	return res, nil
+}
+
+// clusterFaultLinks adapts the topology's link registry to the fault
+// injector's view, binding each SetLive to the cluster's liveness-aware
+// routing update.
+func clusterFaultLinks(cl *topo.Cluster) ([]faults.Link, map[string]topo.LinkTier) {
+	links := cl.Links()
+	out := make([]faults.Link, 0, len(links))
+	tiers := make(map[string]topo.LinkTier, len(links))
+	for _, l := range links {
+		idx := l.Index
+		out = append(out, faults.Link{
+			Name: l.Name, A: l.A, B: l.B, AName: l.AName, BName: l.BName,
+			SetLive: func(up bool) { cl.SetLinkState(idx, up) },
+		})
+		tiers[l.Name] = l.Tier
+	}
+	return out, tiers
 }

@@ -1,0 +1,79 @@
+// The no-progress watchdog: a cheap, mechanism-agnostic stall detector that
+// complements the structural deadlock detector. The engine keeps firing
+// events (timers, scans) even when the fabric is wedged, so "events are
+// happening" is not evidence of progress; the watchdog instead samples a
+// delivery counter and flags windows where packets sat in switch buffers
+// but none reached a host.
+package faults
+
+import (
+	"l2bm/internal/sim"
+)
+
+// Watchdog periodically compares a monotone progress counter (delivered
+// data packets) against the previous sample. A window with zero progress
+// while switch buffers still hold bytes is a stall: buffered traffic that
+// is not moving. RTO quiet periods do not trip it — when every packet has
+// either been delivered or dropped, residency is zero and silence is
+// legitimate.
+type Watchdog struct {
+	// Window is the sampling interval; it should comfortably exceed the
+	// longest legitimate pause a draining fabric can take (PFC pause
+	// bursts, multi-hop serialization), so defaults are milliseconds.
+	Window sim.Duration
+	// Progress returns the monotone delivered-packet counter.
+	Progress func() uint64
+	// Resident returns total bytes parked in switch buffers.
+	Resident func() int64
+	// OnStall, if set, observes each stalled window.
+	OnStall func(at sim.Time)
+
+	eng     *sim.Engine
+	last    uint64
+	primed  bool
+	stopped bool
+
+	// Stalls counts no-progress windows observed.
+	Stalls uint64
+	// FirstStallAt records when the first stall was declared.
+	FirstStallAt sim.Time
+}
+
+// NewWatchdog builds a watchdog with a 2 ms default window.
+func NewWatchdog(eng *sim.Engine, progress func() uint64, resident func() int64) *Watchdog {
+	return &Watchdog{
+		Window:   2 * sim.Millisecond,
+		Progress: progress,
+		Resident: resident,
+		eng:      eng,
+	}
+}
+
+// Start arms the periodic check.
+func (w *Watchdog) Start() {
+	w.stopped = false
+	w.last = w.Progress()
+	w.primed = true
+	w.eng.Schedule(w.Window, w.tick)
+}
+
+// Stop halts checking after the current tick.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+func (w *Watchdog) tick() {
+	if w.stopped {
+		return
+	}
+	cur := w.Progress()
+	if w.primed && cur == w.last && w.Resident() > 0 {
+		if w.Stalls == 0 {
+			w.FirstStallAt = w.eng.Now()
+		}
+		w.Stalls++
+		if w.OnStall != nil {
+			w.OnStall(w.eng.Now())
+		}
+	}
+	w.last = cur
+	w.eng.Schedule(w.Window, w.tick)
+}

@@ -40,6 +40,9 @@ type Host struct {
 	FlowsStarted uint64
 	// FlowsCompleted counts flows that finished arriving at this host.
 	FlowsCompleted uint64
+	// DataReceived counts data packets delivered to this host's receivers —
+	// the fabric-wide progress signal the fault watchdog monitors.
+	DataReceived uint64
 }
 
 var (
@@ -109,15 +112,22 @@ func (h *Host) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
 	case pkt.KindAck:
 		if s, ok := h.tcpTx[p.Flow]; ok {
 			s.HandleAck(p)
+		} else if s, ok := h.rdmaTx[p.Flow]; ok {
+			s.HandleAck(p.Seq) // go-back-N cumulative ACK
 		}
 	case pkt.KindCNP:
 		if s, ok := h.rdmaTx[p.Flow]; ok {
 			s.HandleCNP()
 		}
+	case pkt.KindNack:
+		if s, ok := h.rdmaTx[p.Flow]; ok {
+			s.HandleNACK(p.Seq)
+		}
 	}
 }
 
 func (h *Host) handleData(p *pkt.Packet) {
+	h.DataReceived++
 	switch p.Class {
 	case pkt.ClassLossless:
 		r, ok := h.rdmaRx[p.Flow]
@@ -157,6 +167,30 @@ func (h *Host) LosslessGaps() uint64 {
 		total += r.Gaps()
 	}
 	return total
+}
+
+// RecoveryBytes sums the payload bytes this host's senders scheduled for
+// retransmission (go-back-N rewinds plus DCTCP fast-retransmit/RTO resends)
+// — the traffic cost of surviving injected faults.
+func (h *Host) RecoveryBytes() int64 {
+	var total int64
+	for _, s := range h.rdmaTx {
+		total += s.RetransmittedBytes
+	}
+	for _, s := range h.tcpTx {
+		total += s.RetransmittedBytes
+	}
+	return total
+}
+
+// RDMARecoveryStats sums go-back-N counters over this host's RDMA senders:
+// NACK-triggered rewinds and timeout-triggered rewinds.
+func (h *Host) RDMARecoveryStats() (nacks, timeouts uint64) {
+	for _, s := range h.rdmaTx {
+		nacks += s.NACKsReceived
+		timeouts += s.Timeouts
+	}
+	return nacks, timeouts
 }
 
 // TCPSender returns this host's DCTCP sender for flow id, if any (tests).

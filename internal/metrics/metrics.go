@@ -110,6 +110,20 @@ func (r *FCTRecorder) Records(c pkt.Class) []*FlowRecord {
 	return out
 }
 
+// IncompleteRecords returns records of flows that started but never
+// completed, sorted by flow ID. Empty in a healthy run; under fault
+// injection it identifies exactly which transfers were lost.
+func (r *FCTRecorder) IncompleteRecords() []*FlowRecord {
+	var out []*FlowRecord
+	for _, rec := range r.flows {
+		if !rec.Done {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow.ID < out[j].Flow.ID })
+	return out
+}
+
 // Percentile returns the p-th percentile (0–100) of sorted-or-not xs using
 // nearest-rank interpolation; NaN for empty input.
 func Percentile(xs []float64, p float64) float64 {

@@ -33,7 +33,22 @@ type PortStats struct {
 	PFCSent     uint64 // pause frames sent (XOFF only, per the paper's metric)
 	PFCResumes  uint64 // resume frames sent
 	PFCReceived uint64 // pause frames received
+	// CarrierDrops counts frames lost because they arrived while the
+	// link carrier was down (fault injection).
+	CarrierDrops uint64
+	// FaultDrops counts frames discarded by the RxFault hook (bit-error
+	// corruption or injected control-frame loss).
+	FaultDrops uint64
+	// ForcedResumes counts PFC pause states cleared by ForceResume (the
+	// deadlock detector's documented degraded mode).
+	ForcedResumes uint64
 }
+
+// FaultHook inspects a frame that has fully arrived on a port, before it is
+// delivered to the owner (or, for PFC, applied to the pause state). Return
+// false to discard the frame as lost or corrupted. The fault-injection layer
+// installs these; a nil hook delivers everything.
+type FaultHook func(p *pkt.Packet) bool
 
 // Port is one side of a full-duplex link: it transmits toward its peer and
 // receives what the peer transmits. Transmission is packet-granular
@@ -61,6 +76,14 @@ type Port struct {
 	busy bool
 	rr   int
 
+	// down is true while the link carrier is down on this side: frames
+	// arriving here are lost (the cable is dead). Transmission continues —
+	// the egress buffer drains into the void — so MMU accounting stays
+	// exact while the fabric loses the frames, matching how a real switch
+	// keeps serializing into a dark fiber until the MAC reports loss of
+	// signal. Zero value (false) means the link is up.
+	down bool
+
 	// quantum > 0 selects DWRR scheduling; deficit carries per-priority
 	// byte credit and granted marks queues already credited this turn.
 	quantum int
@@ -76,6 +99,9 @@ type Port struct {
 	// OnPFC, when set, fires when a PFC frame from the peer takes effect
 	// on this port.
 	OnPFC func(prio int, paused bool)
+	// RxFault, when set, vets every fully arrived frame; returning false
+	// drops it (fault injection: corruption, lost PFC).
+	RxFault FaultHook
 }
 
 // Connect wires a full-duplex link between nodes a and b with the given line
@@ -123,6 +149,34 @@ func (p *Port) TotalBacklog() int {
 
 // Paused reports whether transmission of prio is paused by peer PFC.
 func (p *Port) Paused(prio int) bool { return p.paused[prio] }
+
+// PausedSince returns when the current pause of prio began; meaningful only
+// while Paused(prio) is true.
+func (p *Port) PausedSince(prio int) sim.Time { return p.pausedSince[prio] }
+
+// Up reports whether the link carrier is up on this side.
+func (p *Port) Up() bool { return !p.down }
+
+// SetCarrier raises or cuts the link carrier on this side. While down,
+// frames arriving here are lost (counted in CarrierDrops). The fault layer
+// sets both sides of a link together, like a real cable cut.
+func (p *Port) SetCarrier(up bool) { p.down = !up }
+
+// ForceResume clears a PFC pause on prio without a resume frame from the
+// peer — the deadlock detector's cycle-breaking action. It reports whether
+// a pause was actually cleared. This is a documented degraded mode: the
+// downstream switch may be pushed into headroom (or, exhausted, into a
+// lossless violation), which the stats record.
+func (p *Port) ForceResume(prio int) bool {
+	if !p.paused[prio] {
+		return false
+	}
+	p.paused[prio] = false
+	p.cumPaused[prio] += p.eng.Now() - p.pausedSince[prio]
+	p.stats.ForcedResumes++
+	p.tryTransmit()
+	return true
+}
 
 // CumPausedTime returns the total simulated time priority prio has spent
 // paused, including the current pause interval if one is in progress. The
@@ -308,6 +362,14 @@ func (p *Port) finishTransmit(q *pkt.Packet) {
 
 // receive handles full arrival of a packet on this side of the link.
 func (p *Port) receive(q *pkt.Packet) {
+	if p.down {
+		p.stats.CarrierDrops++
+		return
+	}
+	if p.RxFault != nil && !p.RxFault(q) {
+		p.stats.FaultDrops++
+		return
+	}
 	p.stats.RxPackets++
 	p.stats.RxBytes += uint64(q.Size)
 	if q.Kind == pkt.KindPFC {

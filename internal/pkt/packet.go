@@ -23,6 +23,11 @@ const (
 	// KindPFC is an IEEE 802.1Qbb per-priority pause/resume frame. PFC
 	// frames are consumed by the receiving port and never forwarded.
 	KindPFC
+	// KindNack is a go-back-N out-of-sequence NACK (RoCE-style): the
+	// receiver tells the sender the next in-order byte it expects, asking
+	// for a rewind. Only emitted when the lossless guarantee broke (fault
+	// injection); the fault-free fabric never produces one.
+	KindNack
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -36,6 +41,8 @@ func (k Kind) String() string {
 		return "cnp"
 	case KindPFC:
 		return "pfc"
+	case KindNack:
+		return "nack"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -186,6 +193,21 @@ func NewCNP(f FlowID, src, dst int) *Packet {
 	}
 }
 
+// NewNack builds a go-back-N NACK for flow f from the receiver src back to
+// the sender dst. expected is the next in-order byte the receiver wants.
+func NewNack(f FlowID, src, dst int, expected int64) *Packet {
+	return &Packet{
+		Kind:     KindNack,
+		Flow:     f,
+		Src:      src,
+		Dst:      dst,
+		Priority: PrioControl,
+		Class:    ClassControl,
+		Size:     CtrlBytes,
+		Seq:      expected,
+	}
+}
+
 // NewPFC builds a pause (XOFF) or resume (XON) frame for prio. PFC frames
 // are link-local: Src/Dst are not routed.
 func NewPFC(prio int, pause bool) *Packet {
@@ -215,6 +237,8 @@ func (p *Packet) String() string {
 		return fmt.Sprintf("ack{flow=%d cum=%d ece=%v}", p.Flow, p.Seq, p.ECE)
 	case KindCNP:
 		return fmt.Sprintf("cnp{flow=%d}", p.Flow)
+	case KindNack:
+		return fmt.Sprintf("nack{flow=%d expected=%d}", p.Flow, p.Seq)
 	default:
 		return fmt.Sprintf("data{flow=%d seq=%d len=%d prio=%d ce=%v}",
 			p.Flow, p.Seq, p.PayloadLen, p.Priority, p.CE)

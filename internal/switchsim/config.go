@@ -6,6 +6,9 @@
 package switchsim
 
 import (
+	"fmt"
+	"math"
+
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
 )
@@ -37,6 +40,36 @@ type Config struct {
 	// CongestionMark is the egress backlog above which a queue counts as
 	// congested for ABM's n_p(t).
 	CongestionMark int64
+}
+
+// Validate reports configuration errors: negative pools, inverted ECN
+// bands, or non-finite probabilities — the silent-garbage inputs the fault
+// experiments would otherwise turn into misleading thresholds.
+func (c *Config) Validate() error {
+	switch {
+	case c.TotalShared <= 0:
+		return fmt.Errorf("switchsim: TotalShared = %d, want > 0", c.TotalShared)
+	case c.ReservedPerQueue < 0:
+		return fmt.Errorf("switchsim: ReservedPerQueue = %d, want >= 0", c.ReservedPerQueue)
+	case c.HeadroomPerQueue < 0:
+		return fmt.Errorf("switchsim: HeadroomPerQueue = %d, want >= 0", c.HeadroomPerQueue)
+	case c.PFCHysteresis < 0:
+		return fmt.Errorf("switchsim: PFCHysteresis = %d, want >= 0", c.PFCHysteresis)
+	case c.ECNLossyThreshold < 0:
+		return fmt.Errorf("switchsim: ECNLossyThreshold = %d, want >= 0", c.ECNLossyThreshold)
+	case c.ECNLosslessKmin < 0 || c.ECNLosslessKmax < 0:
+		return fmt.Errorf("switchsim: ECN lossless Kmin/Kmax must be >= 0 (got %d/%d)",
+			c.ECNLosslessKmin, c.ECNLosslessKmax)
+	case c.ECNLosslessKmax > 0 && c.ECNLosslessKmin > c.ECNLosslessKmax:
+		return fmt.Errorf("switchsim: ECN lossless Kmin %d > Kmax %d",
+			c.ECNLosslessKmin, c.ECNLosslessKmax)
+	case math.IsNaN(c.ECNLosslessPmax) || c.ECNLosslessPmax < 0 || c.ECNLosslessPmax > 1:
+		return fmt.Errorf("switchsim: ECNLosslessPmax = %v, want in [0, 1]", c.ECNLosslessPmax)
+	case c.CongestionMark < 0:
+		return fmt.Errorf("switchsim: CongestionMark = %d, want >= 0", c.CongestionMark)
+	default:
+		return nil
+	}
 }
 
 // DefaultConfig returns the evaluation defaults (paper §IV setup, DCQCN and
@@ -84,6 +117,11 @@ type Stats struct {
 	PauseFramesSent uint64
 	// ResumeFramesSent counts XON frames generated.
 	ResumeFramesSent uint64
+	// PFCReissues counts XOFF frames re-sent because arrivals continued
+	// past the point the original pause should have silenced the upstream
+	// — evidence the pause frame itself was lost (fault injection). Zero
+	// on a healthy fabric.
+	PFCReissues uint64
 	// PeakOccupancy is the high-water mark of total resident bytes.
 	PeakOccupancy int64
 }

@@ -176,3 +176,125 @@ func TestStatsSnapshotIsolated(t *testing.T) {
 		t.Error("Stats must return a copy")
 	}
 }
+
+// lostXOFFRig builds the asymmetric-rate scenario that exposes a lost pause
+// frame: a 100 Gbps sender feeding a 25 Gbps egress through a switch with a
+// deliberately small headroom pool. Without the re-issue guard, a swallowed
+// XOFF lets the sender flood until headroom exhausts and the lossless
+// guarantee breaks.
+func lostXOFFRig(t *testing.T) (*sim.Engine, *Switch, *testHost, *testHost) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.HeadroomPerQueue = 60_000 // enough for the guard window, not a flood
+	eng := sim.NewEngine(42)
+	sw := NewSwitch(eng, "sw", cfg, zeroPolicy{})
+
+	fast := &testHost{name: "hfast", eng: eng}
+	fp, sp0 := netdev.Connect(eng, fast, sw, 100e9, sim.Microsecond)
+	fast.port = fp
+	sw.AddPort(sp0)
+
+	slow := &testHost{name: "hslow", eng: eng}
+	lp, sp1 := netdev.Connect(eng, slow, sw, 25e9, sim.Microsecond)
+	slow.port = lp
+	sw.AddPort(sp1)
+
+	sw.SetRouter(func(p *pkt.Packet, _ int) int { return 1 })
+	return eng, sw, fast, slow
+}
+
+// TestLostXOFFIsReissued is the regression test for the PFC re-issue guard:
+// the first XOFF toward the flooding sender is swallowed (as link-level
+// corruption would), and the switch must notice the arrivals that keep
+// landing on the paused queue and assert the pause again before headroom
+// runs out.
+func TestLostXOFFIsReissued(t *testing.T) {
+	eng, sw, fast, slow := lostXOFFRig(t)
+	dropped := 0
+	fast.port.RxFault = func(p *pkt.Packet) bool {
+		if p.Kind == pkt.KindPFC && p.PFCPause && dropped == 0 {
+			dropped++
+			return false
+		}
+		return true
+	}
+	for i := 0; i < 100; i++ {
+		p := pkt.NewData(1, 0, 1, pkt.PrioLossless, pkt.ClassLossless,
+			int64(i*pkt.MTUPayload), pkt.MTUPayload)
+		fast.port.Enqueue(p)
+	}
+	eng.RunAll()
+
+	if dropped != 1 {
+		t.Fatalf("fault hook dropped %d XOFFs, want exactly 1", dropped)
+	}
+	st := sw.Stats()
+	if st.PFCReissues == 0 {
+		t.Fatal("lost XOFF was never re-issued: the upstream flooded unchecked")
+	}
+	if st.LosslessViolations != 0 {
+		t.Errorf("lossless violations = %d; re-issue came too late to protect headroom",
+			st.LosslessViolations)
+	}
+	if got := len(slow.got); got != 100 {
+		t.Errorf("delivered %d/100 lossless packets", got)
+	}
+	if fs := fast.port.Stats(); fs.FaultDrops != 1 {
+		t.Errorf("FaultDrops = %d, want 1", fs.FaultDrops)
+	}
+	if sw.Occupancy() != 0 {
+		t.Errorf("occupancy = %d after drain, want 0", sw.Occupancy())
+	}
+	if err := sw.CheckInvariants(); err != nil {
+		t.Errorf("MMU audit: %v", err)
+	}
+}
+
+// TestPFCReissueQuietOnHealthyLink asserts the guard's false-positive rate
+// is zero when pause frames are delivered: the paper's pause-frame counts
+// must not change on a healthy fabric.
+func TestPFCReissueQuietOnHealthyLink(t *testing.T) {
+	eng, sw, fast, slow := lostXOFFRig(t)
+	for i := 0; i < 100; i++ {
+		p := pkt.NewData(1, 0, 1, pkt.PrioLossless, pkt.ClassLossless,
+			int64(i*pkt.MTUPayload), pkt.MTUPayload)
+		fast.port.Enqueue(p)
+	}
+	eng.RunAll()
+
+	st := sw.Stats()
+	if st.PauseFramesSent == 0 {
+		t.Fatal("scenario did not exercise PFC at all")
+	}
+	if st.PFCReissues != 0 {
+		t.Errorf("PFCReissues = %d on a healthy link, want 0 (baseline perturbed)", st.PFCReissues)
+	}
+	if st.LosslessViolations != 0 {
+		t.Errorf("violations = %d", st.LosslessViolations)
+	}
+	if got := len(slow.got); got != 100 {
+		t.Errorf("delivered %d/100", got)
+	}
+}
+
+// TestCarrierDownDropsAtReceiver verifies the carrier-fault model: frames
+// serialized into a dead link vanish at the receiving port (counted), while
+// MMU accounting on the transmit side stays exact.
+func TestCarrierDownDropsAtReceiver(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig(), core.NewDT(), 25e9, sim.Microsecond)
+	// Cut the carrier on host 2's receiving side.
+	r.hosts[2].port.SetCarrier(false)
+	r.send(0, 2, 10, pkt.PrioLossy, pkt.ClassLossy)
+	r.eng.RunAll()
+
+	if got := len(r.hosts[2].got); got != 0 {
+		t.Fatalf("dead carrier delivered %d packets", got)
+	}
+	if cd := r.hosts[2].port.Stats().CarrierDrops; cd != 10 {
+		t.Errorf("CarrierDrops = %d, want 10", cd)
+	}
+	r.mmuDrained(t) // the switch must not leak buffer for vanished frames
+	if err := r.sw.CheckInvariants(); err != nil {
+		t.Errorf("MMU audit: %v", err)
+	}
+}

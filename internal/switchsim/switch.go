@@ -52,6 +52,9 @@ type mmuState struct {
 	congested [pkt.NumPriorities]int
 	// paused records ingress queues we have XOFF'd upstream.
 	paused [][pkt.NumPriorities]bool
+	// pauseSentAt records when the most recent XOFF for a paused ingress
+	// queue was emitted, for the lost-pause re-issue guard.
+	pauseSentAt [][pkt.NumPriorities]sim.Time
 	// resident is the total bytes resident in the switch (reserved +
 	// shared + headroom), the occupancy the paper plots.
 	resident int64
@@ -64,14 +67,15 @@ func (m *mmuState) ensurePorts(n int) {
 		m.eg = append(m.eg, [pkt.NumPriorities]int64{})
 		m.hr = append(m.hr, [pkt.NumPriorities]int64{})
 		m.paused = append(m.paused, [pkt.NumPriorities]bool{})
+		m.pauseSentAt = append(m.pauseSentAt, [pkt.NumPriorities]sim.Time{})
 	}
 }
 
 // NewSwitch builds a switch with no ports. Attach ports with AddPort after
 // wiring links via netdev.Connect.
 func NewSwitch(eng *sim.Engine, name string, cfg Config, policy core.Policy) *Switch {
-	if cfg.TotalShared <= 0 {
-		panic("switchsim: TotalShared must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if policy == nil {
 		panic("switchsim: policy must not be nil")
@@ -171,8 +175,12 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			return
 		}
 		if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
-			// Headroom exhausted: the lossless guarantee is broken.
+			// Headroom exhausted: the lossless guarantee is broken. Still
+			// run the PFC check — if the upstream is flooding because the
+			// pause frame was lost, the re-issue guard is the only way to
+			// stop it.
 			s.stats.LosslessViolations++
+			s.checkPFC(in, prio, true)
 			return
 		}
 		inHeadroom = true
@@ -207,7 +215,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 
 	s.maybeMarkECN(p, out, prio)
 	s.policy.OnEnqueue(s, p)
-	s.checkPFC(in, prio)
+	s.checkPFC(in, prio, true)
 	s.ports[out].Enqueue(p)
 }
 
@@ -233,7 +241,7 @@ func (s *Switch) onDequeue(p *pkt.Packet) {
 	s.stats.TxPackets++
 
 	s.policy.OnDequeue(s, p)
-	s.checkPFC(in, prio)
+	s.checkPFC(in, prio, false)
 }
 
 // bumpEgress adjusts the egress counter, its class pool and the congestion
@@ -253,8 +261,10 @@ func (s *Switch) bumpEgress(out, prio int, delta int64) {
 }
 
 // checkPFC asserts or releases PFC for a lossless ingress queue against the
-// policy's current threshold (with hysteresis on release).
-func (s *Switch) checkPFC(in, prio int) {
+// policy's current threshold (with hysteresis on release). arrival is true
+// when called from the admission path — the only evidence usable for the
+// lost-pause re-issue guard.
+func (s *Switch) checkPFC(in, prio int, arrival bool) {
 	if core.ClassOfPriority(prio) != pkt.ClassLossless {
 		return
 	}
@@ -263,6 +273,7 @@ func (s *Switch) checkPFC(in, prio int) {
 	if !s.mmu.paused[in][prio] {
 		if occ >= th {
 			s.mmu.paused[in][prio] = true
+			s.mmu.pauseSentAt[in][prio] = s.eng.Now()
 			s.ports[in].SendPFC(prio, true)
 		}
 		return
@@ -274,7 +285,31 @@ func (s *Switch) checkPFC(in, prio int) {
 	if occ <= release {
 		s.mmu.paused[in][prio] = false
 		s.ports[in].SendPFC(prio, false)
+		return
 	}
+	// Re-issue guard (XON/XOFF hysteresis under lost pause frames): a
+	// correctly paused upstream stops sending within one round trip plus
+	// the frames already on the wire. An *arrival* on a paused queue after
+	// that window means the XOFF never took effect — most likely the pause
+	// frame itself was lost — so assert it again instead of wedging while
+	// headroom burns. On a healthy fabric arrivals cease inside the guard
+	// window and this path never fires, keeping the paper's pause-frame
+	// counts untouched.
+	if arrival && s.eng.Now() >= s.mmu.pauseSentAt[in][prio]+s.pfcGuard(in) {
+		s.mmu.pauseSentAt[in][prio] = s.eng.Now()
+		s.stats.PFCReissues++
+		s.ports[in].SendPFC(prio, true)
+	}
+}
+
+// pfcGuard is how long after an XOFF legitimate arrivals may still land on
+// the paused ingress queue: the frame serializing ahead of the pause frame,
+// the pause frame itself, one round-trip of propagation, the frame the
+// upstream had already committed to the wire — plus one MTU of slack.
+func (s *Switch) pfcGuard(in int) sim.Duration {
+	p := s.ports[in]
+	mtu := sim.TxTime(pkt.MTUBytes, p.Rate())
+	return 3*mtu + sim.TxTime(pkt.CtrlBytes, p.Rate()) + 2*p.PropDelay()
 }
 
 // maybeMarkECN applies egress-queue ECN marking: DCTCP step marking on

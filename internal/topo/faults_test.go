@@ -1,0 +1,199 @@
+package topo
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+// TestLinkRegistryCoversEveryCable checks the fault layer's view of the
+// fabric: every cable registered once, named after its endpoints, with the
+// right tier, all initially up.
+func TestLinkRegistryCoversEveryCable(t *testing.T) {
+	cfg := DefaultConfig()
+	cl := MustBuild(sim.NewEngine(1), cfg, dtFactory, nil)
+
+	counts := map[LinkTier]int{}
+	names := map[string]bool{}
+	for _, l := range cl.Links() {
+		counts[l.Tier]++
+		if names[l.Name] {
+			t.Errorf("duplicate link name %q", l.Name)
+		}
+		names[l.Name] = true
+		if !l.Up() {
+			t.Errorf("link %q not up at build", l.Name)
+		}
+	}
+	wantServer := cfg.ToRCount * cfg.ServersPerToR
+	wantTorAgg := cfg.ToRCount * (cfg.AggCount / cfg.Pods)
+	wantAggCore := cfg.AggCount * cfg.CoreCount
+	if counts[TierServer] != wantServer {
+		t.Errorf("server links = %d, want %d", counts[TierServer], wantServer)
+	}
+	if counts[TierTorAgg] != wantTorAgg {
+		t.Errorf("tor-agg links = %d, want %d", counts[TierTorAgg], wantTorAgg)
+	}
+	if counts[TierAggCore] != wantAggCore {
+		t.Errorf("agg-core links = %d, want %d", counts[TierAggCore], wantAggCore)
+	}
+	if !names["tor0~agg0"] || !names["agg0~core0"] {
+		t.Error("expected canonical link names tor0~agg0 and agg0~core0")
+	}
+}
+
+// downLink cuts the named link or fails the test.
+func downLink(t *testing.T, cl *Cluster, name string) {
+	t.Helper()
+	for _, l := range cl.Links() {
+		if l.Name == name {
+			cl.SetLinkState(l.Index, false)
+			return
+		}
+	}
+	t.Fatalf("no link named %q", name)
+}
+
+// TestRerouteAvoidsDeadTorAggLink: with tor0~agg0 down before traffic
+// starts, every flow from rack 0 must route around agg0 — in both
+// directions, since ACKs return — and complete without loss.
+func TestRerouteAvoidsDeadTorAggLink(t *testing.T) {
+	eng := sim.NewEngine(31)
+	completed := 0
+	cl := MustBuild(eng, DefaultConfig(), dtFactory,
+		func(pkt.FlowID, sim.Time) { completed++ })
+	downLink(t, cl, "tor0~agg0")
+
+	// Cross-pod flows from rack 0 (pod 0) to rack 2 (pod 1): all fabric
+	// layers involved, forward data and reverse ACKs both constrained.
+	const n = 32
+	for i := 0; i < n; i++ {
+		cl.StartFlow(&transport.Flow{
+			ID: pkt.FlowID(i + 1), Src: i % 32, Dst: 64 + i%32, Size: 20_000,
+			Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+		})
+	}
+	eng.RunAll()
+
+	if completed != n {
+		t.Fatalf("completed %d/%d flows around the dead link", completed, n)
+	}
+	if cl.LosslessGaps() != 0 {
+		t.Error("sequence gaps: some packets died on the dead link")
+	}
+	if rx := cl.Aggs[0].Stats().RxPackets; rx != 0 {
+		t.Errorf("agg0 carried %d packets despite its only useful link being down", rx)
+	}
+	if rx := cl.Aggs[1].Stats().RxPackets; rx == 0 {
+		t.Error("agg1 carried nothing: traffic was not rerouted")
+	}
+}
+
+// TestRerouteAvoidsDeadAggCoreLink: with agg0~core0 down, cross-pod flows
+// hashed onto that path must detour (via core1 or agg1) and complete.
+func TestRerouteAvoidsDeadAggCoreLink(t *testing.T) {
+	eng := sim.NewEngine(32)
+	completed := 0
+	cl := MustBuild(eng, DefaultConfig(), dtFactory,
+		func(pkt.FlowID, sim.Time) { completed++ })
+	downLink(t, cl, "agg0~core0")
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		cl.StartFlow(&transport.Flow{
+			ID: pkt.FlowID(i + 1), Src: i % 64, Dst: 64 + i%64, Size: 20_000,
+			Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+		})
+	}
+	eng.RunAll()
+
+	if completed != n {
+		t.Fatalf("completed %d/%d flows around the dead trunk", completed, n)
+	}
+	if cl.LosslessGaps() != 0 {
+		t.Error("sequence gaps under rerouting")
+	}
+}
+
+// TestRoutingRestoredAfterRepair: downing and repairing a link must leave
+// routing bit-identical to a cluster that never saw the fault — the
+// fabricDown==0 fast path is the paper-baseline guarantee.
+func TestRoutingRestoredAfterRepair(t *testing.T) {
+	run := func(breakAndRepair bool) []uint64 {
+		eng := sim.NewEngine(33)
+		cl := MustBuild(eng, DefaultConfig(), dtFactory, nil)
+		if breakAndRepair {
+			for _, name := range []string{"tor0~agg0", "agg2~core1"} {
+				downLink(t, cl, name)
+			}
+			for _, l := range cl.Links() {
+				cl.SetLinkState(l.Index, true)
+			}
+		}
+		for i := 0; i < 48; i++ {
+			cl.StartFlow(&transport.Flow{
+				ID: pkt.FlowID(i + 1), Src: i % 64, Dst: 64 + (i+5)%64, Size: 30_000,
+				Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+			})
+		}
+		eng.RunAll()
+		var rx []uint64
+		for _, sw := range cl.AllSwitches() {
+			rx = append(rx, sw.Stats().RxPackets)
+		}
+		return rx
+	}
+
+	base, repaired := run(false), run(true)
+	for i := range base {
+		if base[i] != repaired[i] {
+			t.Fatalf("switch %d saw %d packets after repair vs %d baseline: fast path not restored",
+				i, repaired[i], base[i])
+		}
+	}
+}
+
+// TestSetLinkStateIdempotent: repeating a state is a no-op and the
+// fabricDown census stays balanced.
+func TestSetLinkStateIdempotent(t *testing.T) {
+	cl := MustBuild(sim.NewEngine(1), TinyConfig(), dtFactory, nil)
+	var idx int
+	for _, l := range cl.Links() {
+		if l.Tier == TierTorAgg {
+			idx = l.Index
+			break
+		}
+	}
+	cl.SetLinkState(idx, false)
+	cl.SetLinkState(idx, false)
+	if cl.fabricDown != 1 {
+		t.Fatalf("fabricDown = %d after repeated down, want 1", cl.fabricDown)
+	}
+	cl.SetLinkState(idx, true)
+	cl.SetLinkState(idx, true)
+	if cl.fabricDown != 0 {
+		t.Fatalf("fabricDown = %d after repair, want 0", cl.fabricDown)
+	}
+}
+
+// TestValidateRejectsFaultSensitiveGarbage covers the hardening added for
+// the fault experiments: negative delays and malformed switch MMU configs
+// must be rejected at build time.
+func TestValidateRejectsFaultSensitiveGarbage(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.ServerDelay = -sim.Microsecond },
+		func(c *Config) { c.AggCoreDelay = -1 },
+		func(c *Config) { c.Switch.TotalShared = 0 },
+		func(c *Config) { c.Switch.HeadroomPerQueue = -1 },
+		func(c *Config) { c.Switch.ECNLosslessPmax = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Build(sim.NewEngine(1), cfg, dtFactory, nil); err == nil {
+			t.Errorf("case %d: malformed config accepted", i)
+		}
+	}
+}

@@ -84,27 +84,81 @@ func TinyConfig() Config {
 	return cfg
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, including the silent-garbage class:
+// negative propagation delays and malformed switch MMU parameters would
+// otherwise survive into thresholds as nonsense values.
 func (c *Config) Validate() error {
 	switch {
 	case c.Pods <= 0:
 		return fmt.Errorf("topo: Pods = %d, want > 0", c.Pods)
-	case c.ToRCount%c.Pods != 0:
-		return fmt.Errorf("topo: ToRCount %d not divisible by Pods %d", c.ToRCount, c.Pods)
-	case c.AggCount%c.Pods != 0:
-		return fmt.Errorf("topo: AggCount %d not divisible by Pods %d", c.AggCount, c.Pods)
+	case c.ToRCount <= 0 || c.ToRCount%c.Pods != 0:
+		return fmt.Errorf("topo: ToRCount %d not positive and divisible by Pods %d", c.ToRCount, c.Pods)
+	case c.AggCount <= 0 || c.AggCount%c.Pods != 0:
+		return fmt.Errorf("topo: AggCount %d not positive and divisible by Pods %d", c.AggCount, c.Pods)
 	case c.CoreCount <= 0 || c.ServersPerToR <= 0:
 		return fmt.Errorf("topo: switch/server counts must be positive")
 	case c.ServerRate <= 0 || c.FabricRate <= 0:
 		return fmt.Errorf("topo: link rates must be positive")
-	default:
-		return nil
+	case c.ServerDelay < 0 || c.TorAggDelay < 0 || c.AggCoreDelay < 0:
+		return fmt.Errorf("topo: propagation delays must be >= 0 (got %v/%v/%v)",
+			c.ServerDelay, c.TorAggDelay, c.AggCoreDelay)
 	}
+	if err := c.Switch.Validate(); err != nil {
+		return fmt.Errorf("topo: %w", err)
+	}
+	return nil
 }
 
 // PolicyFactory creates one buffer-management policy instance per switch
 // (policies such as L2BM carry per-switch state and must not be shared).
 type PolicyFactory func() core.Policy
+
+// LinkTier classifies a cable by the layer pair it connects.
+type LinkTier int
+
+const (
+	// TierServer is a host↔ToR access link.
+	TierServer LinkTier = iota + 1
+	// TierTorAgg is a ToR↔aggregation fabric link.
+	TierTorAgg
+	// TierAggCore is an aggregation↔core fabric link.
+	TierAggCore
+)
+
+// String implements fmt.Stringer.
+func (t LinkTier) String() string {
+	switch t {
+	case TierServer:
+		return "server"
+	case TierTorAgg:
+		return "tor-agg"
+	case TierAggCore:
+		return "agg-core"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Link is one bidirectional cable in the built cluster, addressable by the
+// fault-injection layer. A is the port on the lower (server-side) device, B
+// on the upper; taking the link down disables the carrier in both
+// directions.
+type Link struct {
+	Index        int
+	Name         string
+	Tier         LinkTier
+	A, B         *netdev.Port
+	AName, BName string
+
+	// Layer-local coordinates into the liveness matrices.
+	tor, aggLocal int // TierTorAgg
+	agg, core     int // TierAggCore
+
+	up bool
+}
+
+// Up reports whether the link currently has carrier.
+func (l *Link) Up() bool { return l.up }
 
 // Cluster is a built network.
 type Cluster struct {
@@ -114,6 +168,12 @@ type Cluster struct {
 	ToRs  []*switchsim.Switch
 	Aggs  []*switchsim.Switch
 	Cores []*switchsim.Switch
+
+	// Link registry and liveness, consulted by the reroute-aware routers.
+	links      []*Link
+	torAggUp   [][]bool // [torGlobal][aggWithinPod]
+	aggCoreUp  [][]bool // [aggGlobal][core]
+	fabricDown int      // count of fabric links currently down (fast path)
 }
 
 // Build wires the cluster and installs routing. Flow completions are fanned
@@ -140,39 +200,96 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 	// Servers: host h sits under ToR h/ServersPerToR on port h%ServersPerToR.
 	total := cfg.ToRCount * cfg.ServersPerToR
 	for h := 0; h < total; h++ {
+		t := h / cfg.ServersPerToR
 		hst := host.New(eng, h, fmt.Sprintf("host%d", h), cfg.DCTCP, cfg.DCQCN)
-		hp, sp := netdev.Connect(eng, hst, cl.ToRs[h/cfg.ServersPerToR], cfg.ServerRate, cfg.ServerDelay)
+		hp, sp := netdev.Connect(eng, hst, cl.ToRs[t], cfg.ServerRate, cfg.ServerDelay)
 		hst.SetNIC(hp)
-		cl.ToRs[h/cfg.ServersPerToR].AddPort(sp)
+		cl.ToRs[t].AddPort(sp)
 		hst.SetCompletionHandler(onComplete)
 		cl.Hosts = append(cl.Hosts, hst)
+		cl.addLink(&Link{
+			Tier: TierServer, A: hp, B: sp,
+			AName: hst.Name(), BName: cl.ToRs[t].Name(),
+		})
 	}
 
 	// ToR ↔ Agg, full bipartite within each pod. ToR uplink ports follow
 	// the server ports; agg down ports are indexed by ToR-within-pod.
 	aggsPerPod := cfg.AggCount / cfg.Pods
 	torsPerPod := cfg.ToRCount / cfg.Pods
+	cl.torAggUp = make([][]bool, cfg.ToRCount)
 	for t, tor := range cl.ToRs {
+		cl.torAggUp[t] = make([]bool, aggsPerPod)
 		pod := t / torsPerPod
 		for a := 0; a < aggsPerPod; a++ {
+			cl.torAggUp[t][a] = true
 			agg := cl.Aggs[pod*aggsPerPod+a]
 			tp, ap := netdev.Connect(eng, tor, agg, cfg.FabricRate, cfg.TorAggDelay)
 			tor.AddPort(tp)
 			agg.AddPort(ap)
+			cl.addLink(&Link{
+				Tier: TierTorAgg, A: tp, B: ap,
+				AName: tor.Name(), BName: agg.Name(),
+				tor: t, aggLocal: a,
+			})
 		}
 	}
 
 	// Agg ↔ Core, full bipartite. Core down ports indexed by agg id.
-	for _, agg := range cl.Aggs {
+	cl.aggCoreUp = make([][]bool, cfg.AggCount)
+	for a, agg := range cl.Aggs {
+		cl.aggCoreUp[a] = make([]bool, cfg.CoreCount)
 		for c := 0; c < cfg.CoreCount; c++ {
+			cl.aggCoreUp[a][c] = true
 			ap, cp := netdev.Connect(eng, agg, cl.Cores[c], cfg.FabricRate, cfg.AggCoreDelay)
 			agg.AddPort(ap)
 			cl.Cores[c].AddPort(cp)
+			cl.addLink(&Link{
+				Tier: TierAggCore, A: ap, B: cp,
+				AName: agg.Name(), BName: cl.Cores[c].Name(),
+				agg: a, core: c,
+			})
 		}
 	}
 
 	cl.installRouting()
 	return cl, nil
+}
+
+// addLink registers a cable in the registry, naming it after its endpoints.
+func (cl *Cluster) addLink(l *Link) {
+	l.Index = len(cl.links)
+	l.Name = l.AName + "~" + l.BName
+	l.up = true
+	cl.links = append(cl.links, l)
+}
+
+// Links returns the cluster's cable registry in deterministic build order.
+func (cl *Cluster) Links() []*Link { return cl.links }
+
+// SetLinkState raises or cuts the carrier on link index, updating the
+// liveness matrices the routers consult. Idempotent: repeating the current
+// state is a no-op.
+func (cl *Cluster) SetLinkState(index int, up bool) {
+	l := cl.links[index]
+	if l.up == up {
+		return
+	}
+	l.up = up
+	l.A.SetCarrier(up)
+	l.B.SetCarrier(up)
+	delta := 1
+	if up {
+		delta = -1
+	}
+	switch l.Tier {
+	case TierTorAgg:
+		cl.torAggUp[l.tor][l.aggLocal] = up
+		cl.fabricDown += delta
+	case TierAggCore:
+		cl.aggCoreUp[l.agg][l.core] = up
+		cl.fabricDown += delta
+	}
 }
 
 // MustBuild is Build for tests and examples with static configs.
@@ -201,7 +318,43 @@ func ecmpHash(f pkt.FlowID, salt uint64, n int) int {
 	return int(h.Sum64() % uint64(n))
 }
 
-// installRouting programs every switch's forwarding closure.
+// pickECMP is liveness-aware ECMP: it returns the plain hash choice when
+// that next hop is eligible (the always-true case on a healthy fabric, so
+// baseline path selection is bit-identical to hash-only routing), otherwise
+// the first eligible index scanning deterministically from the hash. With no
+// eligible choice it falls back to the hash — the packet dies at the dead
+// link and transport recovery takes over.
+func pickECMP(f pkt.FlowID, salt uint64, n int, eligible func(int) bool) int {
+	h := ecmpHash(f, salt, n)
+	if eligible(h) {
+		return h
+	}
+	for k := 1; k < n; k++ {
+		if i := (h + k) % n; eligible(i) {
+			return i
+		}
+	}
+	return h
+}
+
+// coreReaches reports whether core c has a live two-hop path down to dstToR
+// (some aggregation switch in the destination pod with both links alive).
+func (cl *Cluster) coreReaches(c, dstToR int) bool {
+	aggsPerPod := cl.Cfg.AggCount / cl.Cfg.Pods
+	torsPerPod := cl.Cfg.ToRCount / cl.Cfg.Pods
+	dstPod := dstToR / torsPerPod
+	for a := 0; a < aggsPerPod; a++ {
+		if cl.aggCoreUp[dstPod*aggsPerPod+a][c] && cl.torAggUp[dstToR][a] {
+			return true
+		}
+	}
+	return false
+}
+
+// installRouting programs every switch's forwarding closure. Each router has
+// a fast path — when no fabric link is down it computes exactly the original
+// ECMP hash, allocation-free — and a liveness-aware slow path that re-hashes
+// around dead links while faults are active.
 func (cl *Cluster) installRouting() {
 	cfg := cl.Cfg
 	aggsPerPod := cfg.AggCount / cfg.Pods
@@ -210,33 +363,67 @@ func (cl *Cluster) installRouting() {
 
 	for t, tor := range cl.ToRs {
 		t := t
+		pod := t / torsPerPod
 		tor.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			if dstToR == t {
 				return p.Dst % s // local server port
 			}
-			return s + ecmpHash(p.Flow, 0x746f72, aggsPerPod) // uplink
+			if cl.fabricDown == 0 {
+				return s + ecmpHash(p.Flow, 0x746f72, aggsPerPod) // uplink
+			}
+			dstPod := dstToR / torsPerPod
+			return s + pickECMP(p.Flow, 0x746f72, aggsPerPod, func(a int) bool {
+				if !cl.torAggUp[t][a] {
+					return false
+				}
+				if dstPod == pod {
+					// Same pod: that agg must also reach the destination rack.
+					return cl.torAggUp[dstToR][a]
+				}
+				// Cross-pod: the agg needs a live uplink to a core that can
+				// still descend into the destination pod.
+				agg := pod*aggsPerPod + a
+				for c := 0; c < cfg.CoreCount; c++ {
+					if cl.aggCoreUp[agg][c] && cl.coreReaches(c, dstToR) {
+						return true
+					}
+				}
+				return false
+			})
 		})
 	}
 
 	for a, agg := range cl.Aggs {
+		a := a
 		pod := a / aggsPerPod
 		agg.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			dstPod := dstToR / torsPerPod
 			if dstPod == pod {
-				return dstToR % torsPerPod // down to the rack
+				return dstToR % torsPerPod // down to the rack (single path)
 			}
-			return torsPerPod + ecmpHash(p.Flow, 0x616767, cfg.CoreCount) // up
+			if cl.fabricDown == 0 {
+				return torsPerPod + ecmpHash(p.Flow, 0x616767, cfg.CoreCount) // up
+			}
+			return torsPerPod + pickECMP(p.Flow, 0x616767, cfg.CoreCount, func(c int) bool {
+				return cl.aggCoreUp[a][c] && cl.coreReaches(c, dstToR)
+			})
 		})
 	}
 
-	for _, cr := range cl.Cores {
+	for ci, cr := range cl.Cores {
+		ci := ci
 		cr.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			dstPod := dstToR / torsPerPod
 			// Core port layout: one port per agg, in agg-id order.
-			return dstPod*aggsPerPod + ecmpHash(p.Flow, 0x636f7265, aggsPerPod)
+			if cl.fabricDown == 0 {
+				return dstPod*aggsPerPod + ecmpHash(p.Flow, 0x636f7265, aggsPerPod)
+			}
+			return dstPod*aggsPerPod + pickECMP(p.Flow, 0x636f7265, aggsPerPod, func(a int) bool {
+				return cl.aggCoreUp[dstPod*aggsPerPod+a][ci] && cl.torAggUp[dstToR][a]
+			})
 		})
 	}
 }
@@ -299,6 +486,45 @@ func (cl *Cluster) LosslessGaps() uint64 {
 	return total
 }
 
+// DataReceived sums data packets delivered to receivers across all hosts —
+// the fabric-wide progress signal the fault watchdog monitors.
+func (cl *Cluster) DataReceived() uint64 {
+	var total uint64
+	for _, h := range cl.Hosts {
+		total += h.DataReceived
+	}
+	return total
+}
+
+// ResidentBytes sums buffer occupancy across every switch: nonzero while
+// packets are parked somewhere in the fabric.
+func (cl *Cluster) ResidentBytes() int64 {
+	var total int64
+	for _, sw := range cl.AllSwitches() {
+		total += sw.Occupancy()
+	}
+	return total
+}
+
+// RecoveryBytes sums retransmitted payload bytes across all hosts.
+func (cl *Cluster) RecoveryBytes() int64 {
+	var total int64
+	for _, h := range cl.Hosts {
+		total += h.RecoveryBytes()
+	}
+	return total
+}
+
+// RDMARecoveryStats sums go-back-N rewind counters across all hosts.
+func (cl *Cluster) RDMARecoveryStats() (nacks, timeouts uint64) {
+	for _, h := range cl.Hosts {
+		n, to := h.RDMARecoveryStats()
+		nacks += n
+		timeouts += to
+	}
+	return nacks, timeouts
+}
+
 // SwitchStats aggregates stats over a slice of switches.
 func SwitchStats(switches []*switchsim.Switch) switchsim.Stats {
 	var agg switchsim.Stats
@@ -313,6 +539,7 @@ func SwitchStats(switches []*switchsim.Switch) switchsim.Stats {
 		agg.ECNMarked += st.ECNMarked
 		agg.PauseFramesSent += st.PauseFramesSent
 		agg.ResumeFramesSent += st.ResumeFramesSent
+		agg.PFCReissues += st.PFCReissues
 		if st.PeakOccupancy > agg.PeakOccupancy {
 			agg.PeakOccupancy = st.PeakOccupancy
 		}

@@ -27,8 +27,11 @@
 package l2bm
 
 import (
+	"io"
+
 	"l2bm/internal/core"
 	"l2bm/internal/exp"
+	"l2bm/internal/faults"
 	"l2bm/internal/host"
 	"l2bm/internal/metrics"
 	"l2bm/internal/pkt"
@@ -256,3 +259,35 @@ type Result = exp.Result
 
 // RunHybrid executes one hybrid-traffic data point.
 func RunHybrid(spec HybridSpec) (*Result, error) { return exp.RunHybrid(spec) }
+
+// --- Fault injection ---------------------------------------------------------
+
+// FaultPlan describes a deterministic fault schedule: link flaps, frame
+// corruption, lost PFC frames and switch blackouts.
+type FaultPlan = faults.Plan
+
+// FaultEvent is one scheduled link up/down transition in a FaultPlan.
+type FaultEvent = faults.ScheduledEvent
+
+// Blackout takes a whole switch offline for a fixed interval.
+type Blackout = faults.Blackout
+
+// FaultSpec attaches a fault plan plus detection machinery to a HybridSpec.
+type FaultSpec = exp.FaultSpec
+
+// DefaultFaultScenario returns the robustness ablation's default plan: ~1%
+// link-flap duty cycle plus BER 1e-6 frame corruption during the traffic
+// window.
+func DefaultFaultScenario(scale Scale) *FaultSpec { return exp.DefaultFaultScenario(scale) }
+
+// RunFaultTolerance compares all four policies under the default fault
+// scenario and writes the completion/recovery and detection tables to w.
+func RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
+	return exp.RunFaultTolerance(scale, w)
+}
+
+// FrameCorruptionProb converts a bit-error rate into a per-frame corruption
+// probability for a frame of sizeBytes.
+func FrameCorruptionProb(sizeBytes int, ber float64) float64 {
+	return faults.FrameCorruptionProb(sizeBytes, ber)
+}
