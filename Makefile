@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench faults clean
+.PHONY: all build vet test race check bench faults speedup clean
 
 all: check
 
@@ -14,7 +14,8 @@ test:
 	$(GO) test ./...
 
 # Short mode skips the slow multi-policy fault sweeps; race still covers
-# every package's core paths.
+# every package's core paths, including the parallel experiment scheduler
+# (pool collation, cancellation, harness accounting).
 race:
 	$(GO) test -race -short ./...
 
@@ -26,6 +27,21 @@ bench:
 # The robustness ablation: link flaps + BER + recovery, four policies.
 faults:
 	$(GO) run ./cmd/l2bmexp -exp faults -scale tiny
+
+# Wall-clock speedup of the parallel scheduler: the same Fig. 7 grid
+# (4 policies x 8 loads), sequential vs all cores. On a >=4-core machine
+# the second run should be >=2x faster; the table output is byte-identical
+# either way (only the timing trailers differ).
+speedup:
+	$(GO) build -o /tmp/l2bmexp-speedup ./cmd/l2bmexp
+	@echo "== workers=1 (sequential baseline) =="
+	time /tmp/l2bmexp-speedup -exp fig7 -scale tiny -parallel 1 > /tmp/l2bm-fig7-w1.txt
+	@echo "== workers=all cores =="
+	time /tmp/l2bmexp-speedup -exp fig7 -scale tiny > /tmp/l2bm-fig7-wN.txt
+	@echo "== determinism check (tables must be byte-identical) =="
+	@grep -v "finished in" /tmp/l2bm-fig7-w1.txt > /tmp/l2bm-fig7-w1.det.txt
+	@grep -v "finished in" /tmp/l2bm-fig7-wN.txt > /tmp/l2bm-fig7-wN.det.txt
+	diff /tmp/l2bm-fig7-w1.det.txt /tmp/l2bm-fig7-wN.det.txt && echo "byte-identical"
 
 clean:
 	$(GO) clean ./...

@@ -94,6 +94,31 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWorkers measures the parallel experiment scheduler on a
+// multi-policy sweep (Table II's 4 policies x 5 loads): workers=1 is the
+// sequential baseline, workers=0 (GOMAXPROCS) fans the independent points
+// across all cores. On a >=4-core machine the parallel case should be
+// >=2x faster; the collated results are identical either way (see
+// exp.Pool's determinism contract and DESIGN.md §8).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"sequential-1", 1}, {"parallel-all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				h := exp.NewHarness(tc.workers)
+				if _, err := h.RunTable2(exp.ScaleTiny, nil, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+				events = h.TotalEvents()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds()*float64(b.N), "events/s")
+		})
+	}
+}
+
 // BenchmarkFig8 regenerates the per-ToR occupancy CDFs at load 0.8.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -5,6 +5,7 @@
 //
 //	l2bmexp -exp fig7 -scale small
 //	l2bmexp -exp all -scale full -out results.txt
+//	l2bmexp -exp fig7 -scale full -parallel 8 -cpuprofile cpu.pprof
 //
 // Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults all.
 // The faults experiment is a beyond-the-paper robustness ablation: link
@@ -12,6 +13,11 @@
 // detection enabled.
 // Scales: tiny (seconds), small (minutes), full (paper topology; tens of
 // minutes for the sweeps).
+//
+// Independent grid points fan out across -parallel workers (default: all
+// cores; 1 restores sequential execution). Tables and progress lines are
+// byte-identical for any worker count — only wall clock changes. The
+// timing trailer reports aggregate simulated events/s across workers.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -34,8 +42,14 @@ func run(args []string, stdout io.Writer) error {
 	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|all")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
+	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
 	}
 
 	w := stdout
@@ -47,18 +61,45 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = io.MultiWriter(stdout, f)
 	}
-	return Run(*expName, *scaleName, w)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	runErr := Run(*expName, *scaleName, *parallel, w)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile is meaningful
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return runErr
 }
 
-// Run executes one named experiment (or all) at the given scale, writing
-// the tables to w. It is exported for tests.
-func Run(expName, scaleName string, w io.Writer) error {
+// Run executes one named experiment (or all) at the given scale with the
+// given worker count (0 = GOMAXPROCS), writing the tables to w. It is
+// exported for tests.
+func Run(expName, scaleName string, workers int, w io.Writer) error {
 	scale, err := parseScale(scaleName)
 	if err != nil {
 		return err
 	}
 
-	runners := experimentRunners()
+	harness, runners := experimentRunners(workers)
 	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
 
 	var selected []string
@@ -71,13 +112,39 @@ func Run(expName, scaleName string, w io.Writer) error {
 		selected = []string{expName}
 	}
 
+	effective := workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
 	for _, name := range selected {
 		start := time.Now()
+		events0 := harness.TotalEvents()
+		// The banner and tables are deterministic for any worker count;
+		// only the timing trailer below carries run-dependent numbers.
 		fmt.Fprintf(w, "\n--- running %s at scale %s ---\n", name, scaleName)
 		if err := runners[name](scale, w); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintf(w, "(%s finished in %v)\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		events := harness.TotalEvents() - events0
+		fmt.Fprintf(w, "(%s finished in %v: %s events, %s events/s aggregate across %d workers)\n",
+			name, wall.Round(time.Millisecond),
+			siCount(float64(events)), siCount(float64(events)/wall.Seconds()), effective)
 	}
 	return nil
+}
+
+// siCount renders a count with an SI suffix (12.3M), keeping the timing
+// trailer compact.
+func siCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
 }

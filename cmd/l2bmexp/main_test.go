@@ -2,17 +2,28 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"regexp"
 	"strings"
 	"testing"
 )
 
+// statFile returns the size of a file (helper for profile checks).
+func statFile(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("fig3a", "tiny", &buf); err != nil {
+	if err := Run("fig3a", "tiny", 0, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"running fig3a", "Fig 3(a)", "finished in"} {
+	for _, want := range []string{"running fig3a", "Fig 3(a)", "finished in", "events/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
@@ -21,10 +32,10 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunRejectsUnknownInputs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("fig99", "tiny", &buf); err == nil {
+	if err := Run("fig99", "tiny", 0, &buf); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := Run("fig7", "galactic", &buf); err == nil {
+	if err := Run("fig7", "galactic", 0, &buf); err == nil {
 		t.Error("unknown scale should fail")
 	}
 }
@@ -39,5 +50,40 @@ func TestCLIFlagParsing(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &buf); err == nil {
 		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-parallel", "-3"}, &buf); err == nil {
+		t.Error("negative -parallel should fail")
+	}
+}
+
+// TestParallelFlagDeterminism: the CLI's deterministic portion (everything
+// but the timing trailers) must be byte-identical for any worker count.
+func TestParallelFlagDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := Run("fig3a", "tiny", workers, &buf); err != nil {
+			t.Fatal(err)
+		}
+		// Strip the only wall-clock-dependent lines: the timing trailers.
+		drop := regexp.MustCompile(`(?m)^\(.* finished in .*\)$`)
+		return drop.ReplaceAllString(buf.String(), "")
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Errorf("CLI output differs between workers=1 and workers=4:\n--- w1 ---\n%s\n--- w4 ---\n%s", a, b)
+	}
+}
+
+func TestCLIProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3a", "-scale", "tiny",
+		"-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := statFile(p); err != nil || fi <= 0 {
+			t.Errorf("profile %s missing or empty (size=%d, err=%v)", p, fi, err)
+		}
 	}
 }

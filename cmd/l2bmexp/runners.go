@@ -9,24 +9,26 @@ import (
 // parseScale maps the CLI flag to an exp.Scale.
 func parseScale(s string) (exp.Scale, error) { return exp.ParseScale(s) }
 
-// experimentRunners maps experiment names to their runners. A Fig. 7 sweep
-// is cached so that Table II (the same grid) does not re-simulate when both
-// run in one invocation.
-func experimentRunners() map[string]func(exp.Scale, io.Writer) error {
+// experimentRunners maps experiment names to their runners, all sharing
+// one harness (worker pool + aggregate event accounting). A Fig. 7 sweep
+// is cached so that Table II (the same grid) does not re-simulate when
+// both run in one invocation.
+func experimentRunners(workers int) (*exp.Harness, map[string]func(exp.Scale, io.Writer) error) {
+	h := exp.NewHarness(workers)
 	var fig7Sweep *exp.SweepResult
 	var fig7Scale exp.Scale
 
-	return map[string]func(exp.Scale, io.Writer) error{
+	return h, map[string]func(exp.Scale, io.Writer) error{
 		"fig3a": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig3a(s, w)
+			_, err := h.RunFig3a(s, w)
 			return err
 		},
 		"fig3b": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig3b(s, w)
+			_, err := h.RunFig3b(s, w)
 			return err
 		},
 		"fig7": func(s exp.Scale, w io.Writer) error {
-			sweep, err := exp.RunFig7(s, w)
+			sweep, err := h.RunFig7(s, w)
 			if err == nil {
 				fig7Sweep, fig7Scale = sweep, s
 			}
@@ -37,27 +39,27 @@ func experimentRunners() map[string]func(exp.Scale, io.Writer) error {
 			if fig7Scale != s {
 				prior = nil
 			}
-			_, err := exp.RunTable2(s, prior, w)
+			_, err := h.RunTable2(s, prior, w)
 			return err
 		},
 		"fig8": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig8(s, w)
+			_, err := h.RunFig8(s, w)
 			return err
 		},
 		"fig9": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig9(s, w)
+			_, err := h.RunFig9(s, w)
 			return err
 		},
 		"fig10": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig10(s, w)
+			_, err := h.RunFig10(s, w)
 			return err
 		},
 		"fig11": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFig11(s, w)
+			_, err := h.RunFig11(s, w)
 			return err
 		},
 		"faults": func(s exp.Scale, w io.Writer) error {
-			_, err := exp.RunFaultTolerance(s, w)
+			_, err := h.RunFaultTolerance(s, w)
 			return err
 		},
 	}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"l2bm/internal/metrics"
 	"l2bm/internal/pkt"
@@ -18,6 +19,10 @@ var Table2Loads = []float64{0.4, 0.5, 0.6, 0.7, 0.8}
 // IncastFanouts is the x-axis of Fig. 11.
 var IncastFanouts = []int{5, 10, 15}
 
+// loadEpsilon is the tolerance for matching sweep loads: grid loads are
+// round decimals that may arrive via arithmetic (0.1*4 != 0.4 exactly).
+const loadEpsilon = 1e-9
+
 // bufferBytes returns the shared buffer size of the scale's switches, for
 // occupancy normalization.
 func bufferBytes(s Scale) int64 { return s.Topo().Switch.TotalShared }
@@ -31,21 +36,15 @@ type Fig3aResult struct {
 // RunFig3a reproduces Fig. 3(a): the same web-search workload (load 0.4,
 // inter-rack) offered once as all-TCP and once as all-RDMA, comparing the
 // switch buffer each occupies under default DT.
-func RunFig3a(scale Scale, w io.Writer) (*Fig3aResult, error) {
-	tcp, err := RunHybrid(HybridSpec{
-		Name: "fig3a-tcp", Policy: "DT", Scale: scale,
-		TCPLoad: 0.4, InterRackOnly: true,
-	})
+func (h *Harness) RunFig3a(scale Scale, w io.Writer) (*Fig3aResult, error) {
+	results, err := h.runAll([]HybridSpec{
+		{Name: "fig3a-tcp", Policy: "DT", Scale: scale, TCPLoad: 0.4, InterRackOnly: true},
+		{Name: "fig3a-rdma", Policy: "DT", Scale: scale, RDMALoad: 0.4, InterRackOnly: true},
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
-	rdma, err := RunHybrid(HybridSpec{
-		Name: "fig3a-rdma", Policy: "DT", Scale: scale,
-		RDMALoad: 0.4, InterRackOnly: true,
-	})
-	if err != nil {
-		return nil, err
-	}
+	tcp, rdma := results[0], results[1]
 
 	tab := NewTable("Fig 3(a): buffer occupancy, TCP vs RDMA under the same workload",
 		"protocol", "occ_p50_KB", "occ_p90_KB", "occ_p99_KB", "peak_frac_of_B")
@@ -96,32 +95,65 @@ type SweepResult struct {
 	Cells map[string][]*Result
 }
 
-// runLoadSweep executes the Fig. 7 grid for the given policies.
-func runLoadSweep(name string, scale Scale, policies []string, loads []float64, progress io.Writer) (*SweepResult, error) {
-	out := &SweepResult{Policies: policies, Loads: loads, Cells: make(map[string][]*Result)}
+// Lookup returns the cell for (policy, load), matching the load with an
+// epsilon compare, or nil when the sweep does not contain it (absent
+// policy, missing load, or a ragged/partial cell row).
+func (s *SweepResult) Lookup(policy string, load float64) *Result {
+	if s == nil {
+		return nil
+	}
+	cells, ok := s.Cells[policy]
+	if !ok {
+		return nil
+	}
+	for i, l := range s.Loads {
+		if math.Abs(l-load) < loadEpsilon {
+			if i < len(cells) {
+				return cells[i]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// runLoadSweep executes the Fig. 7 grid for the given policies, fanning
+// the policy×load points across the harness's worker pool. Progress lines
+// are emitted by the pool's collator in spec order, so the stream is
+// byte-identical for any worker count.
+func (h *Harness) runLoadSweep(name string, scale Scale, policies []string, loads []float64, progress io.Writer) (*SweepResult, error) {
+	specs := make([]HybridSpec, 0, len(policies)*len(loads))
 	for _, pol := range policies {
 		for _, load := range loads {
-			res, err := RunHybrid(HybridSpec{
+			specs = append(specs, HybridSpec{
 				Name: name, Policy: pol, Scale: scale,
 				RDMALoad: 0.4, TCPLoad: load,
 			})
-			if err != nil {
-				return nil, err
-			}
-			out.Cells[pol] = append(out.Cells[pol], res)
-			if progress != nil {
-				fmt.Fprintf(progress, "  %s %s load=%.1f: rdmaP99=%s tcpP99=%s pause=%d\n",
-					name, pol, load, f2(res.RDMAp99()), f2(res.TCPp99()), res.PauseFrames)
-			}
 		}
+	}
+	var emit EmitFunc
+	if progress != nil {
+		emit = func(i int, res *Result) {
+			pol, load := policies[i/len(loads)], loads[i%len(loads)]
+			fmt.Fprintf(progress, "  %s %s load=%.1f: rdmaP99=%s tcpP99=%s pause=%d\n",
+				name, pol, load, f2(res.RDMAp99()), f2(res.TCPp99()), res.PauseFrames)
+		}
+	}
+	results, err := h.runAll(specs, emit)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Policies: policies, Loads: loads, Cells: make(map[string][]*Result)}
+	for i, res := range results {
+		out.Cells[policies[i/len(loads)]] = append(out.Cells[policies[i/len(loads)]], res)
 	}
 	return out, nil
 }
 
 // RunFig3b reproduces Fig. 3(b): RDMA tail latency vs TCP load under the
 // pre-existing policies (DT, ABM) — the motivation for L2BM.
-func RunFig3b(scale Scale, w io.Writer) (*SweepResult, error) {
-	sweep, err := runLoadSweep("fig3b", scale, []string{"DT", "ABM"}, TCPLoadSweep, nil)
+func (h *Harness) RunFig3b(scale Scale, w io.Writer) (*SweepResult, error) {
+	sweep, err := h.runLoadSweep("fig3b", scale, []string{"DT", "ABM"}, TCPLoadSweep, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +186,8 @@ func loadHeaders() []string {
 // RunFig7 reproduces Fig. 7(a)–(d): RDMA p99 slowdown, TCP p99 slowdown,
 // ToR buffer occupancy and PFC pause frames as TCP load grows, for all four
 // policies.
-func RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
-	sweep, err := runLoadSweep("fig7", scale, PolicyNames, TCPLoadSweep, w)
+func (h *Harness) RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
+	sweep, err := h.runLoadSweep("fig7", scale, PolicyNames, TCPLoadSweep, w)
 	if err != nil {
 		return nil, err
 	}
@@ -188,33 +220,52 @@ func RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
 	return sweep, nil
 }
 
+// table2Policies is Table II's row order.
+var table2Policies = []string{"ABM", "DT", "DT2", "L2BM"}
+
 // RunTable2 reproduces Table II: PFC pause-frame counts for loads 0.4–0.8.
-// When a Fig. 7 sweep is already available, pass it to avoid re-running.
-func RunTable2(scale Scale, prior *SweepResult, w io.Writer) (*Table, error) {
+// When a Fig. 7 sweep is already available, pass it to avoid re-running:
+// cells present in the prior (matched by policy with an epsilon load
+// compare, so partial priors such as a DT/ABM-only Fig. 3(b) sweep are
+// safe) are reused, and only the missing cells are simulated — fanned out
+// across the worker pool.
+func (h *Harness) RunTable2(scale Scale, prior *SweepResult, w io.Writer) (*Table, error) {
+	// Resolve the grid: reuse prior cells, collect the missing ones.
+	grid := make([][]*Result, len(table2Policies))
+	type cellKey struct{ pi, li int }
+	var missing []HybridSpec
+	var missingAt []cellKey
+	for pi, pol := range table2Policies {
+		grid[pi] = make([]*Result, len(Table2Loads))
+		for li, load := range Table2Loads {
+			if res := prior.Lookup(pol, load); res != nil {
+				grid[pi][li] = res
+				continue
+			}
+			missing = append(missing, HybridSpec{
+				Name: "fig7", Policy: pol, Scale: scale,
+				RDMALoad: 0.4, TCPLoad: load,
+			})
+			missingAt = append(missingAt, cellKey{pi, li})
+		}
+	}
+	if len(missing) > 0 {
+		results, err := h.runAll(missing, nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, res := range results {
+			grid[missingAt[k].pi][missingAt[k].li] = res
+		}
+	}
+
 	tab := NewTable("Table II: number of PFC pause frames",
 		"policy", "load=0.4", "load=0.5", "load=0.6", "load=0.7", "load=0.8")
 	integ := newIntegrityTable("Table II integrity: lossless gaps / violations / MMU audits")
-	for _, pol := range []string{"ABM", "DT", "DT2", "L2BM"} {
+	for pi, pol := range table2Policies {
 		row := []string{pol}
-		for _, load := range Table2Loads {
-			var res *Result
-			if prior != nil {
-				for i, l := range prior.Loads {
-					if l == load {
-						res = prior.Cells[pol][i]
-					}
-				}
-			}
-			if res == nil {
-				var err error
-				res, err = RunHybrid(HybridSpec{
-					Name: "fig7", Policy: pol, Scale: scale,
-					RDMALoad: 0.4, TCPLoad: load,
-				})
-				if err != nil {
-					return nil, err
-				}
-			}
+		for li, load := range Table2Loads {
+			res := grid[pi][li]
 			row = append(row, fmt.Sprint(res.PauseFrames))
 			addIntegrityRow(integ, fmt.Sprintf("%s@%.1f", pol, load), res)
 		}
@@ -237,18 +288,24 @@ type Fig8Result struct {
 
 // RunFig8 reproduces Fig. 8: the occupancy CDF of each ToR switch at TCP
 // load 0.8 (samples every 1 ms in the paper; scaled sampling here).
-func RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
+func (h *Harness) RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
+	specs := make([]HybridSpec, len(PolicyNames))
+	for i, pol := range PolicyNames {
+		specs[i] = HybridSpec{
+			Name: "fig8", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
+		}
+	}
+	results, err := h.runAll(specs, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Fig8Result{CDFs: make(map[string][][]metrics.CDFPoint)}
 	tab := NewTable("Fig 8: ToR occupancy at TCP load 0.8 (KB at CDF points)",
 		"policy", "tor", "p25", "p50", "p75", "p90", "p99")
 	integ := newIntegrityTable("Fig 8 integrity: lossless gaps / violations / MMU audits")
-	for _, pol := range PolicyNames {
-		res, err := RunHybrid(HybridSpec{
-			Name: "fig8", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range PolicyNames {
+		res := results[i]
 		addIntegrityRow(integ, pol, res)
 		for tor, trace := range res.TorOccupancy {
 			xs := make([]float64, len(trace))
@@ -280,7 +337,18 @@ type Fig9Result struct {
 
 // RunFig9 reproduces Fig. 9: CDFs of RDMA and TCP FCT slowdowns at TCP
 // load 0.8.
-func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
+func (h *Harness) RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
+	specs := make([]HybridSpec, len(PolicyNames))
+	for i, pol := range PolicyNames {
+		specs[i] = HybridSpec{
+			Name: "fig9", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
+		}
+	}
+	results, err := h.runAll(specs, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Fig9Result{
 		RDMA: make(map[string][]metrics.CDFPoint),
 		TCP:  make(map[string][]metrics.CDFPoint),
@@ -288,23 +356,18 @@ func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
 	tab := NewTable("Fig 9: FCT slowdown at TCP load 0.8",
 		"policy", "class", "p50", "p90", "p99")
 	integ := newIntegrityTable("Fig 9 integrity: lossless gaps / violations / MMU audits")
-	for _, pol := range PolicyNames {
-		res, err := RunHybrid(HybridSpec{
-			Name: "fig9", Policy: pol, Scale: scale, RDMALoad: 0.4, TCPLoad: 0.8,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range PolicyNames {
+		res := results[i]
 		addIntegrityRow(integ, pol, res)
 		out.RDMA[pol] = metrics.EmpiricalCDF(res.RDMASlowdowns, 100)
 		out.TCP[pol] = metrics.EmpiricalCDF(res.TCPSlowdowns, 100)
 		tab.AddRow(pol, pkt.ClassLossless.String(),
-			f2(metrics.Percentile(res.RDMASlowdowns, 50)),
-			f2(metrics.Percentile(res.RDMASlowdowns, 90)),
+			f2(metrics.PercentileSorted(res.RDMASlowdowns, 50)),
+			f2(metrics.PercentileSorted(res.RDMASlowdowns, 90)),
 			f2(res.RDMAp99()))
 		tab.AddRow(pol, pkt.ClassLossy.String(),
-			f2(metrics.Percentile(res.TCPSlowdowns, 50)),
-			f2(metrics.Percentile(res.TCPSlowdowns, 90)),
+			f2(metrics.PercentileSorted(res.TCPSlowdowns, 50)),
+			f2(metrics.PercentileSorted(res.TCPSlowdowns, 90)),
 			f2(res.TCPp99()))
 	}
 	if err := tab.Fprint(w); err != nil {
@@ -326,7 +389,19 @@ func incastSpecFor(fanout int) *IncastSpec {
 // RunFig10 reproduces Fig. 10: incast deep dive at N = 5 over TCP
 // web-search background at load 0.8 — FCT slowdown CDF of incast flows,
 // query-delay error-bar statistics, and ToR occupancy CDF.
-func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
+func (h *Harness) RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
+	specs := make([]HybridSpec, len(PolicyNames))
+	for i, pol := range PolicyNames {
+		specs[i] = HybridSpec{
+			Name: "fig10", Policy: pol, Scale: scale,
+			TCPLoad: 0.8, Incast: incastSpecFor(5),
+		}
+	}
+	results, err := h.runAll(specs, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	out := make(map[string]*Result)
 	cdf := NewTable("Fig 10(a): incast flow FCT slowdown (N=5)",
 		"policy", "p50", "p90", "p99", "frac_under_10x")
@@ -335,14 +410,8 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 	occ := NewTable("Fig 10(c): ToR occupancy under incast (KB)",
 		"policy", "p50", "p90", "p99")
 	integ := newIntegrityTable("Fig 10 integrity: lossless gaps / violations / MMU audits")
-	for _, pol := range PolicyNames {
-		res, err := RunHybrid(HybridSpec{
-			Name: "fig10", Policy: pol, Scale: scale,
-			TCPLoad: 0.8, Incast: incastSpecFor(5),
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range PolicyNames {
+		res := results[i]
 		out[pol] = res
 		addIntegrityRow(integ, pol, res)
 
@@ -357,8 +426,8 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 			frac = float64(under10) / float64(n)
 		}
 		cdf.AddRow(pol,
-			f2(metrics.Percentile(res.IncastSlowdowns, 50)),
-			f2(metrics.Percentile(res.IncastSlowdowns, 90)),
+			f2(metrics.PercentileSorted(res.IncastSlowdowns, 50)),
+			f2(metrics.PercentileSorted(res.IncastSlowdowns, 90)),
 			f2(res.Incastp99()), f3(frac))
 
 		s := res.QueryDelaySummary()
@@ -383,7 +452,21 @@ func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
 
 // RunFig11 reproduces Fig. 11: incast behaviour as the fan-in degree N
 // grows — tail slowdown, average query delay and PFC pause frames.
-func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
+func (h *Harness) RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
+	specs := make([]HybridSpec, 0, len(PolicyNames)*len(IncastFanouts))
+	for _, pol := range PolicyNames {
+		for _, n := range IncastFanouts {
+			specs = append(specs, HybridSpec{
+				Name: fmt.Sprintf("fig11-n%d", n), Policy: pol, Scale: scale,
+				TCPLoad: 0.8, Incast: incastSpecFor(n),
+			})
+		}
+	}
+	results, err := h.runAll(specs, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	out := make(map[string]map[int]*Result)
 	tail := NewTable("Fig 11(a): 99% FCT slowdown of incast flows",
 		"policy", "N=5", "N=10", "N=15")
@@ -392,17 +475,11 @@ func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
 	pauses := NewTable("Fig 11(c): PFC pause frames",
 		"policy", "N=5", "N=10", "N=15")
 	integ := newIntegrityTable("Fig 11 integrity: lossless gaps / violations / MMU audits")
-	for _, pol := range PolicyNames {
+	for pi, pol := range PolicyNames {
 		out[pol] = make(map[int]*Result)
 		tailRow, avgRow, pauseRow := []string{pol}, []string{pol}, []string{pol}
-		for _, n := range IncastFanouts {
-			res, err := RunHybrid(HybridSpec{
-				Name: fmt.Sprintf("fig11-n%d", n), Policy: pol, Scale: scale,
-				TCPLoad: 0.8, Incast: incastSpecFor(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ni, n := range IncastFanouts {
+			res := results[pi*len(IncastFanouts)+ni]
 			out[pol][n] = res
 			addIntegrityRow(integ, fmt.Sprintf("%s@N=%d", pol, n), res)
 			tailRow = append(tailRow, f2(res.Incastp99()))
@@ -419,4 +496,47 @@ func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// Package-level wrappers preserve the pre-scheduler API: each runs the
+// experiment on a fresh default harness (GOMAXPROCS workers).
+
+// RunFig3a runs Fig. 3(a) on a default harness; see Harness.RunFig3a.
+func RunFig3a(scale Scale, w io.Writer) (*Fig3aResult, error) {
+	return defaultHarness().RunFig3a(scale, w)
+}
+
+// RunFig3b runs Fig. 3(b) on a default harness; see Harness.RunFig3b.
+func RunFig3b(scale Scale, w io.Writer) (*SweepResult, error) {
+	return defaultHarness().RunFig3b(scale, w)
+}
+
+// RunFig7 runs Fig. 7 on a default harness; see Harness.RunFig7.
+func RunFig7(scale Scale, w io.Writer) (*SweepResult, error) {
+	return defaultHarness().RunFig7(scale, w)
+}
+
+// RunTable2 runs Table II on a default harness; see Harness.RunTable2.
+func RunTable2(scale Scale, prior *SweepResult, w io.Writer) (*Table, error) {
+	return defaultHarness().RunTable2(scale, prior, w)
+}
+
+// RunFig8 runs Fig. 8 on a default harness; see Harness.RunFig8.
+func RunFig8(scale Scale, w io.Writer) (*Fig8Result, error) {
+	return defaultHarness().RunFig8(scale, w)
+}
+
+// RunFig9 runs Fig. 9 on a default harness; see Harness.RunFig9.
+func RunFig9(scale Scale, w io.Writer) (*Fig9Result, error) {
+	return defaultHarness().RunFig9(scale, w)
+}
+
+// RunFig10 runs Fig. 10 on a default harness; see Harness.RunFig10.
+func RunFig10(scale Scale, w io.Writer) (map[string]*Result, error) {
+	return defaultHarness().RunFig10(scale, w)
+}
+
+// RunFig11 runs Fig. 11 on a default harness; see Harness.RunFig11.
+func RunFig11(scale Scale, w io.Writer) (map[string]map[int]*Result, error) {
+	return defaultHarness().RunFig11(scale, w)
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -55,7 +56,7 @@ func TestRunTable2ReusesPriorSweep(t *testing.T) {
 	// A prior Fig. 7 sweep at the same scale must be reused without
 	// re-simulation: verify the cells come from the prior result set.
 	var buf bytes.Buffer
-	sweep, err := runLoadSweep("fig7", ScaleTiny, []string{"DT", "DT2", "ABM", "L2BM"}, Table2Loads, nil)
+	sweep, err := NewHarness(1).runLoadSweep("fig7", ScaleTiny, []string{"DT", "DT2", "ABM", "L2BM"}, Table2Loads, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +70,74 @@ func TestRunTable2ReusesPriorSweep(t *testing.T) {
 		if tab.Rows[i][0] != pol {
 			t.Fatalf("row %d policy = %q, want %q", i, tab.Rows[i][0], pol)
 		}
+	}
+}
+
+// syntheticSweep builds a prior with sentinel results (distinct pause
+// counts) so reuse is observable without re-simulating.
+func syntheticSweep(policies []string, loads []float64) *SweepResult {
+	s := &SweepResult{Policies: policies, Loads: loads, Cells: make(map[string][]*Result)}
+	for pi, pol := range policies {
+		for li := range loads {
+			s.Cells[pol] = append(s.Cells[pol], &Result{PauseFrames: uint64(1000 + 100*pi + li)})
+		}
+	}
+	return s
+}
+
+// TestRunTable2PartialPriorRegression: a prior sweep lacking a policy (the
+// Fig. 3(b) shape: DT/ABM only) used to panic on nil-slice indexing, and
+// loads produced by arithmetic (0.1*4 != 0.4) used to miss via exact float
+// equality. The lookup must guard absent policies, epsilon-compare loads,
+// and stop at the first hit.
+func TestRunTable2PartialPriorRegression(t *testing.T) {
+	// Loads arrive via arithmetic so exact == comparison would miss.
+	loads := make([]float64, len(Table2Loads))
+	for i := range loads {
+		loads[i] = float64(4+i) * 0.1 // 0.4..0.8 with float error
+	}
+	prior := syntheticSweep([]string{"DT", "ABM"}, loads)
+	// Make one present policy ragged too: shorter Cells than Loads.
+	prior.Cells["ABM"] = prior.Cells["ABM"][:2]
+
+	var buf bytes.Buffer
+	tab, err := RunTable2(ScaleTiny, prior, &buf) // must not panic
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DT row (index 1) must carry the sentinel pause counts from the prior.
+	for li := range Table2Loads {
+		want := fmt.Sprint(1000 + li) // pi=0 for DT in the synthetic sweep
+		if got := tab.Rows[1][1+li]; got != want {
+			t.Errorf("DT load %d: cell = %q, want sentinel %s (prior not reused)", li, got, want)
+		}
+	}
+	// ABM's two surviving cells reused; the ragged tail re-simulated.
+	for li := 0; li < 2; li++ {
+		want := fmt.Sprint(1100 + li)
+		if got := tab.Rows[0][1+li]; got != want {
+			t.Errorf("ABM load %d: cell = %q, want sentinel %s", li, got, want)
+		}
+	}
+}
+
+func TestSweepLookup(t *testing.T) {
+	s := syntheticSweep([]string{"DT"}, []float64{0.4, 0.5})
+	if (*SweepResult)(nil).Lookup("DT", 0.4) != nil {
+		t.Error("nil sweep should return nil")
+	}
+	if s.Lookup("L2BM", 0.4) != nil {
+		t.Error("absent policy should return nil, not panic")
+	}
+	if s.Lookup("DT", 0.6) != nil {
+		t.Error("absent load should return nil")
+	}
+	if got := s.Lookup("DT", 0.1*4); got == nil || got.PauseFrames != 1000 {
+		t.Errorf("epsilon load match failed: %+v", got)
+	}
+	s.Cells["DT"] = s.Cells["DT"][:1]
+	if s.Lookup("DT", 0.5) != nil {
+		t.Error("ragged cell row should return nil, not panic")
 	}
 }
 

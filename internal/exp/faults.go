@@ -37,7 +37,21 @@ const FaultDrain = 64
 // still complete, what does recovery cost, and does the detection machinery
 // stay quiet on a deadlock-free fabric? Two tables: completion/recovery and
 // detection/integrity.
-func RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
+func (h *Harness) RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
+	specs := make([]HybridSpec, len(PolicyNames))
+	for i, pol := range PolicyNames {
+		specs[i] = HybridSpec{
+			Name: "faults", Policy: pol, Scale: scale,
+			RDMALoad: 0.4, TCPLoad: 0.4,
+			DrainOverride: FaultDrain * scale.Window(),
+			Faults:        DefaultFaultScenario(scale),
+		}
+	}
+	results, err := h.runAll(specs, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	out := make(map[string]*Result)
 
 	rec := NewTable("Fault tolerance: completion and recovery under 1% link flaps + 1e-6 BER",
@@ -47,16 +61,8 @@ func RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
 		"policy", "pause", "reissue", "lost_pfc", "carrier_drops",
 		"deadlock_scans", "deadlock_cycles", "stalls", "gaps", "violations", "audit_errors")
 
-	for _, pol := range PolicyNames {
-		res, err := RunHybrid(HybridSpec{
-			Name: "faults", Policy: pol, Scale: scale,
-			RDMALoad: 0.4, TCPLoad: 0.4,
-			DrainOverride: FaultDrain * scale.Window(),
-			Faults:        DefaultFaultScenario(scale),
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range PolicyNames {
+		res := results[i]
 		out[pol] = res
 
 		completion := 0.0
@@ -83,6 +89,12 @@ func RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// RunFaultTolerance runs the robustness ablation on a default harness; see
+// Harness.RunFaultTolerance.
+func RunFaultTolerance(scale Scale, w io.Writer) (map[string]*Result, error) {
+	return defaultHarness().RunFaultTolerance(scale, w)
 }
 
 // newIntegrityTable starts the violation-visibility table every runner

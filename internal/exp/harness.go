@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Harness executes the paper's figure/table runners over a shared worker
+// pool and accumulates cross-experiment cost accounting (total points and
+// simulated events), from which callers derive aggregate events/s across
+// workers. The zero value is valid and uses GOMAXPROCS workers.
+//
+// Rendered output is byte-identical for any worker count: points are
+// collated and progress lines emitted in spec order (see Pool).
+type Harness struct {
+	// Workers bounds concurrently running simulation points; <= 0 means
+	// runtime.GOMAXPROCS(0), 1 restores strictly sequential execution.
+	Workers int
+	// Ctx, when non-nil, cancels in-flight grids externally.
+	Ctx context.Context
+
+	points atomic.Uint64
+	events atomic.Uint64
+}
+
+// NewHarness returns a harness with the given worker bound (<= 0 means
+// GOMAXPROCS).
+func NewHarness(workers int) *Harness { return &Harness{Workers: workers} }
+
+// defaultHarness backs the package-level Run* convenience wrappers.
+func defaultHarness() *Harness { return &Harness{} }
+
+func (h *Harness) context() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
+}
+
+// runAll fans the specs out across the pool and returns their results in
+// spec order; emit (optional) observes points in spec order.
+func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
+	pool := &Pool{Workers: h.Workers}
+	results, stats, err := pool.Run(h.context(), len(specs),
+		func(_ context.Context, i int) (*Result, error) { return RunHybrid(specs[i]) },
+		emit)
+	h.points.Add(uint64(stats.Points))
+	h.events.Add(stats.Events)
+	return results, err
+}
+
+// TotalPoints returns how many simulation points completed so far.
+func (h *Harness) TotalPoints() uint64 { return h.points.Load() }
+
+// TotalEvents returns the simulated-event count accumulated across all
+// completed points — divide by wall time for aggregate events/s.
+func (h *Harness) TotalEvents() uint64 { return h.events.Load() }

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded scheduler for independent simulation points. Every
+// point of a figure/table grid is a self-contained single-goroutine
+// simulation (its own engine, cluster, RNG streams and recorder), so a
+// grid can fan out across cores with no coordination beyond collation.
+//
+// Determinism contract: results are collated in point-index order and the
+// emit callback fires from the collator in strictly ascending index order,
+// so the rendered artifacts are byte-identical regardless of worker count
+// or completion order. On failure the lowest-index point error wins (also
+// order-independent: indices are claimed ascending, so every point below a
+// failed one has already run to completion), and remaining unstarted work
+// is cancelled via context.
+type Pool struct {
+	// Workers bounds concurrently running points; <= 0 means
+	// runtime.GOMAXPROCS(0). Workers == 1 reproduces strictly sequential
+	// execution.
+	Workers int
+}
+
+// PointFunc computes grid point i. It must be self-contained: no shared
+// mutable state with other points (exp.RunHybrid satisfies this). The
+// context is cancelled once any point fails; long-running points may
+// observe it, but are also free to run to completion.
+type PointFunc func(ctx context.Context, i int) (*Result, error)
+
+// EmitFunc observes finished points. It is invoked from a single collator
+// goroutine in strictly ascending index order (never concurrently), which
+// is what keeps progress output deterministic under parallelism. After the
+// first failed index, no further points are emitted.
+type EmitFunc func(i int, r *Result)
+
+// PoolStats summarizes one Run for cost accounting.
+type PoolStats struct {
+	// Points is the number of points that completed successfully.
+	Points int
+	// Events is the total simulated-event count across completed points.
+	Events uint64
+	// Wall is the scheduler's wall-clock time for the whole grid.
+	Wall time.Duration
+	// Workers is the effective worker count used.
+	Workers int
+}
+
+// EventsPerSecond is the aggregate simulation throughput across workers.
+func (s PoolStats) EventsPerSecond() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
+}
+
+// size resolves the effective worker count for an n-point grid.
+func (p *Pool) size(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes point(0..n-1) on at most p.Workers goroutines and returns
+// the results keyed by grid index, in index order. The first error (by
+// index) wins; in-flight points finish, unstarted points are cancelled.
+// Run does not return until every worker goroutine has exited.
+func (p *Pool) Run(ctx context.Context, n int, point PointFunc, emit EmitFunc) ([]*Result, PoolStats, error) {
+	stats := PoolStats{Workers: p.size(n)}
+	if n <= 0 {
+		return nil, stats, ctx.Err()
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	done := make(chan int, n)
+
+	var wg sync.WaitGroup
+	for w := 0; w < stats.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Unstarted point skipped by cancellation; never
+					// preferred over a real point error (see below).
+					errs[i] = err
+					done <- i
+					continue
+				}
+				res, err := point(ctx, i)
+				results[i], errs[i] = res, err
+				if err != nil {
+					cancel()
+				}
+				done <- i
+			}
+		}()
+	}
+
+	// Collate on the calling goroutine: flush the emit callback for the
+	// longest error-free ready prefix so observers see points in spec
+	// order no matter when workers finish them.
+	ready := make([]bool, n)
+	flushed, halted := 0, false
+	for received := 0; received < n; received++ {
+		i := <-done
+		ready[i] = true
+		for flushed < n && ready[flushed] {
+			if errs[flushed] != nil {
+				halted = true
+			}
+			if emit != nil && !halted {
+				emit(flushed, results[flushed])
+			}
+			flushed++
+		}
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+
+	// Lowest-index real failure wins deterministically. Indices are
+	// claimed in ascending order and in-flight points always finish, so
+	// every point below a failed index holds its true outcome, not a
+	// cancellation artifact.
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, stats, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	for _, err := range errs {
+		if err != nil { // external cancellation only
+			return nil, stats, err
+		}
+	}
+	for _, r := range results {
+		stats.Points++
+		stats.Events += r.Events
+	}
+	return results, stats, nil
+}

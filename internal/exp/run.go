@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"l2bm/internal/core"
 	"l2bm/internal/dcqcn"
@@ -92,7 +93,7 @@ type Result struct {
 	// Per-class slowdowns of completed flows, ascending.
 	RDMASlowdowns []float64
 	TCPSlowdowns  []float64
-	// IncastSlowdowns covers only the query-responder flows.
+	// IncastSlowdowns covers only the query-responder flows, ascending.
 	IncastSlowdowns []float64
 	// QueryDelays are per-query response times (max FCT over its flows).
 	QueryDelays []sim.Duration
@@ -148,14 +149,15 @@ type Result struct {
 	WatchdogStalls  uint64 // no-progress windows with resident bytes
 }
 
-// RDMAp99 returns the 99th-percentile RDMA FCT slowdown.
-func (r *Result) RDMAp99() float64 { return metrics.Percentile(r.RDMASlowdowns, 99) }
+// RDMAp99 returns the 99th-percentile RDMA FCT slowdown. The slowdown
+// slices are stored ascending, so the sorted fast path applies.
+func (r *Result) RDMAp99() float64 { return metrics.PercentileSorted(r.RDMASlowdowns, 99) }
 
 // TCPp99 returns the 99th-percentile TCP FCT slowdown.
-func (r *Result) TCPp99() float64 { return metrics.Percentile(r.TCPSlowdowns, 99) }
+func (r *Result) TCPp99() float64 { return metrics.PercentileSorted(r.TCPSlowdowns, 99) }
 
 // Incastp99 returns the 99th-percentile incast-flow slowdown.
-func (r *Result) Incastp99() float64 { return metrics.Percentile(r.IncastSlowdowns, 99) }
+func (r *Result) Incastp99() float64 { return metrics.PercentileSorted(r.IncastSlowdowns, 99) }
 
 // OccupancyP99Fraction returns the 99th-percentile ToR occupancy as a
 // fraction of the shared buffer (pooled over ToRs), the Fig. 7(c) metric.
@@ -391,6 +393,9 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 				res.IncastSlowdowns = append(res.IncastSlowdowns, fr.Slowdown())
 			}
 		}
+		// Keep the ascending invariant shared with the per-class slices so
+		// percentile readers can use the sorted fast path.
+		sort.Float64s(res.IncastSlowdowns)
 		res.QueryDelays = incastGen.CompletedResponseTimes()
 	}
 

@@ -124,15 +124,34 @@ func (r *FCTRecorder) IncompleteRecords() []*FlowRecord {
 	return out
 }
 
-// Percentile returns the p-th percentile (0–100) of sorted-or-not xs using
-// nearest-rank interpolation; NaN for empty input.
+// sortedCopy returns an ascending copy of xs, leaving xs untouched.
+func sortedCopy(xs []float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return sorted
+}
+
+// Percentile returns the p-th percentile (0–100) of sorted-or-not xs by
+// linear interpolation between the two closest order statistics (the
+// rank is p/100·(n−1); numpy's default convention — not nearest-rank).
+// p outside [0, 100] clamps to min/max; NaN for empty input. xs is
+// copied, never mutated. Callers holding an already-sorted sample set
+// should use PercentileSorted to skip the copy and re-sort.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	return PercentileSorted(sortedCopy(xs), p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted sample
+// set, avoiding the defensive copy-and-sort. The input must be sorted;
+// behavior on unsorted input is undefined.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -156,32 +175,29 @@ type Summary struct {
 	P25, Median, P75 float64
 }
 
-// Summarize computes a Summary; zero value for empty input.
+// Summarize computes a Summary; zero value for empty input. The sample
+// set is sorted once and all three quartiles are read from the sorted
+// copy (previously each percentile re-copied and re-sorted the input).
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
 	s := Summary{N: len(xs)}
 	var sum, sq float64
-	s.Min, s.Max = xs[0], xs[0]
 	for _, x := range xs {
 		sum += x
 		sq += x * x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
 	s.Mean = sum / float64(len(xs))
 	variance := sq/float64(len(xs)) - s.Mean*s.Mean
 	if variance > 0 {
 		s.Std = math.Sqrt(variance)
 	}
-	s.P25 = Percentile(xs, 25)
-	s.Median = Percentile(xs, 50)
-	s.P75 = Percentile(xs, 75)
+	sorted := sortedCopy(xs)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P25 = PercentileSorted(sorted, 25)
+	s.Median = PercentileSorted(sorted, 50)
+	s.P75 = PercentileSorted(sorted, 75)
 	return s
 }
 
@@ -196,9 +212,7 @@ func EmpiricalCDF(xs []float64, n int) []CDFPoint {
 	if len(xs) == 0 || n <= 0 {
 		return nil
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sorted := sortedCopy(xs)
 	if n > len(sorted) {
 		n = len(sorted)
 	}

@@ -111,6 +111,47 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the documented linear-interpolation
+// convention (rank = p/100·(n−1), interpolating between the two closest
+// order statistics — not nearest-rank).
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Percentile([]float64{}, 0)) {
+		t.Error("empty input must be NaN")
+	}
+	if !math.IsNaN(PercentileSorted(nil, 50)) {
+		t.Error("PercentileSorted of empty input must be NaN")
+	}
+	// Single element: every p returns it.
+	for _, p := range []float64{-5, 0, 37, 50, 100, 250} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("singleton P%v = %v, want 42", p, got)
+		}
+	}
+	// Two elements: p interpolates linearly between them.
+	two := []float64{10, 20}
+	for _, tt := range []struct{ p, want float64 }{
+		{0, 10}, {25, 12.5}, {50, 15}, {75, 17.5}, {100, 20},
+		{-1, 10}, {101, 20}, // out-of-range clamps
+	} {
+		if got := Percentile(two, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("two-element P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// TestPercentileSortedMatchesPercentile: the sorted fast path and the
+// copying path must agree exactly on sorted input.
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 3, 7, 2, 8}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for p := 0.0; p <= 100; p += 12.5 {
+		if a, b := Percentile(xs, p), PercentileSorted(sorted, p); a != b {
+			t.Errorf("P%v: Percentile=%v PercentileSorted=%v", p, a, b)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)
@@ -164,6 +205,26 @@ func TestSummarize(t *testing.T) {
 	empty := Summarize(nil)
 	if empty.N != 0 || empty.Mean != 0 {
 		t.Error("empty summary should be zero")
+	}
+}
+
+// TestSummarizeSingleSortEquivalence: the single-sort quartile path must
+// agree with computing each percentile independently, without mutating the
+// input.
+func TestSummarizeSingleSortEquivalence(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7, 2, 8, 6, 4}
+	orig := append([]float64(nil), xs...)
+	s := Summarize(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Summarize mutated its input")
+		}
+	}
+	if s.P25 != Percentile(xs, 25) || s.Median != Percentile(xs, 50) || s.P75 != Percentile(xs, 75) {
+		t.Errorf("quartiles diverge from Percentile: %+v", s)
+	}
+	if s.Min != 1 || s.Max != 9 {
+		t.Errorf("min/max from sorted copy wrong: %+v", s)
 	}
 }
 

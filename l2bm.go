@@ -230,8 +230,15 @@ type FCTRecorder = metrics.FCTRecorder
 // NewFCTRecorder returns an empty recorder.
 func NewFCTRecorder() *FCTRecorder { return metrics.NewFCTRecorder() }
 
-// Percentile returns the p-th percentile (0–100) of xs.
+// Percentile returns the p-th percentile (0–100) of xs (linear
+// interpolation between the two closest order statistics).
 func Percentile(xs []float64, p float64) float64 { return metrics.Percentile(xs, p) }
+
+// PercentileSorted is Percentile over an already ascending-sorted sample
+// set, skipping the defensive copy-and-sort.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	return metrics.PercentileSorted(sorted, p)
+}
 
 // Summarize condenses samples into mean/std/min/quartiles/max.
 func Summarize(xs []float64) metrics.Summary { return metrics.Summarize(xs) }
@@ -259,6 +266,16 @@ type Result = exp.Result
 
 // RunHybrid executes one hybrid-traffic data point.
 func RunHybrid(spec HybridSpec) (*Result, error) { return exp.RunHybrid(spec) }
+
+// Harness executes figure/table runners over a bounded worker pool:
+// independent grid points fan out across cores while results are collated
+// in spec order, so rendered artifacts are byte-identical for any worker
+// count. See exp.Harness.
+type Harness = exp.Harness
+
+// NewHarness returns an experiment harness bounded to the given worker
+// count (<= 0 means GOMAXPROCS, 1 is strictly sequential).
+func NewHarness(workers int) *Harness { return exp.NewHarness(workers) }
 
 // --- Fault injection ---------------------------------------------------------
 
