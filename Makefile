@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench faults speedup clean
+.PHONY: all build vet test race check bench faults speedup trace-demo clean
 
 all: check
 
@@ -42,6 +42,16 @@ speedup:
 	@grep -v "finished in" /tmp/l2bm-fig7-w1.txt > /tmp/l2bm-fig7-w1.det.txt
 	@grep -v "finished in" /tmp/l2bm-fig7-wN.txt > /tmp/l2bm-fig7-wN.det.txt
 	diff /tmp/l2bm-fig7-w1.det.txt /tmp/l2bm-fig7-wN.det.txt && echo "byte-identical"
+
+# Flight-recorder demo: re-run the Fig. 8 burst deep-dive with the trace
+# recorder armed and point at the occupancy timeline CSVs (the data behind
+# the paper's buffer-occupancy-during-incast plot), plus pause intervals,
+# L2BM weight samples and drop/ECN events alongside.
+trace-demo:
+	$(GO) run ./cmd/l2bmexp -exp fig8 -scale tiny -trace -trace-out traces/fig8
+	@echo "== occupancy timelines (Fig. 8) =="
+	@ls traces/fig8/*-occupancy.csv
+	@head -5 $$(ls traces/fig8/*-occupancy.csv | head -1)
 
 clean:
 	$(GO) clean ./...

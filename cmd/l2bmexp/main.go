@@ -28,6 +28,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"time"
+
+	"l2bm/internal/exp"
+	"l2bm/internal/sim"
 )
 
 func main() {
@@ -45,11 +48,20 @@ func run(args []string, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
+	traceOut := fs.String("trace-out", "traces", "directory for per-run trace CSV/JSONL files (with -trace)")
+	traceSample := fs.Duration("trace-sample", 0, "trace sampling period (wall units, e.g. 50us; 0 = the run's occupancy period)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 0, got %v", *traceSample)
+	}
+	if !*traceOn && *traceSample != 0 {
+		return fmt.Errorf("-trace-sample requires -trace")
 	}
 
 	w := stdout
@@ -74,7 +86,13 @@ func run(args []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	runErr := Run(*expName, *scaleName, *parallel, w)
+	opts := Options{Workers: *parallel}
+	if *traceOn {
+		opts.Trace = true
+		opts.TraceDir = *traceOut
+		opts.TraceSample = *traceSample
+	}
+	runErr := RunOpts(*expName, *scaleName, opts, w)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -90,16 +108,39 @@ func run(args []string, stdout io.Writer) error {
 	return runErr
 }
 
+// Options parameterizes RunOpts beyond the experiment/scale selection.
+type Options struct {
+	// Workers bounds the grid-point worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Trace arms the flight recorder on every run.
+	Trace bool
+	// TraceDir receives the per-run CSV/JSONL trace artifacts.
+	TraceDir string
+	// TraceSample overrides the trace sampling period (0 = run default).
+	TraceSample time.Duration
+}
+
 // Run executes one named experiment (or all) at the given scale with the
 // given worker count (0 = GOMAXPROCS), writing the tables to w. It is
 // exported for tests.
 func Run(expName, scaleName string, workers int, w io.Writer) error {
+	return RunOpts(expName, scaleName, Options{Workers: workers}, w)
+}
+
+// RunOpts is Run with the full option set (tracing, worker pool).
+func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	scale, err := parseScale(scaleName)
 	if err != nil {
 		return err
 	}
 
-	harness, runners := experimentRunners(workers)
+	harness, runners := experimentRunners(opts.Workers)
+	if opts.Trace {
+		harness.Trace = &exp.TraceSpec{
+			SampleEvery: sim.Duration(opts.TraceSample.Nanoseconds()) * sim.Nanosecond,
+		}
+		harness.TraceDir = opts.TraceDir
+	}
 	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
 
 	var selected []string
@@ -112,7 +153,7 @@ func Run(expName, scaleName string, workers int, w io.Writer) error {
 		selected = []string{expName}
 	}
 
-	effective := workers
+	effective := opts.Workers
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
 	}

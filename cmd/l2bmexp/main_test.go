@@ -87,3 +87,35 @@ func TestCLIProfileFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestCLITraceFlags(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3a", "-scale", "tiny",
+		"-trace", "-trace-out", dir, "-trace-sample", "50us"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, jsonl int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csv"):
+			csv++
+		case strings.HasSuffix(e.Name(), ".jsonl"):
+			jsonl++
+		}
+	}
+	if csv == 0 || jsonl == 0 {
+		t.Errorf("-trace exported %d CSV and %d JSONL files, want both > 0", csv, jsonl)
+	}
+
+	if err := run([]string{"-trace-sample", "50us"}, &buf); err == nil {
+		t.Error("-trace-sample without -trace should fail")
+	}
+	if err := run([]string{"-trace", "-trace-sample", "-1us"}, &buf); err == nil {
+		t.Error("negative -trace-sample should fail")
+	}
+}

@@ -17,6 +17,7 @@ type fakeState struct {
 	drain     map[[2]int]int64
 	line      int64
 	paused    map[[2]int]sim.Duration
+	pausedFor map[[2]int]sim.Duration
 	ports     int
 	congested map[int]int
 }
@@ -32,6 +33,7 @@ func newFakeState() *fakeState {
 		drain:     make(map[[2]int]int64),
 		line:      25e9,
 		paused:    make(map[[2]int]sim.Duration),
+		pausedFor: make(map[[2]int]sim.Duration),
 		ports:     8,
 		congested: make(map[int]int),
 	}
@@ -56,4 +58,8 @@ func (f *fakeState) EgressDrainRate(port, prio int) int64 {
 
 func (f *fakeState) EgressPausedTime(port, prio int) sim.Duration {
 	return f.paused[[2]int{port, prio}]
+}
+
+func (f *fakeState) EgressPausedFor(port, prio int) sim.Duration {
+	return f.pausedFor[[2]int{port, prio}]
 }

@@ -253,6 +253,70 @@ func (l *L2BM) EgressThreshold(s StateView, _, prio int) int64 {
 	return egressDT(s, prio, l.cfg.AlphaEgressPool)
 }
 
+// QueueSample is one active ingress queue's adaptive state as peeked by the
+// trace layer: the sojourn estimate τ (Algorithm 1), the Eq. 4 weight and
+// the Eq. 3 byte threshold it currently implies.
+type QueueSample struct {
+	Port, Prio int
+	Tau        sim.Duration
+	Weight     float64
+	Threshold  int64
+}
+
+// PeekSamples returns the adaptive state of every active ingress queue
+// WITHOUT advancing sojourn estimates or touching the aggregate cache.
+// Weight/Tau mutate the congestion-detection module (the advance write-back
+// plus the pausedDelta clamp make them non-idempotent), so the trace
+// sampler must go through this read-only path to keep traced runs
+// byte-identical to untraced runs. The math mirrors Weight and
+// IngressThreshold exactly: C per cfg.Normalization over the peeked floored
+// taus, w = C/τ·α clamped by the class bounds, T = w·max(0, B−Q(t)).
+func (l *L2BM) PeekSamples(s StateView) []QueueSample {
+	active := l.sojourn.PeekActive(s, l.cfg.TauFloor)
+	if len(active) == 0 {
+		return nil
+	}
+	var c sim.Duration
+	switch l.cfg.Normalization {
+	case NormMaxTau:
+		for _, a := range active {
+			if a.Tau > c {
+				c = a.Tau
+			}
+		}
+	case NormCount:
+		c = sim.Duration(len(active)) * l.cfg.TauFloor
+	case NormMeanTau:
+		var sum sim.Duration
+		for _, a := range active {
+			sum += a.Tau
+		}
+		c = sum / sim.Duration(len(active))
+	default: // NormSumTau
+		for _, a := range active {
+			c += a.Tau
+		}
+	}
+	free := s.TotalShared() - s.SharedUsed()
+	if free < 0 {
+		free = 0
+	}
+	out := make([]QueueSample, 0, len(active))
+	for _, a := range active {
+		w := float64(c) / float64(a.Tau) * l.cfg.Alpha
+		if ClassOfPriority(a.Prio) == pkt.ClassLossless {
+			w = l.cfg.BoundsLossless.clamp(w)
+		} else {
+			w = l.cfg.BoundsLossy.clamp(w)
+		}
+		out = append(out, QueueSample{
+			Port: a.Port, Prio: a.Prio, Tau: a.Tau,
+			Weight: w, Threshold: int64(w * float64(free)),
+		})
+	}
+	return out
+}
+
 // OnEnqueue implements Policy, feeding the congestion-detection module.
 func (l *L2BM) OnEnqueue(s StateView, p *pkt.Packet) { l.sojourn.OnEnqueue(s, p) }
 

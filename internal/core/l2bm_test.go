@@ -320,3 +320,46 @@ func TestL2BMNameAndSojournAccessor(t *testing.T) {
 		t.Error("Sojourn accessor returned nil")
 	}
 }
+
+func TestPeekSamplesMatchesWeightAndThreshold(t *testing.T) {
+	for _, norm := range []Normalization{NormSumTau, NormMeanTau, NormMaxTau, NormCount} {
+		cfg := DefaultL2BMConfig()
+		cfg.Normalization = norm
+		l := NewL2BM(cfg)
+		s := newFakeState()
+		s.used = 1 << 20
+
+		// Two active queues with different taus: a lossless and a lossy one.
+		enqueueWithTau(s, l, 0, pkt.PrioLossless, 3, 2*sim.Microsecond)
+		enqueueWithTau(s, l, 1, pkt.PrioLossy, 2, 8*sim.Microsecond)
+		s.now += sim.Microsecond
+
+		// Peek first (must not perturb), then compare against the mutating
+		// Weight/IngressThreshold path.
+		samples := l.PeekSamples(s)
+		if len(samples) != 2 {
+			t.Fatalf("[%v] PeekSamples = %d entries, want 2", norm, len(samples))
+		}
+		again := l.PeekSamples(s)
+		for i := range samples {
+			if samples[i] != again[i] {
+				t.Errorf("[%v] repeated peek diverged: %+v vs %+v", norm, samples[i], again[i])
+			}
+		}
+		for _, qs := range samples {
+			if w := l.Weight(s, qs.Port, qs.Prio); math.Abs(w-qs.Weight) > 1e-12 {
+				t.Errorf("[%v] peeked weight(%d,%d) = %v, Weight = %v", norm, qs.Port, qs.Prio, qs.Weight, w)
+			}
+			if th := l.IngressThreshold(s, qs.Port, qs.Prio); th != qs.Threshold {
+				t.Errorf("[%v] peeked threshold(%d,%d) = %d, IngressThreshold = %d", norm, qs.Port, qs.Prio, qs.Threshold, th)
+			}
+		}
+	}
+}
+
+func TestPeekSamplesIdleIsNil(t *testing.T) {
+	l := NewDefaultL2BM()
+	if got := l.PeekSamples(newFakeState()); got != nil {
+		t.Errorf("idle PeekSamples = %v, want nil", got)
+	}
+}

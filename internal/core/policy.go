@@ -49,6 +49,11 @@ type StateView interface {
 	// priority) has spent paused by downstream PFC, used by L2BM's §III-D
 	// pause-exclusion.
 	EgressPausedTime(port, prio int) sim.Duration
+	// EgressPausedFor returns how long the egress (port, priority) has been
+	// continuously paused as of now, or 0 when it is not paused. The sojourn
+	// module uses it to estimate the remaining pause of a paused egress
+	// queue (whose EgressDrainRate is 0).
+	EgressPausedFor(port, prio int) sim.Duration
 	// NumPorts returns the switch's port count.
 	NumPorts() int
 	// CongestedEgressQueues returns how many egress queues of priority

@@ -79,13 +79,28 @@ func (q *sojournQueue) advance(s StateView, prio int, excludePause bool) {
 func (q *sojournQueue) onEnqueue(s StateView, j, prio int, excludePause bool) {
 	q.ensure(s.NumPorts())
 	q.advance(s, prio, excludePause)
-	mu := s.EgressDrainRate(j, prio)
-	if mu <= 0 {
-		mu = s.EgressLineRate(j)
-	}
 	// Expected drain time of the packet: the backlog ahead of it at its
 	// output queue divided by that queue's service rate (Algorithm 1 line 8).
-	q.total += float64(sim.TxTime(int(s.EgressQueueBytes(j, prio)), mu))
+	mu := s.EgressDrainRate(j, prio)
+	if mu > 0 {
+		q.total += float64(sim.TxTime(int(s.EgressQueueBytes(j, prio)), mu))
+	} else {
+		// μ = 0: the egress priority is paused by downstream PFC. (The
+		// pre-fix DrainRate reported a rate/(n+1) share for paused queues,
+		// making this term finite for a queue that was not draining at all —
+		// underestimating τ exactly when congestion was worst.) Charge the
+		// backlog at the post-resume line rate; without §III-D
+		// pause-exclusion additionally charge the expected remaining pause,
+		// estimated as the elapsed pause so far (memoryless renewal rule).
+		// With exclusion on, pause time never counts toward sojourn in the
+		// first place (advance does not decay the estimate while paused), so
+		// charging it here would double-count.
+		expect := sim.TxTime(int(s.EgressQueueBytes(j, prio)), s.EgressLineRate(j))
+		if !excludePause {
+			expect += s.EgressPausedFor(j, prio)
+		}
+		q.total += float64(expect)
+	}
 	q.n++
 	q.resident[j]++
 	if excludePause {
@@ -117,6 +132,40 @@ func (q *sojournQueue) tau(s StateView, prio int, excludePause bool) sim.Duratio
 	q.ensure(s.NumPorts())
 	q.advance(s, prio, excludePause)
 	return sim.Duration(q.total / float64(q.n))
+}
+
+// peekTau computes the τ that tau() would report as of now WITHOUT writing
+// the advance back: no field of q is mutated. The trace layer samples
+// through this path so that an armed recorder observes the same trajectory
+// an unarmed run would produce (the observer-effect guarantee — tau()'s
+// write-back plus the pausedDelta clamp make intermediate calls
+// non-idempotent, so sampling through tau() would perturb the simulation).
+func (q *sojournQueue) peekTau(s StateView, prio int, excludePause bool) sim.Duration {
+	if q.n == 0 {
+		return 0
+	}
+	total := q.total
+	elapsed := s.Now() - q.lastUpdate
+	if elapsed > 0 {
+		for j, c := range q.resident {
+			if c == 0 {
+				continue
+			}
+			eff := elapsed
+			if excludePause {
+				pausedDelta := s.EgressPausedTime(j, prio) - q.pausedSnap[j]
+				if pausedDelta > elapsed {
+					pausedDelta = elapsed
+				}
+				eff -= pausedDelta
+			}
+			total -= float64(c) * float64(eff)
+		}
+		if total < 0 {
+			total = 0
+		}
+	}
+	return sim.Duration(total / float64(q.n))
 }
 
 // active reports whether the queue currently holds packets.
@@ -225,4 +274,30 @@ func (t *SojournTable) SumActiveTau(s StateView, floor sim.Duration) (sum sim.Du
 func (t *SojournTable) MaxActiveTau(s StateView, floor sim.Duration) (maxTau sim.Duration, active int) {
 	t.refreshAggregates(s, floor)
 	return t.cacheMax, t.cacheN
+}
+
+// ActiveQueue is one active ingress queue's peeked sojourn estimate.
+type ActiveQueue struct {
+	Port, Prio int
+	Tau        sim.Duration
+}
+
+// PeekActive returns every ingress queue currently holding packets together
+// with its τ as of now, floored at floor, WITHOUT advancing any estimate or
+// touching the aggregate cache. This is the trace layer's read-only window
+// into the congestion-detection module: a run sampled through PeekActive is
+// byte-identical to an unsampled run. Queues appear in (port, prio) order.
+func (t *SojournTable) PeekActive(s StateView, floor sim.Duration) []ActiveQueue {
+	var out []ActiveQueue
+	for idx, q := range t.queues {
+		if q == nil || !q.active() {
+			continue
+		}
+		tau := q.peekTau(s, q.prio, t.excludePause)
+		if tau < floor {
+			tau = floor
+		}
+		out = append(out, ActiveQueue{Port: idx / pkt.NumPriorities, Prio: q.prio, Tau: tau})
+	}
+	return out
 }

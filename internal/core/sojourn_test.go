@@ -222,3 +222,84 @@ func TestSumActiveTauSkipsEmptyQueues(t *testing.T) {
 		t.Errorf("sum/active over emptied table = %v/%d, want 0/0", sum, active)
 	}
 }
+
+func TestSojournPausedEgressGrowsTau(t *testing.T) {
+	// Regression for the DrainRate bug: a packet headed to a PAUSED egress
+	// priority must not be charged a finite backlog/(rate-share) drain time.
+	// DrainRate now reports 0 for paused queues; without §III-D exclusion
+	// the estimate is elapsed-pause (renewal rule for the remaining pause)
+	// plus backlog at the post-resume line rate.
+	s := newFakeState()
+	tab := NewSojournTable(false)
+	backlog := int64(50_000)
+	s.qout[[2]int{3, 0}] = backlog
+	s.drain[[2]int{3, 0}] = 0                        // paused: no service
+	s.pausedFor[[2]int{3, 0}] = 40 * sim.Microsecond // paused for 40µs already
+	tab.OnEnqueue(s, admit(0, 0, 3))
+
+	want := 40*sim.Microsecond + sim.TxTime(int(backlog), s.line)
+	if got := tab.Tau(s, 0, 0); got != want {
+		t.Errorf("τ behind paused port = %v, want %v (pause + line-rate drain)", got, want)
+	}
+	// Pin the growth: the pre-fix estimate (backlog at a rate/(n+1) share,
+	// say half line rate) is strictly smaller.
+	buggy := sim.TxTime(int(backlog), s.line/2)
+	if got := tab.Tau(s, 0, 0); got <= buggy {
+		t.Errorf("τ = %v did not grow beyond the buggy estimate %v", got, buggy)
+	}
+}
+
+func TestSojournPausedEgressWithExclusionChargesDrainOnly(t *testing.T) {
+	// With §III-D pause exclusion on, pause time never counts toward the
+	// sojourn estimate (advance won't decay it while paused either), so the
+	// enqueue charge is the post-resume drain alone — charging the elapsed
+	// pause too would double-count.
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	backlog := int64(50_000)
+	s.qout[[2]int{3, 0}] = backlog
+	s.drain[[2]int{3, 0}] = 0
+	s.pausedFor[[2]int{3, 0}] = 40 * sim.Microsecond
+	tab.OnEnqueue(s, admit(0, 0, 3))
+
+	want := sim.TxTime(int(backlog), s.line)
+	if got := tab.Tau(s, 0, 0); got != want {
+		t.Errorf("τ with exclusion = %v, want %v (line-rate drain only)", got, want)
+	}
+}
+
+func TestPeekActiveMatchesTauWithoutMutation(t *testing.T) {
+	s := newFakeState()
+	tab := NewSojournTable(true)
+	s.qout[[2]int{3, 0}] = 50_000
+	s.qout[[2]int{2, 4}] = 20_000
+	tab.OnEnqueue(s, admit(0, 0, 3))
+	tab.OnEnqueue(s, admit(1, 4, 2))
+	s.now += 2 * sim.Microsecond
+
+	// Peek twice, then compare with the mutating Tau: all three must agree,
+	// and the peeks must not have advanced anything (the observer-effect
+	// guarantee the trace sampler depends on).
+	floor := sim.Duration(1)
+	peek1 := tab.PeekActive(s, floor)
+	peek2 := tab.PeekActive(s, floor)
+	if len(peek1) != 2 || len(peek2) != 2 {
+		t.Fatalf("PeekActive sizes = %d, %d, want 2, 2", len(peek1), len(peek2))
+	}
+	for i := range peek1 {
+		if peek1[i] != peek2[i] {
+			t.Errorf("repeated peek diverged: %+v vs %+v", peek1[i], peek2[i])
+		}
+	}
+	// (port, prio) ordering: port 1 queue (prio 4) has index 1*8+4 = 12,
+	// port 0 queue (prio 0) index 0 — ascending index order.
+	if peek1[0].Port != 0 || peek1[0].Prio != 0 || peek1[1].Port != 1 || peek1[1].Prio != 4 {
+		t.Fatalf("PeekActive order = %+v", peek1)
+	}
+	if got := tab.Tau(s, 0, 0); got != peek1[0].Tau {
+		t.Errorf("Tau(0,0) = %v, peeked %v", got, peek1[0].Tau)
+	}
+	if got := tab.Tau(s, 1, 4); got != peek1[1].Tau {
+		t.Errorf("Tau(1,4) = %v, peeked %v", got, peek1[1].Tau)
+	}
+}

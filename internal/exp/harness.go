@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -18,9 +19,17 @@ type Harness struct {
 	Workers int
 	// Ctx, when non-nil, cancels in-flight grids externally.
 	Ctx context.Context
+	// Trace, when non-nil, arms the flight recorder on every point the
+	// harness runs (specs with their own TraceSpec keep it).
+	Trace *TraceSpec
+	// TraceDir, when non-empty, exports each traced point's CSV/JSONL
+	// artifacts there after its grid completes, prefixed with a running
+	// point number so names are unique and worker-count independent.
+	TraceDir string
 
-	points atomic.Uint64
-	events atomic.Uint64
+	points      atomic.Uint64
+	events      atomic.Uint64
+	tracePoints int // points seen by trace export numbering (grids run sequentially)
 }
 
 // NewHarness returns a harness with the given worker bound (<= 0 means
@@ -40,12 +49,31 @@ func (h *Harness) context() context.Context {
 // runAll fans the specs out across the pool and returns their results in
 // spec order; emit (optional) observes points in spec order.
 func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
+	if h.Trace != nil {
+		for i := range specs {
+			if specs[i].Trace == nil {
+				specs[i].Trace = h.Trace
+			}
+		}
+	}
 	pool := &Pool{Workers: h.Workers}
 	results, stats, err := pool.Run(h.context(), len(specs),
 		func(_ context.Context, i int) (*Result, error) { return RunHybrid(specs[i]) },
 		emit)
 	h.points.Add(uint64(stats.Points))
 	h.events.Add(stats.Events)
+	if err == nil && h.TraceDir != "" {
+		base := h.tracePoints
+		h.tracePoints += len(results)
+		for i, res := range results {
+			if res == nil || res.Trace == nil {
+				continue
+			}
+			if _, werr := res.WriteTrace(h.TraceDir, fmt.Sprintf("%03d-", base+i)); werr != nil {
+				return results, fmt.Errorf("exp: trace export: %w", werr)
+			}
+		}
+	}
 	return results, err
 }
 

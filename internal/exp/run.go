@@ -11,6 +11,7 @@ import (
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
 	"l2bm/internal/topo"
+	"l2bm/internal/trace"
 	"l2bm/internal/transport"
 	"l2bm/internal/workload"
 )
@@ -58,6 +59,12 @@ type HybridSpec struct {
 	// and the deadlock detector plus no-progress watchdog observe the
 	// fabric. Nil reproduces the paper's perfect-fabric runs bit-for-bit.
 	Faults *FaultSpec
+	// Trace, when non-nil, arms the flight recorder: every switch's
+	// drop/ECN/PFC probes feed Result.Trace, and a periodic sampler records
+	// occupancy plus L2BM weight/τ/threshold timelines. Tracing is
+	// feed-forward only — a traced run produces byte-identical results to
+	// an untraced one.
+	Trace *TraceSpec
 }
 
 // FaultSpec couples a fault plan with the detection machinery settings.
@@ -100,6 +107,10 @@ type Result struct {
 
 	// TorOccupancy traces total resident bytes per ToR switch.
 	TorOccupancy [][]metrics.Reading
+
+	// Trace is the flight recorder armed by Spec.Trace (nil when tracing
+	// was off). Export with WriteTrace or the trace.Recorder writers.
+	Trace *trace.Recorder
 
 	// PauseFrames is the total XOFF count across all switches (the Fig.
 	// 7(d)/Table II metric); the per-layer counters break it down.
@@ -373,11 +384,43 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 		samplers[i].Start(window) // trace the loaded phase, like the paper
 	}
 
+	// Flight recorder: arm MMU probes on every switch and a periodic
+	// occupancy + L2BM weight sampler. Everything here is feed-forward
+	// (probes and PeekSamples are pure reads), so arming it cannot change
+	// the run's results.
+	var tracer *trace.Recorder
+	if spec.Trace != nil {
+		tracer = trace.NewRecorder(spec.Trace.Capacity)
+		tEvery := spec.Trace.SampleEvery
+		if tEvery <= 0 {
+			tEvery = every
+		}
+		ts := trace.NewSampler(eng, tracer, tEvery)
+		for _, sw := range cl.AllSwitches() {
+			sw := sw
+			sw.SetTracer(tracer)
+			ts.AddSwitch(sw)
+			if l, ok := sw.Policy().(*core.L2BM); ok {
+				name := sw.Name()
+				ts.AddProbe(func(now sim.Time, rec *trace.Recorder) {
+					for _, qs := range l.PeekSamples(sw) {
+						rec.RecordWeight(trace.WeightSample{
+							At: now, Switch: name, Port: qs.Port, Prio: qs.Prio,
+							Tau: qs.Tau, Weight: qs.Weight, Threshold: qs.Threshold,
+						})
+					}
+				})
+			}
+		}
+		ts.Start(window) // sample the loaded phase, like the metrics samplers
+	}
+
 	eng.Run(horizon)
 
 	res := &Result{
 		Spec:          spec,
 		Policy:        policyName,
+		Trace:         tracer,
 		RDMASlowdowns: rec.Slowdowns(pkt.ClassLossless),
 		TCPSlowdowns:  rec.Slowdowns(pkt.ClassLossy),
 		LosslessGaps:  cl.LosslessGaps(),

@@ -1,0 +1,98 @@
+package exp
+
+// Flight-recorder wiring: arming a run's trace.Recorder and exporting its
+// channels as per-point CSV/JSONL files with deterministic names, so the
+// occupancy/pause/threshold timelines behind Figs. 7(c), 7(d), 8 and 10(c)
+// drop out of any figure runner.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"l2bm/internal/sim"
+)
+
+// TraceSpec arms the flight recorder for a run.
+type TraceSpec struct {
+	// SampleEvery is the occupancy / L2BM-weight sampling period. Zero
+	// falls back to the run's occupancy sampling period (default 100 µs).
+	SampleEvery sim.Duration
+	// Capacity is the per-channel ring capacity (0 = trace.DefaultCapacity).
+	Capacity int
+}
+
+// TraceFileStem returns the deterministic file-name stem for this run's
+// trace artifacts: "<name>-<policy>[-r<rdma>][-t<tcp>]", lowercased with
+// loads rendered as percentages (fig7-l2bm-r40-t80).
+func (r *Result) TraceFileStem() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s-%s", r.Spec.Name, r.Policy)
+	if r.Spec.RDMALoad > 0 {
+		fmt.Fprintf(&b, "-r%02.0f", r.Spec.RDMALoad*100)
+	}
+	if r.Spec.TCPLoad > 0 {
+		fmt.Fprintf(&b, "-t%02.0f", r.Spec.TCPLoad*100)
+	}
+	if r.Spec.Incast != nil {
+		fmt.Fprintf(&b, "-n%d", r.Spec.Incast.Fanout)
+	}
+	stem := strings.ToLower(b.String())
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '.':
+			return c
+		default:
+			return '_'
+		}
+	}, stem)
+}
+
+// WriteTrace exports this run's retained trace as five files in dir:
+// <prefix><stem>-occupancy.csv, -pauses.csv, -weights.csv, -events.csv and
+// .jsonl (all channels interleaved in time order). Pause episodes are
+// closed at the run's EndTime. It returns the written paths; a run without
+// an armed recorder writes nothing.
+func (r *Result) WriteTrace(dir, prefix string) ([]string, error) {
+	if r.Trace == nil {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	stem := prefix + r.TraceFileStem()
+	var written []string
+	write := func(name string, fn func(f *os.File) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	steps := []struct {
+		suffix string
+		fn     func(f *os.File) error
+	}{
+		{"-occupancy.csv", func(f *os.File) error { return r.Trace.WriteOccupancyCSV(f) }},
+		{"-pauses.csv", func(f *os.File) error { return r.Trace.WritePauseIntervalsCSV(f, r.EndTime) }},
+		{"-weights.csv", func(f *os.File) error { return r.Trace.WriteWeightsCSV(f) }},
+		{"-events.csv", func(f *os.File) error { return r.Trace.WritePacketEventsCSV(f) }},
+		{".jsonl", func(f *os.File) error { return r.Trace.WriteJSONL(f) }},
+	}
+	for _, s := range steps {
+		if err := write(stem+s.suffix, s.fn); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"l2bm/internal/sim"
+)
+
+// tracedTinySpec arms the flight recorder on the shared tiny smoke spec.
+func tracedTinySpec(policy string) HybridSpec {
+	s := tinySpec(policy)
+	s.Trace = &TraceSpec{}
+	return s
+}
+
+// TestTracedRunDoesNotPerturbSimulation is the observer-effect guarantee:
+// arming the flight recorder must not change a single model-level outcome.
+// The only permitted difference is the engine's executed-event count (the
+// sampler's own ticks) — everything the paper's figures are built from must
+// match exactly.
+func TestTracedRunDoesNotPerturbSimulation(t *testing.T) {
+	plain, err := RunHybrid(tinySpec("L2BM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := RunHybrid(tracedTinySpec("L2BM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced run has no recorder")
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced run grew a recorder")
+	}
+
+	if traced.FlowsStarted != plain.FlowsStarted || traced.FlowsCompleted != plain.FlowsCompleted {
+		t.Errorf("flow counts diverged: traced %d/%d, plain %d/%d",
+			traced.FlowsCompleted, traced.FlowsStarted, plain.FlowsCompleted, plain.FlowsStarted)
+	}
+	if traced.PauseFrames != plain.PauseFrames || traced.LossyDrops != plain.LossyDrops ||
+		traced.ECNMarked != plain.ECNMarked || traced.LosslessViolations != plain.LosslessViolations {
+		t.Errorf("switch counters diverged: traced pause=%d drops=%d ecn=%d viol=%d, plain pause=%d drops=%d ecn=%d viol=%d",
+			traced.PauseFrames, traced.LossyDrops, traced.ECNMarked, traced.LosslessViolations,
+			plain.PauseFrames, plain.LossyDrops, plain.ECNMarked, plain.LosslessViolations)
+	}
+	if traced.EndTime != plain.EndTime {
+		t.Errorf("end time diverged: traced %v, plain %v", traced.EndTime, plain.EndTime)
+	}
+	if !reflect.DeepEqual(traced.RDMASlowdowns, plain.RDMASlowdowns) {
+		t.Error("RDMA slowdowns diverged under tracing")
+	}
+	if !reflect.DeepEqual(traced.TCPSlowdowns, plain.TCPSlowdowns) {
+		t.Error("TCP slowdowns diverged under tracing")
+	}
+	if !reflect.DeepEqual(traced.TorOccupancy, plain.TorOccupancy) {
+		t.Error("ToR occupancy timelines diverged under tracing")
+	}
+	if traced.Events < plain.Events {
+		t.Errorf("traced run fired fewer events (%d) than plain (%d)", traced.Events, plain.Events)
+	}
+	if st := traced.Trace.Stats(); st.OccSamples == 0 {
+		t.Error("recorder armed but captured no occupancy samples")
+	}
+}
+
+// TestTracedFigureOutputByteIdentical renders the same figure with tracing
+// on and off: the emitted tables and progress lines must be byte-identical.
+func TestTracedFigureOutputByteIdentical(t *testing.T) {
+	var plain bytes.Buffer
+	if _, err := NewHarness(1).RunFig3a(ScaleTiny, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewHarness(1)
+	h.Trace = &TraceSpec{}
+	h.TraceDir = t.TempDir()
+	var traced bytes.Buffer
+	if _, err := h.RunFig3a(ScaleTiny, &traced); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Errorf("figure output diverged under tracing:\n--- plain ---\n%s\n--- traced ---\n%s",
+			plain.String(), traced.String())
+	}
+	files, err := filepath.Glob(filepath.Join(h.TraceDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("traced harness exported no artifacts")
+	}
+}
+
+// TestTracedRunsProduceByteIdenticalTraceFiles replays one traced point and
+// diffs every exported artifact byte-for-byte: the recorder's rings, the
+// exporters' ordering and the file naming must all be deterministic.
+func TestTracedRunsProduceByteIdenticalTraceFiles(t *testing.T) {
+	spec := tracedTinySpec("L2BM")
+	spec.Trace.SampleEvery = 50 * sim.Microsecond
+
+	export := func(dir string) map[string][]byte {
+		t.Helper()
+		res, err := RunHybrid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := res.WriteTrace(dir, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 5 {
+			t.Fatalf("exported %d files, want 5 (occupancy, pauses, weights, events, jsonl)", len(paths))
+		}
+		out := make(map[string][]byte, len(paths))
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[filepath.Base(p)] = b
+		}
+		return out
+	}
+
+	a := export(t.TempDir())
+	b := export(t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, ab := range a {
+		bb, ok := b[name]
+		if !ok {
+			t.Errorf("second run missing %s", name)
+			continue
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s differs between identical traced runs (%d vs %d bytes)", name, len(ab), len(bb))
+		}
+	}
+	// The occupancy timeline must carry data beyond its header: an empty
+	// trace would make the byte-diff vacuous.
+	for name, content := range a {
+		if filepath.Ext(name) == ".csv" && name == "smoke-l2bm-r40-t40-occupancy.csv" {
+			if bytes.Count(content, []byte("\n")) < 3 {
+				t.Errorf("occupancy CSV nearly empty:\n%s", content)
+			}
+		}
+	}
+}
+
+// TestTraceFileStemShape pins the deterministic artifact naming.
+func TestTraceFileStemShape(t *testing.T) {
+	res := &Result{Spec: tinySpec("L2BM"), Policy: "L2BM"}
+	if got, want := res.TraceFileStem(), "smoke-l2bm-r40-t40"; got != want {
+		t.Errorf("stem = %q, want %q", got, want)
+	}
+	spec := tinySpec("DT")
+	spec.Incast = &IncastSpec{Fanout: 8}
+	res = &Result{Spec: spec, Policy: "DT"}
+	if got, want := res.TraceFileStem(), "smoke-dt-r40-t40-n8"; got != want {
+		t.Errorf("stem = %q, want %q", got, want)
+	}
+}

@@ -99,6 +99,12 @@ type Port struct {
 	// OnPFC, when set, fires when a PFC frame from the peer takes effect
 	// on this port.
 	OnPFC func(prio int, paused bool)
+	// OnPauseTransition, when set, fires exactly when this port's transmit
+	// pause state for prio actually changes (redundant XOFFs on an
+	// already-paused priority do not fire it). The trace layer uses it to
+	// record transmitter-view pause episodes; it must not mutate the
+	// simulation.
+	OnPauseTransition func(prio int, paused bool)
 	// RxFault, when set, vets every fully arrived frame; returning false
 	// drops it (fault injection: corruption, lost PFC).
 	RxFault FaultHook
@@ -174,6 +180,9 @@ func (p *Port) ForceResume(prio int) bool {
 	p.paused[prio] = false
 	p.cumPaused[prio] += p.eng.Now() - p.pausedSince[prio]
 	p.stats.ForcedResumes++
+	if p.OnPauseTransition != nil {
+		p.OnPauseTransition(prio, false)
+	}
 	p.tryTransmit()
 	return true
 }
@@ -205,13 +214,21 @@ func (p *Port) backloggedPriorities() int {
 // DrainRate estimates the service rate (bits/s) priority prio currently
 // receives: the full line rate divided among the backlogged, unpaused data
 // priorities sharing it round-robin. An idle or sole-backlogged priority
-// gets the full rate.
+// gets the full rate; a **paused** priority gets 0 — it receives no service
+// at all until the peer's XON arrives. (Reporting a rate/(n+1) share for a
+// paused queue was a bug: it made Algorithm 1's Q_out/μ expected-drain term
+// finite for queues that were not draining, underestimating τ exactly when
+// congestion was worst. Callers that need a post-resume estimate should fall
+// back to Rate() explicitly — see core.sojournQueue.onEnqueue.)
 func (p *Port) DrainRate(prio int) int64 {
+	if p.paused[prio] {
+		return 0
+	}
 	n := p.backloggedPriorities()
-	if n == 0 || (p.queues[prio].len() > 0 && !p.paused[prio] && n == 1) {
+	if n == 0 || (p.queues[prio].len() > 0 && n == 1) {
 		return p.rate
 	}
-	if p.queues[prio].len() == 0 || p.paused[prio] {
+	if p.queues[prio].len() == 0 {
 		// Joining packet would add one more competitor.
 		n++
 	}
@@ -387,10 +404,16 @@ func (p *Port) applyPFC(q *pkt.Packet) {
 		if !p.paused[prio] {
 			p.paused[prio] = true
 			p.pausedSince[prio] = p.eng.Now()
+			if p.OnPauseTransition != nil {
+				p.OnPauseTransition(prio, true)
+			}
 		}
 	} else if p.paused[prio] {
 		p.paused[prio] = false
 		p.cumPaused[prio] += p.eng.Now() - p.pausedSince[prio]
+		if p.OnPauseTransition != nil {
+			p.OnPauseTransition(prio, false)
+		}
 		p.tryTransmit()
 	}
 	if p.OnPFC != nil {

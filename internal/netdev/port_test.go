@@ -330,3 +330,63 @@ func TestPortStringAndAccessors(t *testing.T) {
 		t.Errorf("String() = %q", pa.String())
 	}
 }
+
+func TestDrainRatePausedIsZero(t *testing.T) {
+	// Regression: a paused priority used to report rate/(n+1) — a finite
+	// service rate for a queue receiving no service at all — which made
+	// L2BM's sojourn estimate underestimate τ behind paused egress ports.
+	eng, _, _, pa, _ := newPair(t, 100e9, 0)
+	pa.Enqueue(data(pkt.PrioLossless, 1000))
+	pa.Enqueue(data(pkt.PrioLossless, 1000))
+	eng.RunAll()
+
+	// Pause the lossless priority via a real peer XOFF.
+	pb := pa.Peer()
+	pb.SendPFC(pkt.PrioLossless, true)
+	eng.RunAll()
+	if !pa.Paused(pkt.PrioLossless) {
+		t.Fatal("setup: priority not paused")
+	}
+
+	pa.Enqueue(data(pkt.PrioLossless, 1000)) // backlogged AND paused
+	if got := pa.DrainRate(pkt.PrioLossless); got != 0 {
+		t.Errorf("paused DrainRate = %d, want 0", got)
+	}
+	// An empty paused priority is also 0 — not the joining-competitor share.
+	if got := pa.DrainRate(pkt.PrioLossless + 1); got == 0 {
+		t.Errorf("unpaused priority DrainRate = 0, want a positive share")
+	}
+
+	// Resume restores the estimate.
+	pb.SendPFC(pkt.PrioLossless, false)
+	eng.RunAll()
+	if got := pa.DrainRate(pkt.PrioLossless); got <= 0 {
+		t.Errorf("resumed DrainRate = %d, want > 0", got)
+	}
+}
+
+func TestOnPauseTransitionFiresOnEdgesOnly(t *testing.T) {
+	eng, _, _, pa, pb := newPair(t, 25e9, 0)
+	var events []bool
+	pb.OnPauseTransition = func(prio int, paused bool) { events = append(events, paused) }
+	pa.SendPFC(0, true)
+	pa.SendPFC(0, true) // duplicate XOFF: no transition
+	eng.RunAll()
+	pa.SendPFC(0, false)
+	pa.SendPFC(0, false) // duplicate XON: no transition
+	eng.RunAll()
+	if len(events) != 2 || !events[0] || events[1] {
+		t.Errorf("OnPauseTransition events = %v, want [true false]", events)
+	}
+
+	// ForceResume (deadlock breaking) also reports the resume edge.
+	events = nil
+	pa.SendPFC(0, true)
+	eng.RunAll()
+	if !pb.ForceResume(0) {
+		t.Fatal("setup: ForceResume found no pause to clear")
+	}
+	if len(events) != 2 || !events[0] || events[1] {
+		t.Errorf("OnPauseTransition with ForceResume = %v, want [true false]", events)
+	}
+}

@@ -21,6 +21,7 @@ type event struct {
 // EventRef identifies a scheduled event so it can be cancelled. The zero
 // value refers to no event and is safe to Cancel.
 type EventRef struct {
+	eng *Engine
 	ev  *event
 	gen uint64
 }
@@ -28,6 +29,12 @@ type EventRef struct {
 // Cancel prevents the referenced event from firing. Cancelling an event that
 // already fired, was already cancelled, or was never scheduled is a no-op.
 // It reports whether the event was actually descheduled.
+//
+// A cancelled event's heap slot is reclaimed lazily: either when its
+// timestamp pops, or by compaction once dead entries outnumber live ones
+// (see Engine.maybeCompact) — so rearm-heavy users (DCQCN RTO backoff) keep
+// Pending() proportional to the number of *live* timers, not to the rearm
+// rate times the backoff horizon.
 func (r *EventRef) Cancel() bool {
 	if r.ev == nil || r.ev.gen != r.gen || r.ev.fn == nil {
 		r.ev = nil
@@ -35,6 +42,10 @@ func (r *EventRef) Cancel() bool {
 	}
 	r.ev.fn = nil // fires as a no-op and recycles
 	r.ev = nil
+	if r.eng != nil {
+		r.eng.cancelled++
+		r.eng.maybeCompact()
+	}
 	return true
 }
 
@@ -57,6 +68,10 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 	rng     *Source
+
+	// cancelled counts events cancelled but still occupying heap slots
+	// (reclaimed lazily on pop or by compaction).
+	cancelled int
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose master
@@ -72,9 +87,14 @@ func (e *Engine) Now() Time { return e.now }
 // not counted).
 func (e *Engine) Events() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet popped).
+// Pending returns the number of events still queued, including cancelled
+// events whose slots have not been reclaimed yet (compaction bounds those
+// at roughly the live count plus a constant).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Cancelled returns the number of cancelled events still occupying heap
+// slots (observability for the compaction policy).
+func (e *Engine) Cancelled() int { return e.cancelled }
 
 // Rand returns a named deterministic random stream derived from the engine
 // seed. Equal names yield identical streams across runs.
@@ -106,7 +126,7 @@ func (e *Engine) ScheduleAt(at Time, fn Callback) EventRef {
 	ev.fn = fn
 	e.seq++
 	e.push(ev)
-	return EventRef{ev: ev, gen: ev.gen}
+	return EventRef{eng: e, ev: ev, gen: ev.gen}
 }
 
 // Stop makes Run return after the current event completes. Further Run calls
@@ -152,6 +172,8 @@ func (e *Engine) dispatch(ev *event) {
 		e.now = ev.at
 		ev.fn = nil
 		e.fired++
+	} else if e.cancelled > 0 {
+		e.cancelled-- // a cancelled slot drained the normal way
 	}
 	ev.gen++
 	e.free = append(e.free, ev)
@@ -189,12 +211,17 @@ func (e *Engine) pop() {
 	n := len(q) - 1
 	q[0] = q[n]
 	q[n] = nil
-	q = q[:n]
-	e.queue = q
+	e.queue = q[:n]
 	if n == 0 {
 		return
 	}
-	i := 0
+	e.siftDown(0)
+}
+
+// siftDown restores the heap property below index i.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -215,5 +242,45 @@ func (e *Engine) pop() {
 		}
 		q[i], q[min] = q[min], q[i]
 		i = min
+	}
+}
+
+// compactThreshold is the minimum number of cancelled slots before
+// compaction is even considered; below it the lazy pop-side reclamation is
+// cheaper than rebuilding the heap.
+const compactThreshold = 64
+
+// maybeCompact rebuilds the heap without dead entries once cancelled slots
+// outnumber live ones (and there are enough of them to be worth the O(n)
+// pass). This bounds Pending() at ~2× the live event count for rearm-heavy
+// users that cancel far-future timers much faster than those timers pop.
+func (e *Engine) maybeCompact() {
+	if e.cancelled < compactThreshold || 2*e.cancelled < len(e.queue) {
+		return
+	}
+	e.compact()
+}
+
+// compact removes cancelled entries from the heap and re-heapifies. Live
+// events keep firing in exactly the same order: dispatch order is the total
+// order (at, seq), which is independent of heap layout.
+func (e *Engine) compact() {
+	old := e.queue
+	q := old[:0]
+	for _, ev := range old {
+		if ev.fn == nil {
+			ev.gen++ // invalidate stale EventRefs before recycling
+			e.free = append(e.free, ev)
+			continue
+		}
+		q = append(q, ev)
+	}
+	for i := len(q); i < len(old); i++ {
+		old[i] = nil
+	}
+	e.queue = q
+	e.cancelled = 0
+	for i := (len(q) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
 	}
 }

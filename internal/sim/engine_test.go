@@ -246,3 +246,78 @@ func BenchmarkEngineChurn1k(b *testing.B) {
 	b.ResetTimer()
 	e.RunAll()
 }
+
+func TestEngineCompactionBoundsPendingUnderRearm(t *testing.T) {
+	// Models a DCQCN-style retransmission timer: every "packet" arms a
+	// far-future RTO and immediately cancels it when the "ack" arrives a
+	// tick later. Without compaction the heap holds every dead slot until
+	// its far-future timestamp pops, so Pending() grows with the rearm
+	// rate times the backoff horizon; with compaction it stays bounded by
+	// the live count plus a constant.
+	e := NewEngine(7)
+	const rounds = 50_000
+	const rto = Duration(10) * Second // far beyond the run horizon
+
+	maxPending := 0
+	var prev EventRef
+	var tick func()
+	i := 0
+	tick = func() {
+		if prev.Pending() {
+			if !prev.Cancel() {
+				t.Fatal("cancel of pending timer failed")
+			}
+		}
+		if i >= rounds {
+			return
+		}
+		i++
+		prev = e.Schedule(rto, func() { t.Error("cancelled RTO fired") })
+		if p := e.Pending(); p > maxPending {
+			maxPending = p
+		}
+		e.Schedule(Microsecond, tick)
+	}
+	e.Schedule(Microsecond, tick)
+	e.Run(Duration(rounds+10) * Microsecond)
+
+	// Live events at any instant: one RTO + one tick (+ transient slack
+	// around the compaction trigger). Anything near `rounds` means dead
+	// slots accumulated.
+	const bound = 4*compactThreshold + 16
+	if maxPending > bound {
+		t.Fatalf("Pending() peaked at %d; want <= %d (compaction not bounding dead slots)", maxPending, bound)
+	}
+	if e.Cancelled() > 2*compactThreshold {
+		t.Fatalf("Cancelled() = %d at end of run; want small residue", e.Cancelled())
+	}
+	if i != rounds {
+		t.Fatalf("ran %d rounds, want %d", i, rounds)
+	}
+}
+
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	// Interleaves live events with heavy cancellation and checks the live
+	// events still fire in exact (time, seq) order.
+	e := NewEngine(3)
+	var got []int
+	for i := 0; i < 2000; i++ {
+		i := i
+		e.Schedule(Duration(i)*Microsecond, func() { got = append(got, i) })
+		// Two far-future victims per live event, cancelled immediately —
+		// enough pressure to trigger several compactions.
+		a := e.Schedule(Second+Duration(i)*Microsecond, func() { t.Error("victim fired") })
+		b := e.Schedule(2*Second+Duration(i)*Microsecond, func() { t.Error("victim fired") })
+		a.Cancel()
+		b.Cancel()
+	}
+	e.RunAll()
+	if len(got) != 2000 {
+		t.Fatalf("fired %d live events, want 2000", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: got %d", i, v)
+		}
+	}
+}

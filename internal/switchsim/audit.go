@@ -71,3 +71,59 @@ func (s *Switch) CheckInvariants() error {
 	}
 	return nil
 }
+
+// CheckDrained audits that the MMU is fully quiescent — the state every
+// switch must reach after all traffic has drained, even across faults
+// (carrier loss, corrupted frames, lost pause frames). It subsumes
+// CheckInvariants and additionally requires every counter to be exactly
+// zero and every PFC pause released:
+//
+//  1. the internal-consistency invariants hold (CheckInvariants);
+//  2. resident, sharedUsed and every class pool are zero;
+//  3. every per-queue ingress/egress/headroom counter is zero;
+//  4. no ingress queue is still PFC-paused (a leaked pause would wedge the
+//     upstream forever);
+//  5. the congested census is zero for every priority.
+//
+// A non-nil error means buffer bytes or control state leaked: some path
+// (a drop site, a fault-recovery path, a dequeue) updated one side of the
+// accounting but not the other.
+func (s *Switch) CheckDrained() error {
+	if err := s.CheckInvariants(); err != nil {
+		return err
+	}
+	if s.mmu.resident != 0 {
+		return fmt.Errorf("switch %s: resident=%d after drain, want 0", s.name, s.mmu.resident)
+	}
+	if s.mmu.sharedUsed != 0 {
+		return fmt.Errorf("switch %s: sharedUsed=%d after drain, want 0", s.name, s.mmu.sharedUsed)
+	}
+	for c := 1; c <= 3; c++ {
+		if s.mmu.poolUsed[c] != 0 {
+			return fmt.Errorf("switch %s: pool[%v]=%d after drain, want 0",
+				s.name, pkt.Class(c), s.mmu.poolUsed[c])
+		}
+	}
+	for port := range s.ports {
+		for prio := 0; prio < pkt.NumPriorities; prio++ {
+			if v := s.mmu.ing[port][prio]; v != 0 {
+				return fmt.Errorf("switch %s: ingress (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
+			}
+			if v := s.mmu.eg[port][prio]; v != 0 {
+				return fmt.Errorf("switch %s: egress (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
+			}
+			if v := s.mmu.hr[port][prio]; v != 0 {
+				return fmt.Errorf("switch %s: headroom (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
+			}
+			if s.mmu.paused[port][prio] {
+				return fmt.Errorf("switch %s: ingress (%d,%d) still PFC-paused after drain", s.name, port, prio)
+			}
+		}
+	}
+	for prio := 0; prio < pkt.NumPriorities; prio++ {
+		if s.mmu.congested[prio] != 0 {
+			return fmt.Errorf("switch %s: congested[%d]=%d after drain, want 0", s.name, prio, s.mmu.congested[prio])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package switchsim
+
+import (
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/trace"
+)
+
+// benchAdmit drives a sustained hybrid (lossless + lossy) fan-in through a
+// 5-port L2BM switch — the admission/dequeue/PFC hot path — with the given
+// recorder installed. One benchmark op is one injected MTU packet; the
+// engine drains in batches so the switch stays backlogged (thresholds, ECN
+// and PFC all exercised) without unbounded queue growth.
+func benchAdmit(b *testing.B, rec *trace.Recorder) {
+	b.Helper()
+	r := newRig(b, 5, DefaultConfig(), core.NewDefaultL2BM(), 25e9, sim.Microsecond)
+	r.sw.SetTracer(rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i & 3
+		prio, class := pkt.PrioLossy, pkt.ClassLossy
+		if i&1 == 0 {
+			prio, class = pkt.PrioLossless, pkt.ClassLossless
+		}
+		p := pkt.NewData(pkt.FlowID(src+1), src, 4, prio, class,
+			int64(i)*pkt.MTUPayload, pkt.MTUPayload)
+		r.hosts[src].port.Enqueue(p)
+		if i&127 == 127 {
+			r.eng.RunAll()
+		}
+	}
+	r.eng.RunAll()
+}
+
+// BenchmarkAdmit is the production configuration: probes compiled in, no
+// recorder ever installed.
+func BenchmarkAdmit(b *testing.B) { benchAdmit(b, nil) }
+
+// BenchmarkAdmitTraceOff measures the branch-on-nil guard with tracing
+// explicitly disarmed (benchAdmit calls SetTracer(nil)): the
+// disabled-tracing hot path. CI runs this next to BenchmarkAdmitTraceOn;
+// the flight recorder's design budget for disabled tracing is ≤1% against
+// a probe-free switch, so TraceOff must sit at the noise floor.
+func BenchmarkAdmitTraceOff(b *testing.B) { benchAdmit(b, nil) }
+
+// BenchmarkAdmitTraceOn prices enabled tracing (ring pushes on every drop,
+// ECN mark and PFC edge) for comparison; it is informational, not guarded.
+func BenchmarkAdmitTraceOn(b *testing.B) {
+	benchAdmit(b, trace.NewRecorder(0))
+}

@@ -7,6 +7,7 @@ import (
 	"l2bm/internal/netdev"
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
+	"l2bm/internal/trace"
 )
 
 // Router chooses the egress port index for a packet entering the switch.
@@ -28,6 +29,12 @@ type Switch struct {
 	mmu   mmuState
 	stats Stats
 	rng   *sim.Rand
+
+	// tracer, when non-nil, receives flight-recorder events from the
+	// admission/dequeue/PFC paths. The hot-path cost when disabled is a
+	// single branch-on-nil per probe site (BenchmarkAdmitTraceOff), and the
+	// probes are pure reads of MMU state — tracing cannot perturb the run.
+	tracer *trace.Recorder
 }
 
 var _ netdev.Node = (*Switch)(nil)
@@ -133,6 +140,33 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 // SetRouter installs the forwarding function.
 func (s *Switch) SetRouter(r Router) { s.route = r }
 
+// SetTracer arms (or, with nil, disarms) the flight recorder on this switch:
+// MMU-side probes (drops, ECN marks, headroom entries, PFC assert/release/
+// re-issue) plus transmitter-view pause transitions on every port added so
+// far. Call after all ports are attached.
+func (s *Switch) SetTracer(rec *trace.Recorder) {
+	s.tracer = rec
+	for _, p := range s.ports {
+		if rec == nil {
+			p.OnPauseTransition = nil
+			continue
+		}
+		id := p.ID
+		p.OnPauseTransition = func(prio int, paused bool) {
+			kind := trace.PortResumed
+			if paused {
+				kind = trace.PortPaused
+			}
+			rec.RecordPFC(trace.PFCEvent{
+				At: s.eng.Now(), Switch: s.name, Port: id, Prio: prio, Kind: kind,
+			})
+		}
+	}
+}
+
+// Tracer returns the armed flight recorder, or nil when tracing is off.
+func (s *Switch) Tracer() *trace.Recorder { return s.tracer }
+
 // Occupancy returns the total bytes resident in the switch buffer
 // (reserved + shared + headroom), the quantity Figs. 7(c), 8 and 10(c) plot.
 func (s *Switch) Occupancy() int64 { return s.mmu.resident }
@@ -172,6 +206,9 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 		// headroom (PFC is already, or is about to be, asserted).
 		if p.Class == pkt.ClassLossy {
 			s.stats.LossyDropsIngress++
+			if s.tracer != nil {
+				s.recordPacketEvent(trace.DropLossyIngress, in, prio, p)
+			}
 			return
 		}
 		if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
@@ -180,6 +217,9 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			// pause frame was lost, the re-issue guard is the only way to
 			// stop it.
 			s.stats.LosslessViolations++
+			if s.tracer != nil {
+				s.recordPacketEvent(trace.LosslessViolation, in, prio, p)
+			}
 			s.checkPFC(in, prio, true)
 			return
 		}
@@ -190,6 +230,9 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 		egTh := s.policy.EgressThreshold(s, out, prio)
 		if s.mmu.eg[out][prio]+size > s.cfg.ReservedPerQueue+egTh {
 			s.stats.LossyDropsEgress++
+			if s.tracer != nil {
+				s.recordPacketEvent(trace.DropLossyEgress, out, prio, p)
+			}
 			return
 		}
 	}
@@ -202,6 +245,9 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 	if inHeadroom {
 		s.mmu.hr[in][prio] += size
 		s.stats.LosslessHeadroom++
+		if s.tracer != nil {
+			s.recordPacketEvent(trace.HeadroomEnter, in, prio, p)
+		}
 	} else {
 		before := sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue)
 		s.mmu.ing[in][prio] += size
@@ -236,7 +282,11 @@ func (s *Switch) onDequeue(p *pkt.Packet) {
 		s.mmu.ing[in][prio] -= size
 		s.mmu.sharedUsed += sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue) - before
 	}
-	s.bumpEgress(p.OutPort, p.Priority, -size)
+	// Decrement the same (port, priority) cell the admission path charged:
+	// the stamped p.OutPort/p.InPrio, never the mutable p.Priority (a
+	// rewriting layer changing Priority in flight would otherwise leak one
+	// egress cell negative and another positive forever).
+	s.bumpEgress(p.OutPort, p.InPrio, -size)
 	s.mmu.resident -= size
 	s.stats.TxPackets++
 
@@ -274,6 +324,9 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 		if occ >= th {
 			s.mmu.paused[in][prio] = true
 			s.mmu.pauseSentAt[in][prio] = s.eng.Now()
+			if s.tracer != nil {
+				s.recordPFC(trace.PFCAssert, in, prio)
+			}
 			s.ports[in].SendPFC(prio, true)
 		}
 		return
@@ -284,6 +337,9 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 	}
 	if occ <= release {
 		s.mmu.paused[in][prio] = false
+		if s.tracer != nil {
+			s.recordPFC(trace.PFCRelease, in, prio)
+		}
 		s.ports[in].SendPFC(prio, false)
 		return
 	}
@@ -298,8 +354,28 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 	if arrival && s.eng.Now() >= s.mmu.pauseSentAt[in][prio]+s.pfcGuard(in) {
 		s.mmu.pauseSentAt[in][prio] = s.eng.Now()
 		s.stats.PFCReissues++
+		if s.tracer != nil {
+			s.recordPFC(trace.PFCReissue, in, prio)
+		}
 		s.ports[in].SendPFC(prio, true)
 	}
+}
+
+// recordPFC appends an MMU-view pause transition to the flight recorder.
+// Called only with s.tracer != nil (hot-path branch stays at the call site).
+func (s *Switch) recordPFC(kind trace.PFCKind, in, prio int) {
+	s.tracer.RecordPFC(trace.PFCEvent{
+		At: s.eng.Now(), Switch: s.name, Port: in, Prio: prio, Kind: kind,
+	})
+}
+
+// recordPacketEvent appends a drop/ECN/headroom event to the flight
+// recorder. Called only with s.tracer != nil.
+func (s *Switch) recordPacketEvent(kind trace.PacketEventKind, port, prio int, p *pkt.Packet) {
+	s.tracer.RecordPacketEvent(trace.PacketEvent{
+		At: s.eng.Now(), Switch: s.name, Port: port, Prio: prio,
+		Kind: kind, Size: p.Size, Class: p.Class,
+	})
 }
 
 // pfcGuard is how long after an XOFF legitimate arrivals may still land on
@@ -321,6 +397,9 @@ func (s *Switch) maybeMarkECN(p *pkt.Packet, out, prio int) {
 		if s.cfg.ECNLossyThreshold > 0 && backlog > s.cfg.ECNLossyThreshold {
 			p.CE = true
 			s.stats.ECNMarked++
+			if s.tracer != nil {
+				s.recordPacketEvent(trace.ECNMark, out, prio, p)
+			}
 		}
 	case pkt.ClassLossless:
 		if s.cfg.ECNLosslessKmax <= 0 {
@@ -339,6 +418,9 @@ func (s *Switch) maybeMarkECN(p *pkt.Packet, out, prio int) {
 		if prob >= 1 || s.rng.Float64() < prob {
 			p.CE = true
 			s.stats.ECNMarked++
+			if s.tracer != nil {
+				s.recordPacketEvent(trace.ECNMark, out, prio, p)
+			}
 		}
 	}
 }
@@ -389,6 +471,16 @@ func (s *Switch) EgressLineRate(port int) int64 { return s.ports[port].Rate() }
 // EgressPausedTime implements core.StateView.
 func (s *Switch) EgressPausedTime(port, prio int) sim.Duration {
 	return s.ports[port].CumPausedTime(prio)
+}
+
+// EgressPausedFor implements core.StateView: how long the egress (port,
+// priority) has been continuously paused as of now, or 0 when not paused.
+func (s *Switch) EgressPausedFor(port, prio int) sim.Duration {
+	p := s.ports[port]
+	if !p.Paused(prio) {
+		return 0
+	}
+	return s.eng.Now() - p.PausedSince(prio)
 }
 
 // CongestedEgressQueues implements core.StateView.

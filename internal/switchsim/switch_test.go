@@ -33,7 +33,7 @@ type rig struct {
 	hosts []*testHost
 }
 
-func newRig(t *testing.T, n int, cfg Config, pol core.Policy, rate int64, prop sim.Duration) *rig {
+func newRig(t testing.TB, n int, cfg Config, pol core.Policy, rate int64, prop sim.Duration) *rig {
 	t.Helper()
 	eng := sim.NewEngine(42)
 	sw := NewSwitch(eng, "sw", cfg, pol)
@@ -59,26 +59,11 @@ func (r *rig) send(src, dst, count int, prio int, class pkt.Class) {
 
 func (r *rig) mmuDrained(t *testing.T) {
 	t.Helper()
-	if r.sw.Occupancy() != 0 {
-		t.Errorf("resident occupancy = %d after drain, want 0", r.sw.Occupancy())
-	}
-	if r.sw.SharedUsed() != 0 {
-		t.Errorf("shared pool = %d after drain, want 0", r.sw.SharedUsed())
-	}
-	for port := range r.hosts {
-		for prio := 0; prio < pkt.NumPriorities; prio++ {
-			if q := r.sw.IngressQueueBytes(port, prio); q != 0 {
-				t.Errorf("ingress counter (%d,%d) = %d, want 0", port, prio, q)
-			}
-			if q := r.sw.EgressQueueBytes(port, prio); q != 0 {
-				t.Errorf("egress counter (%d,%d) = %d, want 0", port, prio, q)
-			}
-		}
-	}
-	for _, c := range []pkt.Class{pkt.ClassLossless, pkt.ClassLossy} {
-		if u := r.sw.EgressPoolUsed(c); u != 0 {
-			t.Errorf("egress pool %v = %d, want 0", c, u)
-		}
+	// CheckDrained subsumes the old per-counter sweep and additionally
+	// audits headroom counters, leaked PFC pauses and the congested
+	// census — the control state a fault path is most likely to wedge.
+	if err := r.sw.CheckDrained(); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,126 @@
+package trace
+
+// Exporters: CSV (one file per channel, ready for gnuplot/pandas) and JSONL
+// (all channels interleaved in time order, one self-describing record per
+// line). Timestamps are exported as integer picoseconds (`at_ps`) so files
+// from two runs diff cleanly — no float formatting ambiguity.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"l2bm/internal/sim"
+)
+
+// WriteOccupancyCSV writes the occupancy channel as
+// at_ps,switch,resident,shared_used.
+func (r *Recorder) WriteOccupancyCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "at_ps,switch,resident,shared_used")
+	for _, s := range r.OccSamples() {
+		fmt.Fprintf(bw, "%d,%s,%d,%d\n", int64(s.At), s.Switch, s.Resident, s.SharedUsed)
+	}
+	return bw.Flush()
+}
+
+// WritePauseIntervalsCSV reconstructs pause episodes up to horizon and
+// writes them as switch,port,prio,view,from_ps,to_ps,duration_ps,open.
+func (r *Recorder) WritePauseIntervalsCSV(w io.Writer, horizon sim.Time) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "switch,port,prio,view,from_ps,to_ps,duration_ps,open")
+	for _, i := range r.PauseIntervals(horizon) {
+		view := "mmu"
+		if i.Kind == PortPaused {
+			view = "tx"
+		}
+		open := 0
+		if i.Open {
+			open = 1
+		}
+		fmt.Fprintf(bw, "%s,%d,%d,%s,%d,%d,%d,%d\n",
+			i.Switch, i.Port, i.Prio, view, int64(i.From), int64(i.To), int64(i.Duration()), open)
+	}
+	return bw.Flush()
+}
+
+// WriteWeightsCSV writes the L2BM weight channel as
+// at_ps,switch,port,prio,tau_ps,weight,threshold.
+func (r *Recorder) WriteWeightsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "at_ps,switch,port,prio,tau_ps,weight,threshold")
+	for _, s := range r.WeightSamples() {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%.9g,%d\n",
+			int64(s.At), s.Switch, s.Port, s.Prio, int64(s.Tau), s.Weight, s.Threshold)
+	}
+	return bw.Flush()
+}
+
+// WritePacketEventsCSV writes the drop/ECN/headroom channel as
+// at_ps,switch,port,prio,kind,size,class.
+func (r *Recorder) WritePacketEventsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "at_ps,switch,port,prio,kind,size,class")
+	for _, e := range r.PacketEvents() {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%s,%d,%s\n",
+			int64(e.At), e.Switch, e.Port, e.Prio, e.Kind, e.Size, e.Class)
+	}
+	return bw.Flush()
+}
+
+// jsonlRecord is the envelope for interleaved JSONL export: Type
+// discriminates which channel the record came from.
+type jsonlRecord struct {
+	Type string `json:"type"`
+	At   int64  `json:"at_ps"`
+	Body any    `json:"body"`
+}
+
+// WriteJSONL writes every retained record from every channel, interleaved
+// in time order (stable across channels: occ < pfc < weight < pkt at equal
+// timestamps, preserving within-channel order), one JSON object per line:
+//
+//	{"type":"occ","at_ps":...,"body":{...}}
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type item struct {
+		at    sim.Time
+		chOrd int // channel rank for stable cross-channel ordering
+		seq   int // within-channel order
+		rec   jsonlRecord
+	}
+	var items []item
+	for i, s := range r.OccSamples() {
+		items = append(items, item{s.At, 0, i, jsonlRecord{"occ", int64(s.At), s}})
+	}
+	for i, e := range r.PFCEvents() {
+		items = append(items, item{e.At, 1, i, jsonlRecord{"pfc", int64(e.At), e}})
+	}
+	for i, s := range r.WeightSamples() {
+		items = append(items, item{s.At, 2, i, jsonlRecord{"weight", int64(s.At), s}})
+	}
+	for i, e := range r.PacketEvents() {
+		items = append(items, item{e.At, 3, i, jsonlRecord{"pkt", int64(e.At), e}})
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		if items[a].at != items[b].at {
+			return items[a].at < items[b].at
+		}
+		if items[a].chOrd != items[b].chOrd {
+			return items[a].chOrd < items[b].chOrd
+		}
+		return items[a].seq < items[b].seq
+	})
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, it := range items {
+		if err := enc.Encode(it.rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,55 @@
+package trace
+
+// ring is a bounded FIFO that overwrites its oldest entry once full — the
+// flight-recorder storage discipline: a run can emit an unbounded event
+// stream, memory stays O(capacity), and the *most recent* window survives,
+// which is the window a post-mortem wants.
+//
+// The buffer grows lazily up to its capacity so an armed-but-quiet channel
+// costs a few words, not capacity*sizeof(T).
+type ring[T any] struct {
+	buf     []T
+	cap     int
+	start   int    // index of the oldest entry once the buffer wrapped
+	wrapped bool   // len(buf) == cap and start may be non-zero
+	evicted uint64 // entries overwritten since the recorder was armed
+}
+
+func newRing[T any](capacity int) ring[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return ring[T]{cap: capacity}
+}
+
+// push appends v, evicting the oldest entry when full.
+func (r *ring[T]) push(v T) {
+	if !r.wrapped {
+		r.buf = append(r.buf, v)
+		if len(r.buf) == r.cap {
+			r.wrapped = true
+		}
+		return
+	}
+	r.buf[r.start] = v
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+	r.evicted++
+}
+
+// len returns the number of retained entries.
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// slice returns the retained entries oldest-first. The result is a fresh
+// slice; mutating it does not disturb the ring.
+func (r *ring[T]) slice() []T {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}

@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := newRing[int](8)
+	for i := 0; i < 5; i++ {
+		r.push(i)
+	}
+	got := r.slice()
+	if len(got) != 5 || r.evicted != 0 {
+		t.Fatalf("len=%d evicted=%d, want 5/0", len(got), r.evicted)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slice[%d]=%d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestWindow(t *testing.T) {
+	r := newRing[int](4)
+	for i := 0; i < 11; i++ {
+		r.push(i)
+	}
+	got := r.slice()
+	want := []int{7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice=%v, want %v", got, want)
+		}
+	}
+	if r.evicted != 7 {
+		t.Fatalf("evicted=%d, want 7", r.evicted)
+	}
+	// The returned slice is a copy.
+	got[0] = -1
+	if r.slice()[0] != 7 {
+		t.Fatal("slice() aliases the ring buffer")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.RecordOcc(OccSample{})
+	r.RecordPFC(PFCEvent{})
+	r.RecordWeight(WeightSample{})
+	r.RecordPacketEvent(PacketEvent{})
+	if r.OccSamples() != nil || r.PFCEvents() != nil || r.WeightSamples() != nil || r.PacketEvents() != nil {
+		t.Fatal("nil recorder returned non-nil channel")
+	}
+	if r.Stats() != (Stats{}) {
+		t.Fatal("nil recorder returned non-zero stats")
+	}
+	if r.PauseIntervals(0) != nil {
+		t.Fatal("nil recorder returned pause intervals")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestPauseIntervalReconstruction(t *testing.T) {
+	r := NewRecorder(0)
+	// MMU view on (s0, port 1, prio 3): assert@10, reissue@20, release@30.
+	r.RecordPFC(PFCEvent{At: 10, Switch: "s0", Port: 1, Prio: 3, Kind: PFCAssert})
+	r.RecordPFC(PFCEvent{At: 20, Switch: "s0", Port: 1, Prio: 3, Kind: PFCReissue})
+	r.RecordPFC(PFCEvent{At: 30, Switch: "s0", Port: 1, Prio: 3, Kind: PFCRelease})
+	// TX view on the same tuple, independent episode left open.
+	r.RecordPFC(PFCEvent{At: 15, Switch: "s0", Port: 1, Prio: 3, Kind: PortPaused})
+	// Second MMU episode still open at horizon.
+	r.RecordPFC(PFCEvent{At: 40, Switch: "s0", Port: 1, Prio: 3, Kind: PFCAssert})
+
+	ivals := r.PauseIntervals(100)
+	if len(ivals) != 3 {
+		t.Fatalf("got %d intervals, want 3: %+v", len(ivals), ivals)
+	}
+	if ivals[0].Kind != PFCAssert || ivals[0].From != 10 || ivals[0].To != 30 || ivals[0].Open {
+		t.Fatalf("mmu episode 1 = %+v", ivals[0])
+	}
+	if ivals[1].Kind != PortPaused || ivals[1].From != 15 || ivals[1].To != 100 || !ivals[1].Open {
+		t.Fatalf("tx episode = %+v", ivals[1])
+	}
+	if ivals[2].Kind != PFCAssert || ivals[2].From != 40 || ivals[2].To != 100 || !ivals[2].Open {
+		t.Fatalf("mmu episode 2 = %+v", ivals[2])
+	}
+	if d := ivals[0].Duration(); d != 20 {
+		t.Fatalf("duration=%d, want 20", d)
+	}
+}
+
+func TestPauseIntervalReissueAfterEviction(t *testing.T) {
+	// With capacity 2, the original assert is evicted; the reissue must
+	// start a fresh episode rather than being dropped.
+	r := NewRecorder(2)
+	r.RecordPFC(PFCEvent{At: 10, Switch: "s0", Kind: PFCAssert})
+	r.RecordPFC(PFCEvent{At: 20, Switch: "s0", Kind: PFCReissue})
+	r.RecordPFC(PFCEvent{At: 30, Switch: "s0", Kind: PFCRelease})
+	ivals := r.PauseIntervals(100)
+	if len(ivals) != 1 || ivals[0].From != 20 || ivals[0].To != 30 || ivals[0].Open {
+		t.Fatalf("got %+v, want one closed [20,30] episode", ivals)
+	}
+}
+
+type fakeSwitch struct {
+	name string
+	occ  int64
+	shr  int64
+}
+
+func (f *fakeSwitch) Name() string      { return f.name }
+func (f *fakeSwitch) Occupancy() int64  { return f.occ }
+func (f *fakeSwitch) SharedUsed() int64 { return f.shr }
+
+func TestSamplerTicksAndStops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := NewRecorder(0)
+	fs := &fakeSwitch{name: "tor0"}
+	s := NewSampler(eng, rec, 100)
+	s.AddSwitch(fs)
+	probeCalls := 0
+	s.AddProbe(func(now sim.Time, r *Recorder) {
+		probeCalls++
+		r.RecordWeight(WeightSample{At: now, Switch: "tor0"})
+	})
+	// Drive the "model": occupancy grows by 7 bytes every 40ps.
+	var grow func()
+	grow = func() {
+		fs.occ += 7
+		fs.shr += 3
+		if eng.Now() < 1000 {
+			eng.Schedule(40, grow)
+		}
+	}
+	eng.Schedule(40, grow)
+	s.Start(500)
+	eng.Run(2000)
+
+	occ := rec.OccSamples()
+	// Ticks at 100..500 inclusive = 5 samples; tick at 600 observes now>until.
+	if len(occ) != 5 {
+		t.Fatalf("got %d occ samples: %+v", len(occ), occ)
+	}
+	for i, o := range occ {
+		wantAt := sim.Time(100 * (i + 1))
+		if o.At != wantAt || o.Switch != "tor0" {
+			t.Fatalf("sample %d = %+v, want at=%d", i, o, wantAt)
+		}
+		if o.Resident <= 0 || o.SharedUsed <= 0 {
+			t.Fatalf("sample %d did not observe model state: %+v", i, o)
+		}
+	}
+	if probeCalls != 5 || len(rec.WeightSamples()) != 5 {
+		t.Fatalf("probe calls=%d weights=%d, want 5/5", probeCalls, len(rec.WeightSamples()))
+	}
+
+	// Stop() halts a fresh sampler immediately.
+	s2 := NewSampler(eng, rec, 100)
+	s2.Start(5000)
+	s2.Stop()
+	before := len(rec.OccSamples())
+	eng.Run(5000)
+	if len(rec.OccSamples()) != before {
+		t.Fatal("stopped sampler kept recording")
+	}
+}
+
+func TestSamplerRejectsNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(every=0) did not panic")
+		}
+	}()
+	NewSampler(sim.NewEngine(1), NewRecorder(0), 0)
+}
+
+func TestCSVExporters(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordOcc(OccSample{At: 5, Switch: "s0", Resident: 100, SharedUsed: 60})
+	r.RecordPFC(PFCEvent{At: 7, Switch: "s0", Port: 2, Prio: 3, Kind: PFCAssert})
+	r.RecordPFC(PFCEvent{At: 9, Switch: "s0", Port: 2, Prio: 3, Kind: PFCRelease})
+	r.RecordWeight(WeightSample{At: 8, Switch: "s0", Port: 2, Prio: 3, Tau: 1500, Weight: 0.25, Threshold: 4096})
+	r.RecordPacketEvent(PacketEvent{At: 9, Switch: "s0", Port: 1, Prio: 0, Kind: DropLossyIngress, Size: 1500, Class: pkt.ClassLossy})
+
+	var occ, pause, wts, pkts bytes.Buffer
+	if err := r.WriteOccupancyCSV(&occ); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePauseIntervalsCSV(&pause, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteWeightsCSV(&wts); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePacketEventsCSV(&pkts); err != nil {
+		t.Fatal(err)
+	}
+	if got := occ.String(); got != "at_ps,switch,resident,shared_used\n5,s0,100,60\n" {
+		t.Fatalf("occupancy CSV:\n%s", got)
+	}
+	if got := pause.String(); got != "switch,port,prio,view,from_ps,to_ps,duration_ps,open\ns0,2,3,mmu,7,9,2,0\n" {
+		t.Fatalf("pause CSV:\n%s", got)
+	}
+	if !strings.Contains(wts.String(), "8,s0,2,3,1500,0.25,4096") {
+		t.Fatalf("weights CSV:\n%s", wts.String())
+	}
+	if !strings.Contains(pkts.String(), "9,s0,1,0,drop-ingress,1500,lossy") {
+		t.Fatalf("packet CSV:\n%s", pkts.String())
+	}
+}
+
+func TestJSONLInterleavesInTimeOrder(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordPacketEvent(PacketEvent{At: 30, Switch: "s0", Kind: ECNMark})
+	r.RecordOcc(OccSample{At: 10, Switch: "s0"})
+	r.RecordPFC(PFCEvent{At: 20, Switch: "s0", Kind: PFCAssert})
+	r.RecordWeight(WeightSample{At: 20, Switch: "s0"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var seen []struct {
+		Type string `json:"type"`
+		At   int64  `json:"at_ps"`
+	}
+	for _, ln := range lines {
+		var rec struct {
+			Type string `json:"type"`
+			At   int64  `json:"at_ps"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		seen = append(seen, rec)
+	}
+	wantOrder := []string{"occ", "pfc", "weight", "pkt"}
+	wantAt := []int64{10, 20, 20, 30}
+	for i := range seen {
+		if seen[i].Type != wantOrder[i] || seen[i].At != wantAt[i] {
+			t.Fatalf("line %d = %+v, want type=%s at=%d", i, seen[i], wantOrder[i], wantAt[i])
+		}
+	}
+}
+
+func TestStatsCountsEviction(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.RecordOcc(OccSample{At: sim.Time(i)})
+	}
+	st := r.Stats()
+	if st.OccSamples != 2 || st.OccEvicted != 3 {
+		t.Fatalf("stats=%+v, want 2 retained / 3 evicted", st)
+	}
+}

@@ -288,3 +288,74 @@ func TestIDSourceUniqueAndFresh(t *testing.T) {
 		t.Error("fresh IDSource should start at 1")
 	}
 }
+
+func TestPoissonInstallMidRunGeneratesFullWindow(t *testing.T) {
+	// Regression: the tick guard used to compare Now() against Window as an
+	// ABSOLUTE deadline, so a generator installed at t >= Window generated
+	// nothing, and one installed at 0 < t < Window got a truncated span.
+	// The window is elapsed-since-install.
+	eng := sim.NewEngine(11)
+	sink := &captureSink{}
+	cfg := poissonCfg()
+	cfg.Window = 5 * sim.Millisecond
+	install := 3 * cfg.Window // well past the old absolute deadline
+
+	var first, last sim.Time = -1, -1
+	cfg.Observer = func(*transport.Flow) {
+		if first < 0 {
+			first = eng.Now()
+		}
+		last = eng.Now()
+	}
+	g, err := NewPoisson(eng, sink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(sim.Duration(install), func() { g.Install() })
+	eng.RunAll()
+
+	if g.Generated == 0 {
+		t.Fatal("mid-run install generated nothing (absolute-window bug)")
+	}
+	if first < install {
+		t.Errorf("first flow at %v, before install at %v", first, install)
+	}
+	if last >= install+sim.Time(cfg.Window) {
+		t.Errorf("flow generated at %v, at/after elapsed window end %v", last, install+sim.Time(cfg.Window))
+	}
+	// The generator must use its whole window, not a truncated remainder:
+	// expect activity well into the second half of the elapsed window.
+	if last < install+sim.Time(cfg.Window/2) {
+		t.Errorf("last flow at %v: window truncated (ends %v)", last, install+sim.Time(cfg.Window))
+	}
+}
+
+func TestIncastInstallMidRunGeneratesFullWindow(t *testing.T) {
+	eng := sim.NewEngine(7)
+	sink := &captureSink{}
+	window := 5 * sim.Millisecond
+	install := 2 * window
+	g, err := NewIncast(eng, sink, IncastConfig{
+		Hosts:        hostsRange(8),
+		Fanout:       4,
+		RequestBytes: 1 << 16,
+		QueryRate:    5000,
+		Window:       window,
+		Priority:     pkt.PrioLossless,
+		Class:        pkt.ClassLossless,
+		StreamName:   "incast-midrun",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(sim.Duration(install), func() { g.Install() })
+	eng.RunAll()
+	if g.FlowsGenerated == 0 {
+		t.Fatal("mid-run incast install generated nothing (absolute-window bug)")
+	}
+	for _, q := range g.Queries() {
+		if q.Issued < install || q.Issued >= install+sim.Time(window) {
+			t.Errorf("query issued at %v, outside [%v, %v)", q.Issued, install, install+sim.Time(window))
+		}
+	}
+}

@@ -100,15 +100,18 @@ func NewIncast(eng *sim.Engine, sink Sink, cfg IncastConfig) (*Incast, error) {
 	return &Incast{cfg: cfg, eng: eng, sink: sink, flowToQ: make(map[pkt.FlowID]*Query)}, nil
 }
 
-// Install schedules the Poisson query stream.
+// Install schedules the Poisson query stream. Queries are issued for
+// cfg.Window of simulated time from the moment Install is called (elapsed
+// window, not an absolute deadline — same fix as Poisson.Install).
 func (g *Incast) Install() {
 	meanGap := sim.Duration(float64(sim.Second) / g.cfg.QueryRate)
 	arrivals := g.eng.Rand(g.cfg.StreamName + "/queries")
 	picks := g.eng.Rand(g.cfg.StreamName + "/picks")
 
+	start := g.eng.Now()
 	var tick func()
 	tick = func() {
-		if g.eng.Now() >= g.cfg.Window {
+		if g.eng.Now()-start >= g.cfg.Window {
 			return
 		}
 		g.issue(picks)

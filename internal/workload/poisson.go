@@ -113,12 +113,18 @@ func NewPoisson(eng *sim.Engine, sink Sink, cfg PoissonConfig) (*Poisson, error)
 }
 
 // Install schedules the first arrival of every source host. The mean
-// inter-arrival gap per host is meanSize·8 / (Load·HostRate).
+// inter-arrival gap per host is meanSize·8 / (Load·HostRate). Traffic is
+// generated for cfg.Window of simulated time *from the moment Install is
+// called*, so a generator installed mid-run (warm-up phases, staged
+// scenarios) still offers its full window. (The guard used to compare
+// Now() against Window as an absolute deadline, silently truncating — or
+// entirely skipping — late-installed generators.)
 func (g *Poisson) Install() {
 	meanGap := sim.Duration(g.cfg.Sizes.Mean() * 8 / (g.cfg.Load * float64(g.cfg.HostRate)) * float64(sim.Second))
 	if meanGap < 1 {
 		meanGap = 1
 	}
+	start := g.eng.Now()
 	for _, src := range g.cfg.Sources {
 		src := src
 		arrivals := g.eng.Rand(fmt.Sprintf("%s/arrivals/%d", g.cfg.StreamName, src))
@@ -127,7 +133,7 @@ func (g *Poisson) Install() {
 
 		var tick func()
 		tick = func() {
-			if g.eng.Now() >= g.cfg.Window {
+			if g.eng.Now()-start >= g.cfg.Window {
 				return
 			}
 			g.launch(src, sizes, dests)
