@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench faults speedup trace-demo clean
+.PHONY: all build vet test race check bench bench-json bench-guard faults speedup trace-demo clean
 
 all: check
 
@@ -24,6 +24,23 @@ check: vet build test race
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# Perf trajectory: snapshot every benchmark (ns/op, allocs/op, B/op,
+# events/s) into a dated BENCH_<date>.json so the repo's performance history
+# is diffable across commits. -benchtime=1x keeps the figure-level
+# benchmarks (full experiment runs) tractable; allocs/op and events/s are
+# stable at one iteration, ns/op is indicative only.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ ./... \
+		| $(GO) run ./cmd/benchguard -json BENCH_$$(date +%F).json
+
+# Allocation guard: the two hot-path benchmarks must not regress allocs/op
+# against the committed baseline (tolerance: baseline*1.25 + 2). This is the
+# CI gate; -benchtime=1x keeps it fast (allocs/op is near-deterministic,
+# unlike ns/op).
+bench-guard:
+	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers' -benchmem -benchtime=1x -run=^$$ ./... \
+		| $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+
 # The robustness ablation: link flaps + BER + recovery, four policies.
 faults:
 	$(GO) run ./cmd/l2bmexp -exp faults -scale tiny
@@ -39,8 +56,8 @@ speedup:
 	@echo "== workers=all cores =="
 	time /tmp/l2bmexp-speedup -exp fig7 -scale tiny > /tmp/l2bm-fig7-wN.txt
 	@echo "== determinism check (tables must be byte-identical) =="
-	@grep -v "finished in" /tmp/l2bm-fig7-w1.txt > /tmp/l2bm-fig7-w1.det.txt
-	@grep -v "finished in" /tmp/l2bm-fig7-wN.txt > /tmp/l2bm-fig7-wN.det.txt
+	@grep -vE "finished in|\(mem:" /tmp/l2bm-fig7-w1.txt > /tmp/l2bm-fig7-w1.det.txt
+	@grep -vE "finished in|\(mem:" /tmp/l2bm-fig7-wN.txt > /tmp/l2bm-fig7-wN.det.txt
 	diff /tmp/l2bm-fig7-w1.det.txt /tmp/l2bm-fig7-wN.det.txt && echo "byte-identical"
 
 # Flight-recorder demo: re-run the Fig. 8 burst deep-dive with the trace

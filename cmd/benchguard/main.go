@@ -1,0 +1,198 @@
+// Command benchguard parses `go test -bench` output from stdin and turns it
+// into the repo's perf trajectory: with -json it emits a BENCH_<date>.json
+// snapshot (name, ns/op, allocs/op, B/op, events/s per benchmark), and with
+// -baseline it compares the measured allocs/op against a committed baseline
+// file, exiting nonzero when any benchmark regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go test -bench='BenchmarkAdmit$|BenchmarkSweepWorkers' -benchmem -benchtime=1x ./... \
+//	    | go run ./cmd/benchguard -baseline BENCH_BASELINE.json
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchguard -json BENCH_$(date +%F).json
+//
+// The allocs/op guard tolerates measured <= baseline*1.25 + 2: allocation
+// counts are near-deterministic but small fixed costs (map growth, one-time
+// lazy init) shift by a few allocations between runs, and ratio-only bounds
+// misfire on benchmarks whose baseline is ~0.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// EventsPerSec carries the custom events/s metric some benchmarks
+	// report via b.ReportMetric (zero when absent).
+	EventsPerSec float64 `json:"events_per_s,omitempty"`
+}
+
+// Snapshot is the BENCH_<date>.json schema.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	jsonOut := fs.String("json", "", "write a Snapshot JSON of the parsed benchmarks to this file")
+	baseline := fs.String("baseline", "", "compare allocs/op against this Snapshot JSON; fail on regression")
+	ratio := fs.Float64("ratio", 1.25, "allocs/op tolerance ratio over baseline")
+	slack := fs.Float64("slack", 2, "allocs/op absolute slack over baseline*ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jsonOut == "" && *baseline == "" {
+		return fmt.Errorf("nothing to do: pass -json and/or -baseline")
+	}
+
+	benches, err := parse(stdin, stdout)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+
+	if *jsonOut != "" {
+		snap := Snapshot{
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Benchmarks: benches,
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchguard: wrote %d benchmarks to %s\n", len(benches), *jsonOut)
+	}
+
+	if *baseline != "" {
+		return guard(benches, *baseline, *ratio, *slack, stdout)
+	}
+	return nil
+}
+
+// guard fails when any benchmark present in both the measurement and the
+// baseline exceeds baseline*ratio + slack allocs/op. Benchmarks missing from
+// the baseline pass with a note, so adding a benchmark does not require
+// regenerating the baseline in the same commit.
+func guard(benches []Benchmark, baselinePath string, ratio, slack float64, stdout io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	var failures []string
+	for _, b := range benches {
+		ref, ok := baseBy[b.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "benchguard: %s: no baseline entry, skipping\n", b.Name)
+			continue
+		}
+		limit := ref.AllocsPerOp*ratio + slack
+		verdict := "ok"
+		if b.AllocsPerOp > limit {
+			verdict = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f allocs/op > limit %.1f (baseline %.1f)",
+					b.Name, b.AllocsPerOp, limit, ref.AllocsPerOp))
+		}
+		fmt.Fprintf(stdout, "benchguard: %s: %.1f allocs/op (baseline %.1f, limit %.1f) %s\n",
+			b.Name, b.AllocsPerOp, ref.AllocsPerOp, limit, verdict)
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("allocs/op regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// benchLine matches `go test -bench` result rows, e.g.
+//
+//	BenchmarkAdmit-8   200000   882.9 ns/op   327 B/op   5 allocs/op
+//	BenchmarkSweepWorkers/parallel-all-8  2  123 ns/op  3625943 events/s  ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// cpuSuffix strips the trailing -<GOMAXPROCS> go test appends to benchmark
+// names, so snapshots taken on machines with different core counts compare.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse scans stdin for benchmark rows, echoing every line through to stdout
+// so the guard composes with plain log capture in CI.
+func parse(r io.Reader, echo io.Writer) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: cpuSuffix.ReplaceAllString(m[1], ""), Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "events/s":
+				b.EventsPerSec = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}

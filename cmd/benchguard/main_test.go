@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: l2bm/internal/switchsim
+BenchmarkAdmit-8   	  200000	       431.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepWorkers/sequential-8         	       2	1168284528 ns/op	   5627306 events/s	16520620 B/op	   75067 allocs/op
+PASS
+ok  	l2bm/internal/switchsim	0.197s
+`
+
+func TestParseStripsCPUSuffixAndReadsMetrics(t *testing.T) {
+	var echo bytes.Buffer
+	benches, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	a := benches[0]
+	if a.Name != "BenchmarkAdmit" || a.NsPerOp != 431.1 || a.AllocsPerOp != 0 {
+		t.Errorf("admit row mangled: %+v", a)
+	}
+	b := benches[1]
+	if b.Name != "BenchmarkSweepWorkers/sequential" {
+		t.Errorf("cpu suffix not stripped: %q", b.Name)
+	}
+	if b.EventsPerSec != 5627306 || b.AllocsPerOp != 75067 || b.BytesPerOp != 16520620 {
+		t.Errorf("sweep metrics mangled: %+v", b)
+	}
+	// parse must echo every input line through for CI log capture.
+	if echo.String() != sample {
+		t.Error("parse did not echo stdin verbatim")
+	}
+}
+
+func writeBaseline(t *testing.T, allocs float64) string {
+	t.Helper()
+	snap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkAdmit", AllocsPerOp: allocs},
+	}}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGuardPassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, 4)
+	benches := []Benchmark{
+		{Name: "BenchmarkAdmit", AllocsPerOp: 6}, // limit = 4*1.25+2 = 7
+		{Name: "BenchmarkNew", AllocsPerOp: 999}, // absent from baseline: skipped
+	}
+	if err := guard(benches, base, 1.25, 2, &bytes.Buffer{}); err != nil {
+		t.Fatalf("guard failed within tolerance: %v", err)
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, 4)
+	benches := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 8}} // > 7
+	err := guard(benches, base, 1.25, 2, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("guard passed an allocs/op regression")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkAdmit") {
+		t.Errorf("failure does not name the benchmark: %v", err)
+	}
+}
+
+func TestRunWritesSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-json", out}, strings.NewReader(sample), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 || snap.GoVersion == "" || snap.Date == "" {
+		t.Errorf("snapshot incomplete: %+v", snap)
+	}
+}
+
+func TestRunRequiresAnAction(t *testing.T) {
+	if err := run(nil, strings.NewReader(sample), &bytes.Buffer{}); err == nil {
+		t.Fatal("run with no flags should fail")
+	}
+}

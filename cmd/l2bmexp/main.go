@@ -160,8 +160,10 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	for _, name := range selected {
 		start := time.Now()
 		events0 := harness.TotalEvents()
+		mem0 := exp.TakeMemSnapshot()
 		// The banner and tables are deterministic for any worker count;
-		// only the timing trailer below carries run-dependent numbers.
+		// only the timing and memory trailers below carry run-dependent
+		// numbers (determinism diffs exclude both lines).
 		fmt.Fprintf(w, "\n--- running %s at scale %s ---\n", name, scaleName)
 		if err := runners[name](scale, w); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -171,6 +173,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 		fmt.Fprintf(w, "(%s finished in %v: %s events, %s events/s aggregate across %d workers)\n",
 			name, wall.Round(time.Millisecond),
 			siCount(float64(events)), siCount(float64(events)/wall.Seconds()), effective)
+		fmt.Fprintln(w, mem0.MemLine(events))
 	}
 	return nil
 }

@@ -57,15 +57,18 @@ func TestCLIFlagParsing(t *testing.T) {
 }
 
 // TestParallelFlagDeterminism: the CLI's deterministic portion (everything
-// but the timing trailers) must be byte-identical for any worker count.
+// but the timing and memory trailers) must be byte-identical for any worker
+// count.
 func TestParallelFlagDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		var buf bytes.Buffer
 		if err := Run("fig3a", "tiny", workers, &buf); err != nil {
 			t.Fatal(err)
 		}
-		// Strip the only wall-clock-dependent lines: the timing trailers.
-		drop := regexp.MustCompile(`(?m)^\(.* finished in .*\)$`)
+		// Strip the only process-state-dependent lines: the wall-clock
+		// timing trailer and the MemStats trailer (allocation counts shift
+		// with goroutine scheduling and GC timing, by design).
+		drop := regexp.MustCompile(`(?m)^\((?:.* finished in .*|mem: .*)\)$`)
 		return drop.ReplaceAllString(buf.String(), "")
 	}
 	if a, b := render(1), render(4); a != b {

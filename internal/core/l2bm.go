@@ -153,6 +153,11 @@ func DefaultL2BMConfig() L2BMConfig {
 type L2BM struct {
 	cfg     L2BMConfig
 	sojourn *SojournTable
+
+	// aqScratch is the reusable PeekActiveAppend buffer behind
+	// PeekSamplesAppend: the trace sampler peeks every tick, and without
+	// the scratch each tick would allocate a fresh active-queue slice.
+	aqScratch []ActiveQueue
 }
 
 // Validate reports the pathological-α class of configuration errors DESIGN
@@ -271,10 +276,20 @@ type QueueSample struct {
 // byte-identical to untraced runs. The math mirrors Weight and
 // IngressThreshold exactly: C per cfg.Normalization over the peeked floored
 // taus, w = C/τ·α clamped by the class bounds, T = w·max(0, B−Q(t)).
+// PeekSamples allocates its result; tick-driven samplers should use
+// PeekSamplesAppend with a reusable buffer.
 func (l *L2BM) PeekSamples(s StateView) []QueueSample {
-	active := l.sojourn.PeekActive(s, l.cfg.TauFloor)
+	return l.PeekSamplesAppend(nil, s)
+}
+
+// PeekSamplesAppend is PeekSamples appending into dst (nil or a recycled
+// dst[:0]). The intermediate active-queue scan reuses an L2BM-owned scratch
+// buffer, so a steady-state sampling tick performs zero allocations.
+func (l *L2BM) PeekSamplesAppend(dst []QueueSample, s StateView) []QueueSample {
+	l.aqScratch = l.sojourn.PeekActiveAppend(l.aqScratch[:0], s, l.cfg.TauFloor)
+	active := l.aqScratch
 	if len(active) == 0 {
-		return nil
+		return dst
 	}
 	var c sim.Duration
 	switch l.cfg.Normalization {
@@ -301,7 +316,6 @@ func (l *L2BM) PeekSamples(s StateView) []QueueSample {
 	if free < 0 {
 		free = 0
 	}
-	out := make([]QueueSample, 0, len(active))
 	for _, a := range active {
 		w := float64(c) / float64(a.Tau) * l.cfg.Alpha
 		if ClassOfPriority(a.Prio) == pkt.ClassLossless {
@@ -309,12 +323,12 @@ func (l *L2BM) PeekSamples(s StateView) []QueueSample {
 		} else {
 			w = l.cfg.BoundsLossy.clamp(w)
 		}
-		out = append(out, QueueSample{
+		dst = append(dst, QueueSample{
 			Port: a.Port, Prio: a.Prio, Tau: a.Tau,
 			Weight: w, Threshold: int64(w * float64(free)),
 		})
 	}
-	return out
+	return dst
 }
 
 // OnEnqueue implements Policy, feeding the congestion-detection module.

@@ -28,6 +28,13 @@ type sojournQueue struct {
 	// sized to the switch's port count on first use.
 	resident   []int
 	pausedSnap []sim.Duration
+
+	// nzPorts counts egress ports with resident packets; hot is the single
+	// such port when nzPorts == 1 (the overwhelmingly common case — an
+	// ingress queue usually feeds one egress at a time — which lets advance
+	// skip the O(ports) resident scan on the admission fast path).
+	nzPorts int
+	hot     int
 }
 
 func (q *sojournQueue) ensure(ports int) {
@@ -52,10 +59,11 @@ func (q *sojournQueue) advance(s StateView, prio int, excludePause bool) {
 	if elapsed <= 0 {
 		return
 	}
-	for j, c := range q.resident {
-		if c == 0 {
-			continue
-		}
+	if q.nzPorts == 1 {
+		// Fast path: exactly one egress port is resident, so the scan
+		// would visit one nonzero entry anyway. The arithmetic below is
+		// the loop body verbatim for j = q.hot — bit-identical totals.
+		j := q.hot
 		eff := elapsed
 		if excludePause {
 			cum := s.EgressPausedTime(j, prio)
@@ -66,7 +74,24 @@ func (q *sojournQueue) advance(s StateView, prio int, excludePause bool) {
 			}
 			eff -= pausedDelta
 		}
-		q.total -= float64(c) * float64(eff)
+		q.total -= float64(q.resident[j]) * float64(eff)
+	} else {
+		for j, c := range q.resident {
+			if c == 0 {
+				continue
+			}
+			eff := elapsed
+			if excludePause {
+				cum := s.EgressPausedTime(j, prio)
+				pausedDelta := cum - q.pausedSnap[j]
+				q.pausedSnap[j] = cum
+				if pausedDelta > elapsed {
+					pausedDelta = elapsed
+				}
+				eff -= pausedDelta
+			}
+			q.total -= float64(c) * float64(eff)
+		}
 	}
 	if q.total < 0 {
 		q.total = 0
@@ -102,6 +127,12 @@ func (q *sojournQueue) onEnqueue(s StateView, j, prio int, excludePause bool) {
 		q.total += float64(expect)
 	}
 	q.n++
+	if q.resident[j] == 0 {
+		q.nzPorts++
+		if q.nzPorts == 1 {
+			q.hot = j
+		}
+	}
 	q.resident[j]++
 	if excludePause {
 		q.pausedSnap[j] = s.EgressPausedTime(j, prio)
@@ -117,6 +148,18 @@ func (q *sojournQueue) onDequeue(s StateView, j, prio int, excludePause bool) {
 	}
 	if q.resident[j] > 0 {
 		q.resident[j]--
+		if q.resident[j] == 0 {
+			q.nzPorts--
+			if q.nzPorts == 1 {
+				// 2 → 1 transition: rescan once for the surviving port.
+				for i, c := range q.resident {
+					if c > 0 {
+						q.hot = i
+						break
+					}
+				}
+			}
+		}
 	}
 	if q.n == 0 {
 		q.total = 0
@@ -201,8 +244,10 @@ func NewSojournTable(excludePause bool) *SojournTable {
 
 func (t *SojournTable) queue(port, prio int) *sojournQueue {
 	idx := port*pkt.NumPriorities + prio
-	for len(t.queues) <= idx {
-		t.queues = append(t.queues, nil)
+	if idx >= len(t.queues) {
+		// Grow to the exact size in one append (a one-at-a-time nil append
+		// loop re-walked the capacity ladder on every growth step).
+		t.queues = append(t.queues, make([]*sojournQueue, idx+1-len(t.queues))...)
 	}
 	q := t.queues[idx]
 	if q == nil {
@@ -287,8 +332,18 @@ type ActiveQueue struct {
 // touching the aggregate cache. This is the trace layer's read-only window
 // into the congestion-detection module: a run sampled through PeekActive is
 // byte-identical to an unsampled run. Queues appear in (port, prio) order.
+//
+// PeekActive allocates a fresh slice per call; samplers on a tick should use
+// PeekActiveAppend with a reusable scratch buffer instead.
 func (t *SojournTable) PeekActive(s StateView, floor sim.Duration) []ActiveQueue {
-	var out []ActiveQueue
+	return t.PeekActiveAppend(nil, s, floor)
+}
+
+// PeekActiveAppend is PeekActive appending into dst (which may be nil or a
+// recycled dst[:0]), returning the extended slice. A periodic sampler passes
+// the same backing buffer every tick, so steady-state sampling allocates
+// nothing.
+func (t *SojournTable) PeekActiveAppend(dst []ActiveQueue, s StateView, floor sim.Duration) []ActiveQueue {
 	for idx, q := range t.queues {
 		if q == nil || !q.active() {
 			continue
@@ -297,7 +352,7 @@ func (t *SojournTable) PeekActive(s StateView, floor sim.Duration) []ActiveQueue
 		if tau < floor {
 			tau = floor
 		}
-		out = append(out, ActiveQueue{Port: idx / pkt.NumPriorities, Prio: q.prio, Tau: tau})
+		dst = append(dst, ActiveQueue{Port: idx / pkt.NumPriorities, Prio: q.prio, Tau: tau})
 	}
-	return out
+	return dst
 }

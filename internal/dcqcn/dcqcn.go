@@ -96,6 +96,15 @@ type Sender struct {
 	env  transport.Env
 	cfg  Config
 	flow *transport.Flow
+	pool *pkt.Pool // cached env.Pool(); nil = heap allocation
+
+	// Pre-bound timer bodies: method values allocate a closure at every
+	// reference, and the pacer reschedules once per packet. Binding them
+	// once here makes the whole paced send loop allocation-free.
+	sendNextFn sim.Callback
+	alphaFn    sim.Callback
+	incFn      sim.Callback
+	retxFn     sim.Callback
 
 	rc    float64 // current rate, bits/s
 	rt    float64 // target rate, bits/s
@@ -143,16 +152,22 @@ func NewSender(env transport.Env, cfg Config, flow *transport.Flow, onDone func(
 	if cfg.GoBackN && (cfg.AckInterval <= 0 || cfg.RetxTimeout <= 0 || cfg.MaxRetxBackoff < 1) {
 		panic("dcqcn: GoBackN requires positive AckInterval, RetxTimeout and MaxRetxBackoff")
 	}
-	return &Sender{
+	s := &Sender{
 		env:         env,
 		cfg:         cfg,
 		flow:        flow,
+		pool:        env.Pool(),
 		rc:          float64(cfg.LineRate),
 		rt:          float64(cfg.LineRate),
 		alpha:       1,
 		retxBackoff: 1,
 		onDone:      onDone,
 	}
+	s.sendNextFn = s.sendNext
+	s.alphaFn = s.onAlphaTimer
+	s.incFn = s.onIncreaseTimer
+	s.retxFn = s.onRetxTimeout
+	return s
 }
 
 // Flow returns the flow descriptor.
@@ -180,7 +195,7 @@ func (s *Sender) sendNext() {
 		return
 	}
 	if s.cfg.NICGateBytes > 0 && s.env.NICBacklog(s.flow.Priority) > s.cfg.NICGateBytes {
-		s.pacer = s.env.Schedule(sim.TxTime(pkt.MTUBytes, s.cfg.LineRate), s.sendNext)
+		s.pacer = s.env.Schedule(sim.TxTime(pkt.MTUBytes, s.cfg.LineRate), s.sendNextFn)
 		return
 	}
 
@@ -188,9 +203,10 @@ func (s *Sender) sendNext() {
 	if rem := s.flow.Size - s.sent; rem < int64(payload) {
 		payload = int(rem)
 	}
-	p := pkt.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, s.sent, payload)
+	p := s.pool.Data(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, s.sent, payload)
 	p.FlowFin = s.sent+int64(payload) == s.flow.Size
 	p.SentAt = s.env.Now()
+	sentSize := p.Size // captured before Send: ownership moves to the NIC
 	s.env.Send(p)
 	s.sent += int64(payload)
 	if s.cfg.GoBackN {
@@ -199,7 +215,7 @@ func (s *Sender) sendNext() {
 		s.armRetx()
 	}
 
-	s.byteCount += int64(p.Size)
+	s.byteCount += int64(sentSize)
 	if s.byteCount >= s.cfg.ByteCounter {
 		s.byteCount = 0
 		s.byteStage++
@@ -215,8 +231,8 @@ func (s *Sender) sendNext() {
 		s.finish()
 		return
 	}
-	gap := sim.TxTime(p.Size, int64(s.rc))
-	s.pacer = s.env.Schedule(gap, s.sendNext)
+	gap := sim.TxTime(sentSize, int64(s.rc))
+	s.pacer = s.env.Schedule(gap, s.sendNextFn)
 }
 
 // HandleAck advances the cumulative acknowledgement mark. Fresh progress
@@ -262,7 +278,7 @@ func (s *Sender) armRetx() {
 	if s.done || s.sndUna >= s.sent {
 		return
 	}
-	s.retxTimer = s.env.Schedule(s.cfg.RetxTimeout*sim.Duration(s.retxBackoff), s.onRetxTimeout)
+	s.retxTimer = s.env.Schedule(s.cfg.RetxTimeout*sim.Duration(s.retxBackoff), s.retxFn)
 }
 
 func (s *Sender) onRetxTimeout() {
@@ -313,8 +329,8 @@ func (s *Sender) HandleCNP() {
 func (s *Sender) restartTimers() {
 	s.alphaTimer.Cancel()
 	s.incTimer.Cancel()
-	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.onAlphaTimer)
-	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.onIncreaseTimer)
+	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.alphaFn)
+	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.incFn)
 }
 
 func (s *Sender) onAlphaTimer() {
@@ -322,7 +338,7 @@ func (s *Sender) onAlphaTimer() {
 		return
 	}
 	s.alpha *= 1 - s.cfg.G
-	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.onAlphaTimer)
+	s.alphaTimer = s.env.Schedule(s.cfg.AlphaTimer, s.alphaFn)
 }
 
 func (s *Sender) onIncreaseTimer() {
@@ -331,7 +347,7 @@ func (s *Sender) onIncreaseTimer() {
 	}
 	s.timerStage++
 	s.increase()
-	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.onIncreaseTimer)
+	s.incTimer = s.env.Schedule(s.cfg.IncreaseTimer, s.incFn)
 }
 
 // increase applies one rate-increase event: fast recovery halves the gap to
@@ -392,6 +408,7 @@ func (s *Sender) finish() {
 // marks as rate-limited CNPs and detects flow completion.
 type Receiver struct {
 	env    transport.Env
+	pool   *pkt.Pool // cached env.Pool(); nil = heap allocation
 	flowID pkt.FlowID
 	host   int
 	peer   int
@@ -422,6 +439,7 @@ type Receiver struct {
 func NewReceiver(env transport.Env, cfg Config, flowID pkt.FlowID, host, peer int, onDone func(at sim.Time)) *Receiver {
 	return &Receiver{
 		env:    env,
+		pool:   env.Pool(),
 		cfg:    cfg,
 		flowID: flowID,
 		host:   host,
@@ -444,7 +462,7 @@ func (r *Receiver) HandleData(p *pkt.Packet) {
 		if !r.sentCNP || now-r.lastCNP >= r.cfg.CNPInterval {
 			r.sentCNP = true
 			r.lastCNP = now
-			r.env.Send(pkt.NewCNP(r.flowID, r.host, r.peer))
+			r.env.Send(r.pool.CNP(r.flowID, r.host, r.peer))
 		}
 	}
 
@@ -482,7 +500,7 @@ func (r *Receiver) handleDataGBN(p *pkt.Packet) {
 			r.sentNACK = true
 			r.lastNACK = now
 			r.NACKsSent++
-			r.env.Send(pkt.NewNack(r.flowID, r.host, r.peer, r.recvNxt))
+			r.env.Send(r.pool.Nack(r.flowID, r.host, r.peer, r.recvNxt))
 		}
 		return
 	}
@@ -495,7 +513,7 @@ func (r *Receiver) handleDataGBN(p *pkt.Packet) {
 			r.sentDupAck = true
 			r.lastDupAck = now
 			r.AcksSent++
-			r.env.Send(pkt.NewAck(r.flowID, r.host, r.peer, r.recvNxt, false))
+			r.env.Send(r.pool.Ack(r.flowID, r.host, r.peer, r.recvNxt, false))
 		}
 		return
 	}
@@ -504,7 +522,7 @@ func (r *Receiver) handleDataGBN(p *pkt.Packet) {
 	if p.FlowFin || r.recvNxt-r.lastAcked >= r.cfg.AckInterval {
 		r.lastAcked = r.recvNxt
 		r.AcksSent++
-		r.env.Send(pkt.NewAck(r.flowID, r.host, r.peer, r.recvNxt, false))
+		r.env.Send(r.pool.Ack(r.flowID, r.host, r.peer, r.recvNxt, false))
 	}
 
 	if p.FlowFin && !r.complete {

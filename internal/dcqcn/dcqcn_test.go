@@ -20,6 +20,7 @@ var _ transport.Env = (*fakeEnv)(nil)
 
 func (e *fakeEnv) Now() sim.Time      { return e.eng.Now() }
 func (e *fakeEnv) NICBacklog(int) int { return e.backlog }
+func (e *fakeEnv) Pool() *pkt.Pool    { return nil }
 
 func (e *fakeEnv) Send(p *pkt.Packet) {
 	e.sent = append(e.sent, p)

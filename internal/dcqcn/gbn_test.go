@@ -25,6 +25,7 @@ var _ transport.Env = (*gbnEnv)(nil)
 
 func (e *gbnEnv) Now() sim.Time      { return e.eng.Now() }
 func (e *gbnEnv) NICBacklog(int) int { return 0 }
+func (e *gbnEnv) Pool() *pkt.Pool    { return nil }
 
 func (e *gbnEnv) Schedule(d sim.Duration, fn func()) sim.EventRef {
 	return e.eng.Schedule(d, fn)

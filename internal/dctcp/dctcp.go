@@ -48,6 +48,11 @@ type Sender struct {
 	env  transport.Env
 	cfg  Config
 	flow *transport.Flow
+	pool *pkt.Pool // cached env.Pool(); nil = heap allocation
+
+	// rtoFn is s.onRTO bound once: a method value allocates a closure at
+	// every reference, and armRTO runs once per ACK on the hot path.
+	rtoFn sim.Callback
 
 	cwnd     float64 // bytes
 	ssthresh float64
@@ -88,16 +93,19 @@ func NewSender(env transport.Env, cfg Config, flow *transport.Flow, onDone func(
 	if cfg.MSS <= 0 || cfg.G <= 0 || cfg.G > 1 {
 		panic("dctcp: invalid config")
 	}
-	return &Sender{
+	s := &Sender{
 		env:        env,
 		cfg:        cfg,
 		flow:       flow,
+		pool:       env.Pool(),
 		cwnd:       float64(cfg.InitCwndSegments * cfg.MSS),
 		ssthresh:   float64(flow.Size), // effectively unbounded slow start
 		alpha:      0,
 		rtoBackoff: 1,
 		onDone:     onDone,
 	}
+	s.rtoFn = s.onRTO
+	return s
 }
 
 // Flow returns the flow descriptor.
@@ -148,7 +156,7 @@ func (s *Sender) sendSegment(seq int64) {
 	} else {
 		s.RetransmittedBytes += int64(payload)
 	}
-	p := pkt.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, seq, payload)
+	p := s.pool.Data(s.flow.ID, s.flow.Src, s.flow.Dst, s.flow.Priority, s.flow.Class, seq, payload)
 	p.FlowFin = seq+int64(payload) == s.flow.Size
 	p.SentAt = s.env.Now()
 	s.env.Send(p)
@@ -251,7 +259,7 @@ func (s *Sender) clampCwnd() {
 
 func (s *Sender) armRTO() {
 	backoff := sim.Duration(s.rtoBackoff)
-	s.rto = s.env.Schedule(s.cfg.MinRTO*backoff, s.onRTO)
+	s.rto = s.env.Schedule(s.cfg.MinRTO*backoff, s.rtoFn)
 }
 
 func (s *Sender) rearmRTO() {
@@ -294,6 +302,7 @@ func (s *Sender) finish() {
 // with an accurate per-packet ECN echo.
 type Receiver struct {
 	env    transport.Env
+	pool   *pkt.Pool // cached env.Pool(); nil = heap allocation
 	flowID pkt.FlowID
 	host   int // this host (ACK source)
 	peer   int // sender host (ACK destination)
@@ -310,6 +319,7 @@ type Receiver struct {
 func NewReceiver(env transport.Env, flowID pkt.FlowID, host, peer int, onDone func(at sim.Time)) *Receiver {
 	return &Receiver{
 		env:    env,
+		pool:   env.Pool(),
 		flowID: flowID,
 		host:   host,
 		peer:   peer,
@@ -338,7 +348,7 @@ func (r *Receiver) HandleData(p *pkt.Packet) {
 		r.ooo[p.Seq] = p.End()
 	}
 
-	ack := pkt.NewAck(r.flowID, r.host, r.peer, r.recvNxt, p.CE)
+	ack := r.pool.Ack(r.flowID, r.host, r.peer, r.recvNxt, p.CE)
 	r.env.Send(ack)
 
 	if !r.complete && r.expected > 0 && r.recvNxt >= r.expected {

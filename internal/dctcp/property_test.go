@@ -133,6 +133,7 @@ type callbackEnv struct {
 func (e *callbackEnv) Now() sim.Time      { return e.eng.Now() }
 func (e *callbackEnv) Send(p *pkt.Packet) { e.deliver(p) }
 func (e *callbackEnv) NICBacklog(int) int { return 0 }
+func (e *callbackEnv) Pool() *pkt.Pool    { return nil }
 
 func (e *callbackEnv) Schedule(d sim.Duration, fn func()) sim.EventRef {
 	return e.eng.Schedule(d, fn)

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -83,3 +84,42 @@ func (h *Harness) TotalPoints() uint64 { return h.points.Load() }
 // TotalEvents returns the simulated-event count accumulated across all
 // completed points — divide by wall time for aggregate events/s.
 func (h *Harness) TotalEvents() uint64 { return h.events.Load() }
+
+// MemSnapshot freezes the process-wide allocation counters so a caller can
+// report the memory cost of a bounded stretch of work (one experiment). The
+// perf-trajectory harness prints the delta next to events/s: allocations per
+// simulated event is the number the zero-allocation fast path drives down.
+type MemSnapshot struct {
+	// Mallocs is the cumulative heap-object allocation count.
+	Mallocs uint64
+	// TotalAlloc is the cumulative bytes allocated on the heap.
+	TotalAlloc uint64
+	// NumGC is the completed GC cycle count.
+	NumGC uint32
+}
+
+// TakeMemSnapshot reads the runtime allocation counters (no stop-the-world;
+// ReadMemStats is cheap relative to an experiment run).
+func TakeMemSnapshot() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{Mallocs: ms.Mallocs, TotalAlloc: ms.TotalAlloc, NumGC: ms.NumGC}
+}
+
+// MemLine renders the allocation cost since the snapshot alongside the
+// simulated-event count: allocations, bytes, GC cycles and allocs per event.
+// The line is wall-clock independent but NOT deterministic across pool
+// configurations (that is its purpose), so determinism diffs must exclude it
+// the same way they exclude the timing trailer.
+func (m MemSnapshot) MemLine(events uint64) string {
+	cur := TakeMemSnapshot()
+	allocs := cur.Mallocs - m.Mallocs
+	bytes := cur.TotalAlloc - m.TotalAlloc
+	gcs := cur.NumGC - m.NumGC
+	perEvent := 0.0
+	if events > 0 {
+		perEvent = float64(allocs) / float64(events)
+	}
+	return fmt.Sprintf("(mem: %d allocs, %d bytes, %d GC cycles, %.3f allocs/event)",
+		allocs, bytes, gcs, perEvent)
+}

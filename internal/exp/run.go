@@ -144,6 +144,13 @@ type Result struct {
 	// a correct simulator, faults or not.
 	AuditErrors []string
 
+	// PoolGets counts packet-pool checkouts over the run and PoolLive the
+	// packets still checked out at run end (zero when the run fully
+	// drained; positive when the horizon cut flows short and frames remain
+	// parked in queues or in flight). Both zero with pooling disabled.
+	PoolGets uint64
+	PoolLive int64
+
 	// Fault-injection and robustness observability, all zero on a healthy
 	// fabric without a FaultSpec.
 	RecoveryBytes   int64  // payload bytes retransmitted by any sender
@@ -402,8 +409,10 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 			ts.AddSwitch(sw)
 			if l, ok := sw.Policy().(*core.L2BM); ok {
 				name := sw.Name()
+				var scratch []core.QueueSample // reused across ticks: zero-alloc sampling
 				ts.AddProbe(func(now sim.Time, rec *trace.Recorder) {
-					for _, qs := range l.PeekSamples(sw) {
+					scratch = l.PeekSamplesAppend(scratch[:0], sw)
+					for _, qs := range scratch {
 						rec.RecordWeight(trace.WeightSample{
 							At: now, Switch: name, Port: qs.Port, Prio: qs.Prio,
 							Tau: qs.Tau, Weight: qs.Weight, Threshold: qs.Threshold,
@@ -458,6 +467,10 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 
 	res.RecoveryBytes = cl.RecoveryBytes()
 	res.RDMANACKs, res.RDMATimeouts = cl.RDMARecoveryStats()
+	if cl.Pool != nil {
+		res.PoolGets = cl.Pool.Stats().Gets
+		res.PoolLive = cl.Pool.Live()
+	}
 	for _, sw := range cl.AllSwitches() {
 		if err := sw.CheckInvariants(); err != nil {
 			res.AuditErrors = append(res.AuditErrors, err.Error())

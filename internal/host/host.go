@@ -25,6 +25,7 @@ type Host struct {
 	id   int
 	name string
 	nic  *netdev.Port
+	pool *pkt.Pool
 
 	dctcpCfg dctcp.Config
 	dcqcnCfg dcqcn.Config
@@ -75,6 +76,11 @@ func (h *Host) Name() string { return h.name }
 // SetNIC attaches the host side of its access link.
 func (h *Host) SetNIC(p *netdev.Port) { h.nic = p }
 
+// SetPool installs the engine's packet pool: endpoints on this host build
+// their frames from it, and the host recycles every fully delivered packet
+// back into it. Nil (the default) keeps plain heap allocation.
+func (h *Host) SetPool(pl *pkt.Pool) { h.pool = pl }
+
 // NIC returns the host's port.
 func (h *Host) NIC() *netdev.Port { return h.nic }
 
@@ -104,7 +110,11 @@ func (h *Host) StartFlow(f *transport.Flow) {
 	}
 }
 
-// HandleArrival implements netdev.Node: demultiplex to the right endpoint.
+// HandleArrival implements netdev.Node: demultiplex to the right endpoint,
+// then recycle the frame. The host is the delivery sink for every packet
+// kind, so the one-owner contract for endpoint handlers is: read the packet,
+// never retain it past return — by the time HandleArrival returns, the
+// object is back in the pool.
 func (h *Host) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
 	switch p.Kind {
 	case pkt.KindData:
@@ -124,6 +134,7 @@ func (h *Host) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
 			s.HandleNACK(p.Seq)
 		}
 	}
+	h.pool.Put(p) // sink: delivered (or unroutable) frames die here
 }
 
 func (h *Host) handleData(p *pkt.Packet) {
@@ -214,3 +225,7 @@ func (h *Host) Schedule(delay sim.Duration, fn func()) sim.EventRef {
 
 // NICBacklog implements transport.Env.
 func (h *Host) NICBacklog(prio int) int { return h.nic.QueueBytes(prio) }
+
+// Pool implements transport.Env: endpoints on this host build their frames
+// from the host's pool (nil pool = heap allocation).
+func (h *Host) Pool() *pkt.Pool { return h.pool }

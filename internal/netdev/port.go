@@ -90,6 +90,19 @@ type Port struct {
 	deficit [pkt.NumPriorities]int
 	granted [pkt.NumPriorities]bool
 
+	// pool recycles consumed frames (PFC application, carrier/fault drops)
+	// and sources PFC frames. Nil disables pooling: SendPFC heap-allocates
+	// and dead frames are left to the GC, exactly the pre-pool behaviour.
+	pool *pkt.Pool
+
+	// onTxDone and onArrive are the port's two hot-path event bodies,
+	// bound ONCE here so the per-packet schedule calls allocate nothing:
+	// the packet in flight rides in the event record's arg slot (it is its
+	// own in-flight record — serialization already finished when onTxDone
+	// fires, and propagation delay is the link constant prop).
+	onTxDone sim.ArgCallback
+	onArrive sim.ArgCallback
+
 	stats PortStats
 
 	// OnDequeue, when set, fires as a packet finishes serializing out of
@@ -120,8 +133,24 @@ func Connect(eng *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Por
 	pa := &Port{eng: eng, owner: a, rate: rateBps, prop: prop}
 	pb := &Port{eng: eng, owner: b, rate: rateBps, prop: prop}
 	pa.peer, pb.peer = pb, pa
+	pa.bindHandlers()
+	pb.bindHandlers()
 	return pa, pb
 }
+
+// bindHandlers builds the port's two pre-bound event bodies exactly once.
+// Each wrapper closes over the port only — the per-packet state arrives via
+// the event record's arg slot — so the simulator allocates two closures per
+// PORT at wiring time instead of two per PACKET per hop at run time.
+func (p *Port) bindHandlers() {
+	p.onTxDone = func(arg any) { p.finishTransmit(arg.(*pkt.Packet)) }
+	p.onArrive = func(arg any) { p.receive(arg.(*pkt.Packet)) }
+}
+
+// SetPool installs the packet pool this port recycles consumed frames into
+// (PFC application, carrier/fault drops) and sources its PFC frames from.
+// A nil pool restores the pre-pool heap-allocating behaviour.
+func (p *Port) SetPool(pl *pkt.Pool) { p.pool = pl }
 
 // Owner returns the node this port belongs to.
 func (p *Port) Owner() Node { return p.owner }
@@ -249,7 +278,7 @@ func (p *Port) Enqueue(q *pkt.Packet) {
 // SendPFC queues a pause (XOFF) or resume (XON) frame for prio toward the
 // peer. Control frames preempt data scheduling.
 func (p *Port) SendPFC(prio int, pause bool) {
-	frame := pkt.NewPFC(prio, pause)
+	frame := p.pool.PFC(prio, pause)
 	p.ctrl.push(frame)
 	if pause {
 		p.stats.PFCSent++
@@ -272,7 +301,7 @@ func (p *Port) tryTransmit() {
 	}
 	p.busy = true
 	txDone := sim.TxTime(q.Size, p.rate)
-	p.eng.Schedule(txDone, func() { p.finishTransmit(q) })
+	p.eng.ScheduleArg(txDone, p.onTxDone, q)
 }
 
 // nextPacket dequeues the packet to transmit, or nil when nothing is
@@ -371,8 +400,7 @@ func (p *Port) finishTransmit(q *pkt.Packet) {
 	if q.Kind != pkt.KindPFC && p.OnDequeue != nil {
 		p.OnDequeue(q)
 	}
-	peer := p.peer
-	p.eng.Schedule(p.prop, func() { peer.receive(q) })
+	p.eng.ScheduleArg(p.prop, p.peer.onArrive, q)
 	p.busy = false
 	p.tryTransmit()
 }
@@ -381,16 +409,19 @@ func (p *Port) finishTransmit(q *pkt.Packet) {
 func (p *Port) receive(q *pkt.Packet) {
 	if p.down {
 		p.stats.CarrierDrops++
+		p.pool.Put(q) // sink: the frame died on a dark fiber
 		return
 	}
 	if p.RxFault != nil && !p.RxFault(q) {
 		p.stats.FaultDrops++
+		p.pool.Put(q) // sink: corrupted or injected-loss frame
 		return
 	}
 	p.stats.RxPackets++
 	p.stats.RxBytes += uint64(q.Size)
 	if q.Kind == pkt.KindPFC {
 		p.applyPFC(q)
+		p.pool.Put(q) // sink: PFC frames act on the port and stop here
 		return
 	}
 	p.owner.HandleArrival(q, p)

@@ -30,6 +30,11 @@ const (
 	KindNack
 )
 
+// KindFreed is the poison value a debug Pool stamps on recycled packets: any
+// code path that touches a packet after Put sees an impossible kind instead
+// of plausible stale state. Never appears on a live packet.
+const KindFreed Kind = -1
+
 // String implements fmt.Stringer for diagnostics.
 func (k Kind) String() string {
 	switch k {
@@ -43,6 +48,8 @@ func (k Kind) String() string {
 		return "pfc"
 	case KindNack:
 		return "nack"
+	case KindFreed:
+		return "freed"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -105,8 +112,11 @@ const (
 type FlowID uint64
 
 // Packet is one simulated frame. A packet object is owned by exactly one
-// queue or link at a time, so the switch-resident bookkeeping fields can be
-// reused hop by hop.
+// queue, link or in-flight event at a time (the one-owner invariant), so the
+// switch-resident bookkeeping fields can be reused hop by hop — and so the
+// sink that consumes the frame (host delivery, switch drop, PFC application,
+// fault discard) can hand it back to a Pool for reuse. Code between source
+// and sink must only pass the pointer onward, never retain it.
 type Packet struct {
 	Kind Kind
 	Flow FlowID
@@ -145,80 +155,43 @@ type Packet struct {
 	// InHeadroom records that the resident packet was charged to the PFC
 	// headroom pool rather than the shared service pool.
 	InHeadroom bool
+
+	// pooled marks a packet currently sitting in a Pool's free list; Put
+	// panics when it is already set (double-free detection at one branch of
+	// cost, debug mode or not).
+	pooled bool
 }
 
 // NewData builds a data packet for flow f carrying payload bytes
-// [seq, seq+payload) from src to dst on the given priority/class.
+// [seq, seq+payload) from src to dst on the given priority/class. The New*
+// constructors are the heap-allocating path, implemented on a nil Pool so
+// they cannot drift from the pooled constructors.
 func NewData(f FlowID, src, dst int, prio int, class Class, seq int64, payload int) *Packet {
-	return &Packet{
-		Kind:       KindData,
-		Flow:       f,
-		Src:        src,
-		Dst:        dst,
-		Priority:   prio,
-		Class:      class,
-		Size:       payload + HeaderBytes,
-		Seq:        seq,
-		PayloadLen: payload,
-	}
+	return (*Pool)(nil).Data(f, src, dst, prio, class, seq, payload)
 }
 
 // NewAck builds a cumulative ACK from src to dst. ece echoes the CE mark of
 // the data packet being acknowledged.
 func NewAck(f FlowID, src, dst int, cumSeq int64, ece bool) *Packet {
-	return &Packet{
-		Kind:     KindAck,
-		Flow:     f,
-		Src:      src,
-		Dst:      dst,
-		Priority: PrioControl,
-		Class:    ClassControl,
-		Size:     CtrlBytes,
-		Seq:      cumSeq,
-		ECE:      ece,
-	}
+	return (*Pool)(nil).Ack(f, src, dst, cumSeq, ece)
 }
 
 // NewCNP builds a DCQCN congestion-notification packet for flow f from the
 // notification point src back to the reaction point dst.
 func NewCNP(f FlowID, src, dst int) *Packet {
-	return &Packet{
-		Kind:     KindCNP,
-		Flow:     f,
-		Src:      src,
-		Dst:      dst,
-		Priority: PrioControl,
-		Class:    ClassControl,
-		Size:     CtrlBytes,
-	}
+	return (*Pool)(nil).CNP(f, src, dst)
 }
 
 // NewNack builds a go-back-N NACK for flow f from the receiver src back to
 // the sender dst. expected is the next in-order byte the receiver wants.
 func NewNack(f FlowID, src, dst int, expected int64) *Packet {
-	return &Packet{
-		Kind:     KindNack,
-		Flow:     f,
-		Src:      src,
-		Dst:      dst,
-		Priority: PrioControl,
-		Class:    ClassControl,
-		Size:     CtrlBytes,
-		Seq:      expected,
-	}
+	return (*Pool)(nil).Nack(f, src, dst, expected)
 }
 
 // NewPFC builds a pause (XOFF) or resume (XON) frame for prio. PFC frames
 // are link-local: Src/Dst are not routed.
 func NewPFC(prio int, pause bool) *Packet {
-	return &Packet{
-		Kind:        KindPFC,
-		Priority:    PrioControl,
-		Class:       ClassControl,
-		Size:        CtrlBytes,
-		PFCPriority: prio,
-		PFCPause:    pause,
-	}
+	return (*Pool)(nil).PFC(prio, pause)
 }
 
 // End returns the offset one past the last payload byte of a data packet.

@@ -8,14 +8,38 @@ import (
 // at the event's timestamp.
 type Callback func()
 
+// ArgCallback is the closure-free event body: the engine stores (fn, arg) in
+// the pooled event record, so hot paths that would otherwise allocate a
+// fresh closure per event (one per packet per hop in the netdev layer)
+// instead pre-bind fn once and thread the per-event state through arg. A
+// pointer-typed arg rides in the interface word without allocating.
+type ArgCallback func(arg any)
+
 // event is one pending entry in the queue. Events with equal timestamps fire
 // in scheduling order (seq), which makes runs deterministic. Events are
 // pooled; gen distinguishes incarnations so stale EventRefs stay inert.
+// Exactly one of fn/afn is non-nil while the event is live; arg is only
+// meaningful alongside afn.
 type event struct {
 	at  Time
 	seq uint64
 	gen uint64
 	fn  Callback
+	afn ArgCallback
+	arg any
+}
+
+// live reports whether the event still has a body to run (not cancelled,
+// not yet dispatched).
+func (ev *event) live() bool { return ev.fn != nil || ev.afn != nil }
+
+// clear drops every callback reference. Called at each recycle point
+// (cancel, dispatch, compaction) so a pooled event record can never keep a
+// stale arg — typically a pooled packet — reachable from the free list.
+func (ev *event) clear() {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
@@ -36,11 +60,11 @@ type EventRef struct {
 // Pending() proportional to the number of *live* timers, not to the rearm
 // rate times the backoff horizon.
 func (r *EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.gen != r.gen || r.ev.fn == nil {
+	if r.ev == nil || r.ev.gen != r.gen || !r.ev.live() {
 		r.ev = nil
 		return false
 	}
-	r.ev.fn = nil // fires as a no-op and recycles
+	r.ev.clear() // fires as a no-op and recycles; drops any arg reference now
 	r.ev = nil
 	if r.eng != nil {
 		r.eng.cancelled++
@@ -51,7 +75,7 @@ func (r *EventRef) Cancel() bool {
 
 // Pending reports whether the referenced event is still scheduled.
 func (r *EventRef) Pending() bool {
-	return r.ev != nil && r.ev.gen == r.gen && r.ev.fn != nil
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.live()
 }
 
 // Engine is a deterministic discrete-event scheduler built on a 4-ary heap
@@ -108,25 +132,57 @@ func (e *Engine) Schedule(delay Duration, fn Callback) EventRef {
 
 // ScheduleAt runs fn at the absolute time at.
 func (e *Engine) ScheduleAt(at Time, fn Callback) EventRef {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling a nil callback")
+	}
+	ev := e.alloc(at)
+	ev.fn = fn
+	e.push(ev)
+	return EventRef{eng: e, ev: ev, gen: ev.gen}
+}
+
+// ScheduleArg runs fn(arg) after delay without allocating a closure: fn is
+// typically pre-bound once per component (a port's transmit-done handler)
+// and arg carries the per-event state (the packet in flight). Determinism is
+// identical to Schedule — the event takes the next (at, seq) slot and the
+// returned EventRef cancels/compacts exactly like a closure event.
+func (e *Engine) ScheduleArg(delay Duration, fn ArgCallback, arg any) EventRef {
+	return e.ScheduleArgAt(e.now+delay, fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) at the absolute time at.
+func (e *Engine) ScheduleArgAt(at Time, fn ArgCallback, arg any) EventRef {
+	if fn == nil {
+		panic("sim: scheduling a nil callback")
+	}
+	ev := e.alloc(at)
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev)
+	return EventRef{eng: e, ev: ev, gen: ev.gen}
+}
+
+// alloc pops a recycled event record (or heap-allocates one) and stamps the
+// (at, seq) ordering key. Recycle points clear fn/afn/arg (see event.clear),
+// and alloc re-clears defensively: a record that somehow carried a stale arg
+// out of the free list must never leak it into a new incarnation.
+func (e *Engine) alloc(at Time) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
 	}
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
+		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		ev.clear()
 	} else {
 		ev = &event{}
 	}
 	ev.at = at
 	ev.seq = e.seq
-	ev.fn = fn
 	e.seq++
-	e.push(ev)
-	return EventRef{eng: e, ev: ev, gen: ev.gen}
+	return ev
 }
 
 // Stop makes Run return after the current event completes. Further Run calls
@@ -167,18 +223,24 @@ func (e *Engine) RunAll() Time {
 
 // dispatch fires (or skips, when cancelled) one popped event and recycles it.
 func (e *Engine) dispatch(ev *event) {
-	fn := ev.fn
-	if fn != nil {
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	if fn != nil || afn != nil {
 		e.now = ev.at
-		ev.fn = nil
 		e.fired++
 	} else if e.cancelled > 0 {
 		e.cancelled-- // a cancelled slot drained the normal way
 	}
+	// Clear before recycling AND before running the body: the callback may
+	// recycle its packet arg into a pool and hand it to a brand-new event; a
+	// stale ev.arg on the free list would alias that new owner (bugfix —
+	// pooled-event reuse must never leak a reference to a pooled packet).
+	ev.clear()
 	ev.gen++
 	e.free = append(e.free, ev)
 	if fn != nil {
 		fn()
+	} else if afn != nil {
+		afn(arg)
 	}
 }
 
@@ -268,8 +330,9 @@ func (e *Engine) compact() {
 	old := e.queue
 	q := old[:0]
 	for _, ev := range old {
-		if ev.fn == nil {
-			ev.gen++ // invalidate stale EventRefs before recycling
+		if !ev.live() {
+			ev.clear() // defensive: Cancel already dropped fn/afn/arg
+			ev.gen++   // invalidate stale EventRefs before recycling
 			e.free = append(e.free, ev)
 			continue
 		}

@@ -4,20 +4,52 @@ import (
 	"testing"
 
 	"l2bm/internal/core"
+	"l2bm/internal/netdev"
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
 	"l2bm/internal/trace"
 )
 
+// benchSink recycles every delivered frame back into the pool — the same
+// sink behaviour host.Host has in the production fabric (delivery is where
+// packets die), minus the transport machinery. With a nil pool Put is a
+// no-op, so one sink serves both the pooled and unpooled benchmarks.
+type benchSink struct {
+	name string
+	pool *pkt.Pool
+	port *netdev.Port
+	n    int
+}
+
+func (h *benchSink) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
+	h.n++
+	h.pool.Put(p)
+}
+
+func (h *benchSink) Name() string { return h.name }
+
 // benchAdmit drives a sustained hybrid (lossless + lossy) fan-in through a
 // 5-port L2BM switch — the admission/dequeue/PFC hot path — with the given
-// recorder installed. One benchmark op is one injected MTU packet; the
-// engine drains in batches so the switch stays backlogged (thresholds, ECN
-// and PFC all exercised) without unbounded queue growth.
-func benchAdmit(b *testing.B, rec *trace.Recorder) {
+// recorder and pool installed (pl == nil benchmarks the heap-allocating
+// control arm). One benchmark op is one injected MTU packet; the engine
+// drains in batches so the switch stays backlogged (thresholds, ECN and PFC
+// all exercised) without unbounded queue growth.
+func benchAdmit(b *testing.B, rec *trace.Recorder, pl *pkt.Pool) {
 	b.Helper()
-	r := newRig(b, 5, DefaultConfig(), core.NewDefaultL2BM(), 25e9, sim.Microsecond)
-	r.sw.SetTracer(rec)
+	eng := sim.NewEngine(42)
+	sw := NewSwitch(eng, "sw", DefaultConfig(), core.NewDefaultL2BM())
+	sw.SetTracer(rec)
+	sinks := make([]*benchSink, 5)
+	for i := range sinks {
+		h := &benchSink{name: "h" + string(rune('0'+i)), pool: pl}
+		hp, sp := netdev.Connect(eng, h, sw, 25e9, sim.Microsecond)
+		h.port = hp
+		hp.SetPool(pl)
+		sw.AddPort(sp)
+		sinks[i] = h
+	}
+	sw.SetPool(pl)
+	sw.SetRouter(func(p *pkt.Packet, _ int) int { return p.Dst })
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -26,29 +58,35 @@ func benchAdmit(b *testing.B, rec *trace.Recorder) {
 		if i&1 == 0 {
 			prio, class = pkt.PrioLossless, pkt.ClassLossless
 		}
-		p := pkt.NewData(pkt.FlowID(src+1), src, 4, prio, class,
+		p := pl.Data(pkt.FlowID(src+1), src, 4, prio, class,
 			int64(i)*pkt.MTUPayload, pkt.MTUPayload)
-		r.hosts[src].port.Enqueue(p)
+		sinks[src].port.Enqueue(p)
 		if i&127 == 127 {
-			r.eng.RunAll()
+			eng.RunAll()
 		}
 	}
-	r.eng.RunAll()
+	eng.RunAll()
 }
 
-// BenchmarkAdmit is the production configuration: probes compiled in, no
-// recorder ever installed.
-func BenchmarkAdmit(b *testing.B) { benchAdmit(b, nil) }
+// BenchmarkAdmit is the production configuration: packet pool wired (as
+// topo.Build wires every cluster), probes compiled in, no recorder ever
+// installed. This is the allocs/op-guarded benchmark.
+func BenchmarkAdmit(b *testing.B) { benchAdmit(b, nil, pkt.NewPool()) }
+
+// BenchmarkAdmitUnpooled is the heap-allocating control arm (the pre-pool
+// fast path, still reachable via topo.Config.DisablePacketPool) —
+// informational, for measuring what the pool buys.
+func BenchmarkAdmitUnpooled(b *testing.B) { benchAdmit(b, nil, nil) }
 
 // BenchmarkAdmitTraceOff measures the branch-on-nil guard with tracing
 // explicitly disarmed (benchAdmit calls SetTracer(nil)): the
 // disabled-tracing hot path. CI runs this next to BenchmarkAdmitTraceOn;
 // the flight recorder's design budget for disabled tracing is ≤1% against
 // a probe-free switch, so TraceOff must sit at the noise floor.
-func BenchmarkAdmitTraceOff(b *testing.B) { benchAdmit(b, nil) }
+func BenchmarkAdmitTraceOff(b *testing.B) { benchAdmit(b, nil, pkt.NewPool()) }
 
 // BenchmarkAdmitTraceOn prices enabled tracing (ring pushes on every drop,
 // ECN mark and PFC edge) for comparison; it is informational, not guarded.
 func BenchmarkAdmitTraceOn(b *testing.B) {
-	benchAdmit(b, trace.NewRecorder(0))
+	benchAdmit(b, trace.NewRecorder(0), pkt.NewPool())
 }

@@ -30,6 +30,12 @@ type Switch struct {
 	stats Stats
 	rng   *sim.Rand
 
+	// pool recycles dropped frames (the switch's only packet sinks: lossy
+	// admission drops and lossless-violation discards). Nil disables
+	// recycling — dropped packets are left to the GC, the pre-pool
+	// behaviour.
+	pool *pkt.Pool
+
 	// tracer, when non-nil, receives flight-recorder events from the
 	// admission/dequeue/PFC paths. The hot-path cost when disabled is a
 	// single branch-on-nil per probe site (BenchmarkAdmitTraceOff), and the
@@ -140,6 +146,15 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 // SetRouter installs the forwarding function.
 func (s *Switch) SetRouter(r Router) { s.route = r }
 
+// SetPool installs the packet pool this switch recycles dropped frames into
+// (and its ports source PFC frames from / recycle consumed frames into).
+func (s *Switch) SetPool(pl *pkt.Pool) {
+	s.pool = pl
+	for _, p := range s.ports {
+		p.SetPool(pl)
+	}
+}
+
 // SetTracer arms (or, with nil, disarms) the flight recorder on this switch:
 // MMU-side probes (drops, ECN marks, headroom entries, PFC assert/release/
 // re-issue) plus transmitter-view pause transitions on every port added so
@@ -209,6 +224,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			if s.tracer != nil {
 				s.recordPacketEvent(trace.DropLossyIngress, in, prio, p)
 			}
+			s.pool.Put(p) // sink: ingress drop
 			return
 		}
 		if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
@@ -221,6 +237,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 				s.recordPacketEvent(trace.LosslessViolation, in, prio, p)
 			}
 			s.checkPFC(in, prio, true)
+			s.pool.Put(p) // sink: lossless-violation discard
 			return
 		}
 		inHeadroom = true
@@ -233,6 +250,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			if s.tracer != nil {
 				s.recordPacketEvent(trace.DropLossyEgress, out, prio, p)
 			}
+			s.pool.Put(p) // sink: egress drop
 			return
 		}
 	}

@@ -50,6 +50,16 @@ type Config struct {
 	// overridden with ServerRate when zero.
 	DCTCP dctcp.Config
 	DCQCN dcqcn.Config
+
+	// DisablePacketPool turns off packet recycling: every frame is heap-
+	// allocated and left to the GC, the pre-pool behaviour. The determinism
+	// suite uses it as the control arm — pooled and pool-disabled runs must
+	// be byte-identical.
+	DisablePacketPool bool
+	// PacketPoolDebug arms the pool's use-after-free audit (a map operation
+	// per Get/Put): leaked packets become reportable and freed packets are
+	// poisoned. Ignored when DisablePacketPool is set.
+	PacketPoolDebug bool
 }
 
 // DefaultConfig returns the paper's topology (§IV Setup): 128 servers,
@@ -169,6 +179,12 @@ type Cluster struct {
 	Aggs  []*switchsim.Switch
 	Cores []*switchsim.Switch
 
+	// Pool is the engine-wide packet free list every host, switch and port
+	// draws from and recycles into — nil when Cfg.DisablePacketPool. One
+	// pool per engine: the parallel experiment scheduler gives each worker
+	// its own engine, so the pool needs no locks.
+	Pool *pkt.Pool
+
 	// Link registry and liveness, consulted by the reroute-aware routers.
 	links      []*Link
 	torAggUp   [][]bool // [torGlobal][aggWithinPod]
@@ -186,6 +202,13 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 		cfg.DCQCN = dcqcn.DefaultConfig(cfg.ServerRate)
 	}
 	cl := &Cluster{Eng: eng, Cfg: cfg}
+	if !cfg.DisablePacketPool {
+		if cfg.PacketPoolDebug {
+			cl.Pool = pkt.NewDebugPool()
+		} else {
+			cl.Pool = pkt.NewPool()
+		}
+	}
 
 	for i := 0; i < cfg.ToRCount; i++ {
 		cl.ToRs = append(cl.ToRs, switchsim.NewSwitch(eng, fmt.Sprintf("tor%d", i), cfg.Switch, newPolicy()))
@@ -202,7 +225,9 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 	for h := 0; h < total; h++ {
 		t := h / cfg.ServersPerToR
 		hst := host.New(eng, h, fmt.Sprintf("host%d", h), cfg.DCTCP, cfg.DCQCN)
+		hst.SetPool(cl.Pool)
 		hp, sp := netdev.Connect(eng, hst, cl.ToRs[t], cfg.ServerRate, cfg.ServerDelay)
+		hp.SetPool(cl.Pool)
 		hst.SetNIC(hp)
 		cl.ToRs[t].AddPort(sp)
 		hst.SetCompletionHandler(onComplete)
@@ -250,6 +275,12 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 				agg: a, core: c,
 			})
 		}
+	}
+
+	// SetPool after AddPort so every switch port (including the switch side
+	// of the access links) is covered in one pass.
+	for _, sw := range cl.AllSwitches() {
+		sw.SetPool(cl.Pool)
 	}
 
 	cl.installRouting()

@@ -33,6 +33,12 @@ type Sampler struct {
 	sws     []SwitchView
 	probes  []Probe
 	stopped bool
+
+	// until is the sampling horizon; tickFn is the pre-bound tick body so
+	// each rescheduling tick costs zero allocations instead of a fresh
+	// closure per tick.
+	until  sim.Time
+	tickFn sim.Callback
 }
 
 // NewSampler returns a sampler ticking every `every` picoseconds. It panics
@@ -41,7 +47,9 @@ func NewSampler(eng *sim.Engine, rec *Recorder, every sim.Duration) *Sampler {
 	if every <= 0 {
 		panic("trace: sampler interval must be positive")
 	}
-	return &Sampler{eng: eng, rec: rec, every: every}
+	s := &Sampler{eng: eng, rec: rec, every: every}
+	s.tickFn = s.tick
+	return s
 }
 
 // AddSwitch registers a switch for periodic occupancy sampling.
@@ -53,18 +61,19 @@ func (s *Sampler) AddProbe(p Probe) { s.probes = append(s.probes, p) }
 // Start schedules the first tick one interval from now and keeps ticking
 // until the simulation clock passes `until` or Stop is called.
 func (s *Sampler) Start(until sim.Time) {
-	s.eng.Schedule(s.every, func() { s.tick(until) })
+	s.until = until
+	s.eng.Schedule(s.every, s.tickFn)
 }
 
 // Stop halts the sampler after the current tick.
 func (s *Sampler) Stop() { s.stopped = true }
 
-func (s *Sampler) tick(until sim.Time) {
+func (s *Sampler) tick() {
 	if s.stopped {
 		return
 	}
 	now := s.eng.Now()
-	if now > until {
+	if now > s.until {
 		return
 	}
 	for _, sw := range s.sws {
@@ -78,5 +87,5 @@ func (s *Sampler) tick(until sim.Time) {
 	for _, p := range s.probes {
 		p(now, s.rec)
 	}
-	s.eng.Schedule(s.every, func() { s.tick(until) })
+	s.eng.Schedule(s.every, s.tickFn)
 }

@@ -25,6 +25,11 @@ type Env interface {
 	// letting rate-based senders gate their pacing while PFC holds the
 	// port down.
 	NICBacklog(prio int) int
+	// Pool returns the packet pool endpoints source their frames from. A
+	// nil pool is valid and means plain heap allocation (the pooled
+	// constructors are nil-receiver safe), so test environments can return
+	// nil without changing behaviour.
+	Pool() *pkt.Pool
 }
 
 // Flow describes one application transfer. The workload layer creates it,
