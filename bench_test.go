@@ -119,6 +119,38 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRun measures the sharded conservative-time engine
+// (internal/psim) against the classic sequential engine on one ScaleFull
+// hybrid point (the Fig. 7 headline load: RDMA 0.4 + TCP 0.8 on the
+// 128-server Clos). Results are byte-identical by construction — only
+// events/s changes. Target: >= 1.8x events/s at 4 shards on a >= 4-core
+// machine; single-core machines still see a modest win because four small
+// per-shard event heaps are cheaper to sift than one large one, but cannot
+// exhibit the parallel speedup. `make speedup-shards` runs exactly this
+// benchmark.
+func BenchmarkShardedRun(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"sequential", 0}, {"shards4", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunHybrid(exp.HybridSpec{
+					Name: "sharded-bench", Policy: "L2BM", Scale: exp.ScaleFull,
+					RDMALoad: 0.4, TCPLoad: 0.8,
+					Shards: tc.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkFig8 regenerates the per-ToR occupancy CDFs at load 0.8.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {

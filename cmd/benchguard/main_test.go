@@ -71,6 +71,25 @@ func TestGuardPassesWithinTolerance(t *testing.T) {
 	}
 }
 
+// TestGuardReportsNewBenchmarks: a benchmark present in the run but absent
+// from the baseline must be announced as "new (no baseline)" and must not
+// fail the guard, even with an outrageous allocation count — otherwise a
+// freshly added series could never land before its baseline exists.
+func TestGuardReportsNewBenchmarks(t *testing.T) {
+	base := writeBaseline(t, 4)
+	var out bytes.Buffer
+	benches := []Benchmark{
+		{Name: "BenchmarkShardedRun/shards-4", AllocsPerOp: 1e9},
+	}
+	if err := guard(benches, base, 1.25, 2, &out); err != nil {
+		t.Fatalf("guard failed on a baseline-less benchmark: %v", err)
+	}
+	want := "BenchmarkShardedRun/shards-4: new (no baseline), skipping"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("guard output %q does not report %q", out.String(), want)
+	}
+}
+
 func TestGuardFailsOnRegression(t *testing.T) {
 	base := writeBaseline(t, 4)
 	benches := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 8}} // > 7

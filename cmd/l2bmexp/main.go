@@ -18,6 +18,12 @@
 // cores; 1 restores sequential execution). Tables and progress lines are
 // byte-identical for any worker count — only wall clock changes. The
 // timing trailer reports aggregate simulated events/s across workers.
+//
+// Orthogonally, -shards N runs every individual point on the sharded
+// conservative-time engine (internal/psim): the Clos fabric is partitioned
+// across N per-shard engines synchronized by lookahead-bounded epochs.
+// Results are byte-identical to the classic engine and to every other
+// legal shard count, so -shards changes only the timing trailer.
 package main
 
 import (
@@ -46,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
+	shards := fs.Int("shards", 0, "run each point on the sharded conservative-time engine with N shards (0 = classic sequential engine); results are byte-identical for any legal N")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
@@ -56,6 +63,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
 	}
 	if *traceSample < 0 {
 		return fmt.Errorf("-trace-sample must be >= 0, got %v", *traceSample)
@@ -86,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := Options{Workers: *parallel}
+	opts := Options{Workers: *parallel, Shards: *shards}
 	if *traceOn {
 		opts.Trace = true
 		opts.TraceDir = *traceOut
@@ -112,6 +122,9 @@ func run(args []string, stdout io.Writer) error {
 type Options struct {
 	// Workers bounds the grid-point worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Shards, when >= 1, runs every point on the sharded conservative-time
+	// engine with that many shards (0 = classic sequential engine).
+	Shards int
 	// Trace arms the flight recorder on every run.
 	Trace bool
 	// TraceDir receives the per-run CSV/JSONL trace artifacts.
@@ -135,6 +148,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	}
 
 	harness, runners := experimentRunners(opts.Workers)
+	harness.Shards = opts.Shards
 	if opts.Trace {
 		harness.Trace = &exp.TraceSpec{
 			SampleEvery: sim.Duration(opts.TraceSample.Nanoseconds()) * sim.Nanosecond,
@@ -170,9 +184,13 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 		}
 		wall := time.Since(start)
 		events := harness.TotalEvents() - events0
-		fmt.Fprintf(w, "(%s finished in %v: %s events, %s events/s aggregate across %d workers)\n",
+		shardNote := ""
+		if opts.Shards >= 1 {
+			shardNote = fmt.Sprintf(", %d shards/point", opts.Shards)
+		}
+		fmt.Fprintf(w, "(%s finished in %v: %s events, %s events/s aggregate across %d workers%s)\n",
 			name, wall.Round(time.Millisecond),
-			siCount(float64(events)), siCount(float64(events)/wall.Seconds()), effective)
+			siCount(float64(events)), siCount(float64(events)/wall.Seconds()), effective, shardNote)
 		fmt.Fprintln(w, mem0.MemLine(events))
 	}
 	return nil

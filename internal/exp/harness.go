@@ -27,6 +27,11 @@ type Harness struct {
 	// artifacts there after its grid completes, prefixed with a running
 	// point number so names are unique and worker-count independent.
 	TraceDir string
+	// Shards, when >= 1, runs every point on the sharded conservative-time
+	// engine with that many shards (specs carrying their own Shards keep
+	// it). Results are byte-identical for any legal shard count, so tables
+	// and progress lines do not change — only wall clock does.
+	Shards int
 
 	points      atomic.Uint64
 	events      atomic.Uint64
@@ -54,6 +59,13 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 		for i := range specs {
 			if specs[i].Trace == nil {
 				specs[i].Trace = h.Trace
+			}
+		}
+	}
+	if h.Shards >= 1 {
+		for i := range specs {
+			if specs[i].Shards == 0 {
+				specs[i].Shards = h.Shards
 			}
 		}
 	}

@@ -54,6 +54,14 @@ type HybridSpec struct {
 	TopoOverride func(*topo.Config)
 	// SeedSalt decorrelates repeated runs of the same spec.
 	SeedSalt string
+	// Shards selects the execution strategy: 0 runs the classic
+	// single-engine path; N ≥ 1 runs the psim sharded conductor over N
+	// shards (N must not exceed the topology's ToR count). Results are
+	// byte-identical for every N ≥ 1 — the shard count is an execution
+	// strategy, not a workload parameter — and clean (fault-free) runs
+	// also match the classic path. Fault runs differ from classic only in
+	// detector/watchdog scheduling (barrier tasks vs engine events).
+	Shards int
 	// Faults, when non-nil, arms the fault-injection subsystem: the plan's
 	// events fire during the run, DCQCN switches to go-back-N recovery,
 	// and the deadlock detector plus no-progress watchdog observe the
@@ -199,8 +207,12 @@ func (r *Result) QueryDelaySummary() metrics.Summary {
 	return metrics.Summarize(xs)
 }
 
-// RunHybrid executes one hybrid data point.
+// RunHybrid executes one hybrid data point, dispatching to the sharded
+// conductor when spec.Shards ≥ 1.
 func RunHybrid(spec HybridSpec) (*Result, error) {
+	if spec.Shards >= 1 {
+		return runHybridSharded(spec)
+	}
 	policyName := spec.Policy
 	factory := spec.PolicyFactory
 	if factory == nil {
@@ -220,7 +232,6 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 
 	var incastGen *workload.Incast
 	incastIDs := make(map[pkt.FlowID]bool)
-	ids := workload.NewIDSource()
 
 	onComplete := func(id pkt.FlowID, at sim.Time) {
 		rec.Completed(id, at)
@@ -317,7 +328,7 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 			Observer:   observe,
 			Forbid:     forbid,
 			StreamName: "rdma",
-			IDs:        ids,
+			IDTag:      tagRDMA,
 		})
 		if err != nil {
 			return nil, err
@@ -337,7 +348,7 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 			Observer:   observe,
 			Forbid:     forbid,
 			StreamName: "tcp",
-			IDs:        ids,
+			IDTag:      tagTCP,
 		})
 		if err != nil {
 			return nil, err
@@ -366,7 +377,7 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 				observe(f)
 			},
 			StreamName: "incast",
-			IDs:        ids,
+			IDTag:      tagIncast,
 		})
 		if err != nil {
 			return nil, err
@@ -429,12 +440,16 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 	res := &Result{
 		Spec:          spec,
 		Policy:        policyName,
-		Trace:         tracer,
 		RDMASlowdowns: rec.Slowdowns(pkt.ClassLossless),
 		TCPSlowdowns:  rec.Slowdowns(pkt.ClassLossy),
 		LosslessGaps:  cl.LosslessGaps(),
 		Events:        eng.Events(),
 		EndTime:       eng.Now(),
+	}
+	if tracer != nil {
+		// Canonicalize through the same merge as the sharded runner so
+		// exported trace files are byte-identical across execution modes.
+		res.Trace = trace.Merge(tracer)
 	}
 	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
 	res.Incomplete = rec.IncompleteRecords()

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"l2bm/internal/faults"
+	"l2bm/internal/sim"
+)
+
+// shardFingerprint serializes every deterministic observable of a Result.
+// It excludes Events (generator tick chains are replicated per shard, so
+// the executed-event count grows with the shard count by design) and the
+// raw Trace pointer (compared separately via exported files).
+func shardFingerprint(res *Result) string {
+	s := fmt.Sprintf("rdma=%v tcp=%v incast=%v queries=%v\n",
+		res.RDMASlowdowns, res.TCPSlowdowns, res.IncastSlowdowns, res.QueryDelays)
+	s += fmt.Sprintf("flows=%d/%d gaps=%d end=%v\n",
+		res.FlowsStarted, res.FlowsCompleted, res.LosslessGaps, res.EndTime)
+	s += fmt.Sprintf("pause=%d/%d/%d/%d drops=%d viol=%d ecn=%d reissue=%d\n",
+		res.PauseFrames, res.ToRPauseFrames, res.AggPauseFrames, res.CorePauseFrames,
+		res.LossyDrops, res.LosslessViolations, res.ECNMarked, res.PFCReissues)
+	s += fmt.Sprintf("recov=%d nacks=%d tmo=%d down=%d corrupt=%d lostpfc=%d carrier=%d stalls=%d cycles=%d broken=%d\n",
+		res.RecoveryBytes, res.RDMANACKs, res.RDMATimeouts, res.LinkDownEvents,
+		res.CorruptedFrames, res.LostPFC, res.CarrierDrops,
+		res.WatchdogStalls, res.DeadlockCycles, res.DeadlocksBroken)
+	s += fmt.Sprintf("audit=%v poolLive=%d\n", res.AuditErrors, res.PoolLive)
+	for i, tr := range res.TorOccupancy {
+		s += fmt.Sprintf("tor%d=%v\n", i, tr)
+	}
+	for _, fr := range res.Incomplete {
+		s += fmt.Sprintf("inc=%d\n", fr.Flow.ID)
+	}
+	return s
+}
+
+// shardSpec is the shared data point for the shard-determinism suite:
+// ScaleSmall has four ToRs (legal shard counts 1, 2 and 4), hybrid RDMA +
+// TCP + incast traffic, and a short overridden window to keep CI fast.
+func shardSpec(shards int) HybridSpec {
+	return HybridSpec{
+		Name:           "shards-det",
+		Policy:         "L2BM",
+		Scale:          ScaleSmall,
+		RDMALoad:       0.4,
+		TCPLoad:        0.5,
+		Incast:         &IncastSpec{Fanout: 5, RequestBytes: 200_000, QueryRate: 2000},
+		WindowOverride: 2 * sim.Millisecond,
+		DrainOverride:  10 * sim.Millisecond,
+		Shards:         shards,
+	}
+}
+
+// TestShardCountInvariance is the tentpole acceptance test: the same data
+// point run at 1, 2 and 4 shards must produce byte-identical results,
+// including exported trace files.
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism suite")
+	}
+	dirs := map[int]string{}
+	prints := map[int]string{}
+	for _, shards := range []int{1, 2, 4} {
+		spec := shardSpec(shards)
+		spec.Trace = &TraceSpec{SampleEvery: 100 * sim.Microsecond, Capacity: 1 << 17}
+		res, err := RunHybrid(spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.FlowsCompleted == 0 {
+			t.Fatalf("shards=%d: no flows completed", shards)
+		}
+		if len(res.AuditErrors) > 0 {
+			t.Fatalf("shards=%d: audit errors: %v", shards, res.AuditErrors)
+		}
+		prints[shards] = shardFingerprint(res)
+
+		dir := t.TempDir()
+		if _, err := res.WriteTrace(dir, "det"); err != nil {
+			t.Fatalf("shards=%d: WriteTrace: %v", shards, err)
+		}
+		dirs[shards] = dir
+	}
+
+	for _, shards := range []int{2, 4} {
+		if prints[shards] != prints[1] {
+			t.Errorf("shards=%d diverged from shards=1:\n--- 1 ---\n%.2000s\n--- %d ---\n%.2000s",
+				shards, prints[1], shards, prints[shards])
+		}
+		compareTraceDirs(t, dirs[1], dirs[shards], shards)
+	}
+}
+
+// compareTraceDirs byte-compares every exported trace file.
+func compareTraceDirs(t *testing.T, ref, got string, shards int) {
+	t.Helper()
+	refFiles, err := filepath.Glob(filepath.Join(ref, "*"))
+	if err != nil || len(refFiles) == 0 {
+		t.Fatalf("no trace files in %s (err=%v)", ref, err)
+	}
+	for _, rf := range refFiles {
+		name := filepath.Base(rf)
+		want, err := os.ReadFile(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := os.ReadFile(filepath.Join(got, name))
+		if err != nil {
+			t.Fatalf("shards=%d: missing trace file %s", shards, name)
+		}
+		if string(want) != string(have) {
+			t.Errorf("shards=%d: trace file %s differs from shards=1", shards, name)
+		}
+	}
+}
+
+// TestShardCountInvarianceUnderFaults re-runs the invariance check with the
+// fault-injection subsystem armed: link flaps, frame corruption, PFC loss
+// and the barrier-driven detector/watchdog all replay identically across
+// shard counts.
+func TestShardCountInvarianceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism suite")
+	}
+	prints := map[int]string{}
+	for _, shards := range []int{1, 2, 4} {
+		spec := shardSpec(shards)
+		spec.Name = "shards-det-faults"
+		spec.Faults = &FaultSpec{
+			Plan: faults.Plan{
+				FlapRate:     40,
+				FlapDowntime: 200 * sim.Microsecond,
+				FlapWindow:   2 * sim.Millisecond,
+				BER:          2e-9,
+				PFCLossRate:  0.02,
+			},
+		}
+		res, err := RunHybrid(spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.LinkDownEvents == 0 {
+			t.Fatalf("shards=%d: fault plan injected nothing", shards)
+		}
+		prints[shards] = shardFingerprint(res)
+	}
+	for _, shards := range []int{2, 4} {
+		if prints[shards] != prints[1] {
+			t.Errorf("faulted shards=%d diverged from shards=1:\n--- 1 ---\n%.2000s\n--- %d ---\n%.2000s",
+				shards, prints[1], shards, prints[shards])
+		}
+	}
+}
+
+// TestShardedMatchesClassicClean: for a clean (fault-free) run the sharded
+// path at one shard must reproduce the classic single-engine path exactly —
+// same flows, same counters, same executed-event count.
+func TestShardedMatchesClassicClean(t *testing.T) {
+	classicSpec := shardSpec(0)
+	classic, err := RunHybrid(classicSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedSpec := shardSpec(1)
+	sharded, err := RunHybrid(shardedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardFingerprint(classic) != shardFingerprint(sharded) {
+		t.Errorf("sharded(1) diverged from classic:\n--- classic ---\n%.2000s\n--- sharded ---\n%.2000s",
+			shardFingerprint(classic), shardFingerprint(sharded))
+	}
+	if classic.Events != sharded.Events {
+		t.Errorf("executed events: classic %d vs sharded(1) %d", classic.Events, sharded.Events)
+	}
+}

@@ -97,11 +97,21 @@ type waitEdge struct {
 	prio     int
 }
 
-// scan is one detection sweep.
+// scan is one self-rescheduling detection sweep (engine-driven mode).
 func (d *DeadlockDetector) scan() {
 	if d.stopped {
 		return
 	}
+	d.ScanOnce()
+	d.eng.Schedule(d.Period, d.scan)
+}
+
+// ScanOnce runs exactly one detection sweep at the current simulated time
+// without rescheduling. The sharded conductor calls this at every
+// Period-multiple barrier — when all shard clocks agree and no events are
+// in flight, so the cross-shard port reads are race-free — instead of
+// letting one shard's engine drive the scan chain.
+func (d *DeadlockDetector) ScanOnce() {
 	d.stats.Scans++
 
 	edges := d.collectEdges()
@@ -115,7 +125,6 @@ func (d *DeadlockDetector) scan() {
 			d.streak = 0
 		}
 	}
-	d.eng.Schedule(d.Period, d.scan)
 }
 
 // collectEdges builds the wait-for edge list from pauses older than

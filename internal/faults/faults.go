@@ -130,6 +130,16 @@ type Stats struct {
 }
 
 // Injector drives one Plan against one set of links on one engine.
+//
+// Sharded runs replicate the injector: every shard runs a full copy on its
+// own engine, drawing identical named streams, so the flap/blackout
+// processes stay in lockstep without cross-shard communication — each
+// replica's SetLive closures only touch shard-local liveness state, and
+// PortFilter restricts the receive-side frame hooks to the ports the shard
+// owns. Per-replica stats then split two ways: process counters
+// (LinkDown/UpEvents, BlackoutEvents) are identical on every replica (read
+// any one), while hook counters (CorruptedFrames, LostPFC) count only
+// owned ports (sum across replicas).
 type Injector struct {
 	eng       *sim.Engine
 	plan      Plan
@@ -137,6 +147,14 @@ type Injector struct {
 	byName    map[string]Link
 	installAt sim.Time
 	stats     Stats
+
+	// PortFilter, when set, limits which ports get receive-side frame
+	// hooks (BER / PFC loss): only ports satisfying the predicate are
+	// armed. The per-direction random streams are derived by link name and
+	// direction — never by installation order — so replicas arming
+	// disjoint port sets still draw the exact sequences a sequential
+	// injector draws for those ports. Set before Install.
+	PortFilter func(p *netdev.Port) bool
 }
 
 // NewInjector validates the plan and binds it to the links.
@@ -166,13 +184,25 @@ func NewInjector(eng *sim.Engine, plan Plan, links []Link) (*Injector, error) {
 func (in *Injector) Stats() Stats { return in.stats }
 
 // CarrierDrops sums frames lost to dead carriers across both ports of every
-// bound link — the damage the carrier faults actually did.
+// bound link — the damage the carrier faults actually did. In a sharded run
+// this reads ports on every shard, so call it only while no epoch is in
+// flight (after the final barrier); it is then identical on every replica.
 func (in *Injector) CarrierDrops() uint64 {
 	var total uint64
 	for _, l := range in.links {
-		total += l.A.Stats().CarrierDrops + l.B.Stats().CarrierDrops
+		if l.A != nil {
+			total += l.A.Stats().CarrierDrops
+		}
+		if l.B != nil {
+			total += l.B.Stats().CarrierDrops
+		}
 	}
 	return total
+}
+
+// owns reports whether this injector should arm receive hooks on p.
+func (in *Injector) owns(p *netdev.Port) bool {
+	return p != nil && (in.PortFilter == nil || in.PortFilter(p))
 }
 
 // Install arms the plan: receive hooks for frame faults, Poisson flap
@@ -182,12 +212,17 @@ func (in *Injector) Install() {
 
 	if in.plan.BER > 0 || in.plan.PFCLossRate > 0 {
 		for _, l := range in.links {
-			// One stream per link, shared by both directions: arrival
-			// order on a single link is deterministic, so draws are too.
-			r := in.eng.Rand(in.plan.stream() + "/frame/" + l.Name)
-			hook := in.frameHook(r)
-			l.A.RxFault = hook
-			l.B.RxFault = hook
+			// One stream per direction: arrival order on a single
+			// direction of a link is deterministic, so draws are too. (A
+			// single shared stream would interleave the two directions in
+			// wall-arrival order, which differs between the sequential and
+			// sharded engines when the link crosses a shard boundary.)
+			if in.owns(l.A) {
+				l.A.RxFault = in.frameHook(in.eng.Rand(in.plan.stream() + "/frame/" + l.Name + "/a"))
+			}
+			if in.owns(l.B) {
+				l.B.RxFault = in.frameHook(in.eng.Rand(in.plan.stream() + "/frame/" + l.Name + "/b"))
+			}
 		}
 	}
 

@@ -49,21 +49,30 @@ func NewWatchdog(eng *sim.Engine, progress func() uint64, resident func() int64)
 	}
 }
 
-// Start arms the periodic check.
+// Start arms the periodic check (engine-driven mode).
 func (w *Watchdog) Start() {
 	w.stopped = false
-	w.last = w.Progress()
-	w.primed = true
+	w.Prime()
 	w.eng.Schedule(w.Window, w.tick)
 }
 
 // Stop halts checking after the current tick.
 func (w *Watchdog) Stop() { w.stopped = true }
 
-func (w *Watchdog) tick() {
-	if w.stopped {
-		return
-	}
+// Prime snapshots the progress counter without arming the engine-driven
+// tick chain — the sharded conductor's replacement for Start: it primes
+// once at install time and then calls TickOnce at every Window-multiple
+// barrier.
+func (w *Watchdog) Prime() {
+	w.last = w.Progress()
+	w.primed = true
+}
+
+// TickOnce runs exactly one no-progress check at the current simulated
+// time without rescheduling. Safe to call at a sharded barrier: all shard
+// clocks agree, no events are in flight, and Progress/Resident closures
+// may aggregate across shards.
+func (w *Watchdog) TickOnce() {
 	cur := w.Progress()
 	if w.primed && cur == w.last && w.Resident() > 0 {
 		if w.Stalls == 0 {
@@ -75,5 +84,12 @@ func (w *Watchdog) tick() {
 		}
 	}
 	w.last = cur
+}
+
+func (w *Watchdog) tick() {
+	if w.stopped {
+		return
+	}
+	w.TickOnce()
 	w.eng.Schedule(w.Window, w.tick)
 }

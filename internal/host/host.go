@@ -115,7 +115,13 @@ func (h *Host) StartFlow(f *transport.Flow) {
 // kind, so the one-owner contract for endpoint handlers is: read the packet,
 // never retain it past return — by the time HandleArrival returns, the
 // object is back in the pool.
-func (h *Host) HandleArrival(p *pkt.Packet, _ *netdev.Port) {
+func (h *Host) HandleArrival(p *pkt.Packet, port *netdev.Port) {
+	// Engine-affinity audit (debug pools only): hosts live on their ToR's
+	// shard, so a delivery from a port bound to another shard's engine
+	// means the topology wiring bypassed the cross-shard mailbox path.
+	if h.pool.Debug() && port != nil && port.Engine() != h.eng {
+		panic(fmt.Sprintf("host: %s received a frame on a foreign engine", h.name))
+	}
 	switch p.Kind {
 	case pkt.KindData:
 		h.handleData(p)

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"testing"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/transport"
+)
+
+func startFlow(r *FCTRecorder, id pkt.FlowID, start sim.Time, ideal sim.Duration) {
+	r.Started(&transport.Flow{
+		ID: id, Src: int(id), Dst: int(id) + 1, Size: 1000,
+		Class: pkt.ClassLossy, Start: start,
+	}, ideal)
+}
+
+// TestMergeUnionsDisjointRecorders: flows recorded whole on different
+// shards union into one record set, sorted accessors included.
+func TestMergeUnionsDisjointRecorders(t *testing.T) {
+	a, b := NewFCTRecorder(), NewFCTRecorder()
+	startFlow(a, 3, 0, 100)
+	a.Completed(3, sim.Time(250))
+	startFlow(b, 1, 0, 100)
+	b.Completed(1, sim.Time(150))
+	startFlow(b, 2, 0, 100) // incomplete
+
+	m := a.Merge(b)
+	if s, c := m.Counts(); s != 3 || c != 2 {
+		t.Fatalf("merged counts = (%d, %d), want (3, 2)", s, c)
+	}
+	recs := m.Records(0)
+	if len(recs) != 2 || recs[0].Flow.ID != 1 || recs[1].Flow.ID != 3 {
+		t.Fatalf("merged records out of order: %+v", recs)
+	}
+	if inc := m.IncompleteRecords(); len(inc) != 1 || inc[0].Flow.ID != 2 {
+		t.Fatalf("merged incomplete set wrong: %+v", inc)
+	}
+	// Inputs must be untouched: completing in the merged set cannot leak
+	// back into a source recorder.
+	m.Completed(2, sim.Time(999))
+	if _, c := b.Counts(); c != 1 {
+		t.Fatalf("Merge aliased records of its input (b completed = %d)", c)
+	}
+}
+
+// TestMergeMatchesOrphanCompletions: a completion landing on a shard that
+// never saw the start (started on the source's shard, completed on the
+// destination's) must join up at merge time.
+func TestMergeMatchesOrphanCompletions(t *testing.T) {
+	src, dst := NewFCTRecorder(), NewFCTRecorder()
+	startFlow(src, 7, 100, 50)
+	dst.Completed(7, sim.Time(400)) // orphan on the destination shard
+	if dst.Orphans() != 1 {
+		t.Fatalf("destination recorder parked %d orphans, want 1", dst.Orphans())
+	}
+
+	m := src.Merge(dst)
+	if s, c := m.Counts(); s != 1 || c != 1 {
+		t.Fatalf("merged counts = (%d, %d), want (1, 1)", s, c)
+	}
+	rec := m.Records(0)[0]
+	if rec.End != sim.Time(400) || rec.FCT() != sim.Duration(300) {
+		t.Fatalf("orphan join produced End=%v FCT=%v, want 400/300", rec.End, rec.FCT())
+	}
+	if m.Orphans() != 0 {
+		t.Fatalf("merged recorder still holds %d orphans", m.Orphans())
+	}
+	// Order must not matter: dst.Merge(src) joins the same way.
+	m2 := dst.Merge(src)
+	if s, c := m2.Counts(); s != 1 || c != 1 {
+		t.Fatalf("reverse merge counts = (%d, %d), want (1, 1)", s, c)
+	}
+}
+
+// TestMergeKeepsUnmatchedOrphans: an orphan with no start anywhere (an
+// unobserved traffic class) survives the merge as an orphan and never
+// becomes a phantom record.
+func TestMergeKeepsUnmatchedOrphans(t *testing.T) {
+	a, b := NewFCTRecorder(), NewFCTRecorder()
+	a.Completed(99, sim.Time(10))
+	m := a.Merge(b)
+	if s, _ := m.Counts(); s != 0 {
+		t.Fatalf("unmatched orphan became a record: started=%d", s)
+	}
+	if m.Orphans() != 1 {
+		t.Fatalf("unmatched orphan dropped: orphans=%d", m.Orphans())
+	}
+}
+
+// TestMergeOrphanDoesNotOverrideCompletion: if the start-side recorder
+// already saw the completion, a stray duplicate orphan cannot rewrite it.
+func TestMergeOrphanDoesNotOverrideCompletion(t *testing.T) {
+	a, b := NewFCTRecorder(), NewFCTRecorder()
+	startFlow(a, 5, 0, 100)
+	a.Completed(5, sim.Time(200))
+	b.Completed(5, sim.Time(777))
+	m := a.Merge(b)
+	if rec := m.Records(0)[0]; rec.End != sim.Time(200) {
+		t.Fatalf("duplicate orphan overwrote completion: End=%v, want 200", rec.End)
+	}
+}
+
+// TestMergePanicsOnDuplicateStart: the same flow started in two recorders
+// is a shard-wiring bug and must panic loudly, not silently pick one.
+func TestMergePanicsOnDuplicateStart(t *testing.T) {
+	a, b := NewFCTRecorder(), NewFCTRecorder()
+	startFlow(a, 4, 0, 100)
+	startFlow(b, 4, 0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge accepted a flow started in two recorders")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestMergeNilAndEmptyInputs: nil recorders in the argument list are
+// skipped (an unused shard slot), and merging nothing is the identity.
+func TestMergeNilAndEmptyInputs(t *testing.T) {
+	a := NewFCTRecorder()
+	startFlow(a, 1, 0, 100)
+	a.Completed(1, sim.Time(100))
+	m := a.Merge(nil, NewFCTRecorder(), nil)
+	if s, c := m.Counts(); s != 1 || c != 1 {
+		t.Fatalf("merge with nil/empty inputs = (%d, %d), want (1, 1)", s, c)
+	}
+}

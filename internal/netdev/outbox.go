@@ -1,0 +1,74 @@
+// Cross-shard mailboxes: when a link's two ports live on different engines
+// (shards), frames cannot be scheduled on the peer's event queue directly —
+// the peer's shard may be executing concurrently. Instead the transmitting
+// port appends each frame, with its precomputed arrival time and ordering
+// key, to an Outbox that the epoch conductor drains at the next barrier,
+// when every shard is parked. This is sound because the conductor's epoch
+// length never exceeds the minimum cross-shard propagation delay: a frame
+// sent during an epoch always arrives strictly after the epoch's bound, so
+// delivering it at the barrier is never late.
+package netdev
+
+import (
+	"l2bm/internal/sim"
+
+	"l2bm/internal/pkt"
+)
+
+// Xmsg is one cross-shard frame in flight: the absolute arrival time at
+// the peer, the wiring-derived ordering key, and the frame itself (owned
+// by the mailbox between Export and Import).
+type Xmsg struct {
+	At  sim.Time
+	Key uint64
+	Pkt *pkt.Packet
+}
+
+// Outbox is the single-producer mailbox of one direction of a cross-shard
+// link. The transmitting shard appends during its epoch (it is the only
+// writer); the conductor drains between epochs (when no shard is running),
+// so no locking is needed — the barrier's happens-before edge publishes
+// the appends.
+type Outbox struct {
+	src *Port // transmitting port (owns the mailbox)
+	dst *Port // receiving port, on the other shard's engine
+
+	msgs []Xmsg
+
+	// Delivered counts frames drained over the run (observability).
+	Delivered uint64
+}
+
+// add enqueues one frame; called by src.finishTransmit on the
+// transmitting shard's goroutine.
+func (o *Outbox) add(at sim.Time, key uint64, q *pkt.Packet) {
+	o.msgs = append(o.msgs, Xmsg{At: at, Key: key, Pkt: q})
+}
+
+// Len returns the number of frames waiting to be drained.
+func (o *Outbox) Len() int { return len(o.msgs) }
+
+// Dst returns the receiving port.
+func (o *Outbox) Dst() *Port { return o.dst }
+
+// Drain imports every waiting frame into the receiving port's pool and
+// schedules its arrival on the receiving engine under its wiring-derived
+// key, then empties the mailbox. It returns the number of frames
+// delivered. Call only at a barrier: the receiving engine must not be
+// running, and every arrival time must still be in its future (guaranteed
+// by the lookahead bound). Drain order across outboxes is immaterial —
+// the (timestamp, key) total order of the receiving heap, not insertion
+// order, decides dispatch — but the conductor still iterates outboxes in
+// wiring order so any failure is reproducible.
+func (o *Outbox) Drain() int {
+	n := len(o.msgs)
+	for i := range o.msgs {
+		m := o.msgs[i]
+		o.dst.pool.Import(m.Pkt)
+		o.dst.eng.ScheduleArrivalAt(m.At, o.dst.onArrive, m.Pkt, m.Key)
+		o.msgs[i] = Xmsg{} // drop the reference; the event record owns it now
+	}
+	o.msgs = o.msgs[:0]
+	o.Delivered += uint64(n)
+	return n
+}

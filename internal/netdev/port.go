@@ -95,6 +95,21 @@ type Port struct {
 	// and dead frames are left to the GC, exactly the pre-pool behaviour.
 	pool *pkt.Pool
 
+	// key is the port's wiring-order arrival key (1-based; 0 = unkeyed).
+	// When set, every frame this port transmits is delivered with the
+	// mode-invariant ordering key ArrivalKeyBit | key<<43 | txSeq instead
+	// of the engine's scheduling sequence, so equal-timestamp delivery
+	// order depends only on the wiring — not on which engine scheduled the
+	// arrival. txSeq counts this port's transmissions.
+	key   uint64
+	txSeq uint64
+
+	// outbox, when set, diverts this port's transmissions into a
+	// cross-shard mailbox instead of scheduling the arrival on the peer's
+	// engine directly (the peer lives on a different shard). The epoch
+	// conductor drains it at every barrier.
+	outbox *Outbox
+
 	// onTxDone and onArrive are the port's two hot-path event bodies,
 	// bound ONCE here so the per-packet schedule calls allocate nothing:
 	// the packet in flight rides in the event record's arg slot (it is its
@@ -127,16 +142,59 @@ type Port struct {
 // rate (bits/s) and one-way propagation delay, returning the port on each
 // side. Both directions share rate and delay, like a real cable.
 func Connect(eng *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Port, *Port) {
+	return ConnectOn(eng, eng, a, b, rateBps, prop)
+}
+
+// ConnectOn wires a full-duplex link whose two sides live on different
+// engines (shards): a's port schedules its local events (serialization,
+// receive processing) on engA, b's on engB. When the engines differ, each
+// direction gets a cross-shard Outbox — transmissions enqueue there and
+// the epoch conductor delivers them on the peer's engine at the next
+// barrier, which is sound because the link's propagation delay is at least
+// the conductor's lookahead. Cross-engine ports MUST also be given arrival
+// keys (SetArrivalKey) before traffic flows; same-engine wiring degrades
+// to exactly Connect.
+func ConnectOn(engA, engB *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Port, *Port) {
 	if rateBps <= 0 {
 		panic("netdev: link rate must be positive")
 	}
-	pa := &Port{eng: eng, owner: a, rate: rateBps, prop: prop}
-	pb := &Port{eng: eng, owner: b, rate: rateBps, prop: prop}
+	pa := &Port{eng: engA, owner: a, rate: rateBps, prop: prop}
+	pb := &Port{eng: engB, owner: b, rate: rateBps, prop: prop}
 	pa.peer, pb.peer = pb, pa
 	pa.bindHandlers()
 	pb.bindHandlers()
+	if engA != engB {
+		if prop <= 0 {
+			panic("netdev: cross-engine links need positive propagation delay (the conservative lookahead)")
+		}
+		pa.outbox = &Outbox{src: pa, dst: pb}
+		pb.outbox = &Outbox{src: pb, dst: pa}
+	}
 	return pa, pb
 }
+
+// SetArrivalKey assigns the port's wiring-order arrival key (1-based; see
+// the key field). Keys must be unique across the fabric and identical
+// between the sequential and sharded builds of the same topology — the
+// topo layer derives them from global wiring order. Panics on zero or on
+// overflowing the 20-bit key space.
+func (p *Port) SetArrivalKey(key uint64) {
+	if key == 0 || key >= 1<<20 {
+		panic(fmt.Sprintf("netdev: arrival key %d out of range [1, 2^20)", key))
+	}
+	p.key = key
+}
+
+// ArrivalKey returns the port's wiring-order key (0 = unkeyed).
+func (p *Port) ArrivalKey() uint64 { return p.key }
+
+// Engine returns the engine this port's local events run on.
+func (p *Port) Engine() *sim.Engine { return p.eng }
+
+// Outbox returns the port's cross-shard mailbox, or nil for a same-engine
+// port. The conductor collects these at wiring time and drains them at
+// every barrier.
+func (p *Port) Outbox() *Outbox { return p.outbox }
 
 // bindHandlers builds the port's two pre-bound event bodies exactly once.
 // Each wrapper closes over the port only — the per-packet state arrives via
@@ -393,14 +451,31 @@ func (p *Port) nextDWRR() *pkt.Packet {
 
 // finishTransmit runs when the last bit of q hits the wire: release the
 // buffer (OnDequeue), hand the packet to the peer after propagation, and
-// keep the line busy with the next packet.
+// keep the line busy with the next packet. Keyed ports deliver with the
+// wiring-derived ordering key (mode-invariant tie-break); cross-shard
+// ports additionally route through the outbox with an ownership transfer
+// out of the local pool.
 func (p *Port) finishTransmit(q *pkt.Packet) {
 	p.stats.TxPackets++
 	p.stats.TxBytes += uint64(q.Size)
 	if q.Kind != pkt.KindPFC && p.OnDequeue != nil {
 		p.OnDequeue(q)
 	}
-	p.eng.ScheduleArg(p.prop, p.peer.onArrive, q)
+	switch {
+	case p.outbox != nil:
+		if p.key == 0 {
+			panic(fmt.Sprintf("netdev: cross-engine port %s transmitting without an arrival key", p))
+		}
+		p.txSeq++
+		p.pool.Export(q) // ownership moves to the mailbox, then the peer's pool
+		p.outbox.add(p.eng.Now()+p.prop, sim.ArrivalKeyBit|p.key<<43|p.txSeq, q)
+	case p.key != 0:
+		p.txSeq++
+		p.eng.ScheduleArrivalAt(p.eng.Now()+p.prop, p.peer.onArrive, q,
+			sim.ArrivalKeyBit|p.key<<43|p.txSeq)
+	default:
+		p.eng.ScheduleArg(p.prop, p.peer.onArrive, q)
+	}
 	p.busy = false
 	p.tryTransmit()
 }

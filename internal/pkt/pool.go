@@ -40,6 +40,13 @@ type PoolStats struct {
 	// built by the plain New* constructors entering a pooled fabric). They
 	// are adopted into the free list, not rejected.
 	Foreign uint64
+	// Exported and Imported count ownership transfers across pools: a
+	// packet crossing a shard boundary is Exported from the source port's
+	// pool when it enters the cross-shard mailbox and Imported into the
+	// destination port's pool when the epoch conductor drains it. The
+	// packet eventually Puts into the *importing* pool, so per-pool Live
+	// stays exact and a fleet-wide leak audit is the sum over shards.
+	Exported, Imported uint64
 }
 
 // NewPool returns an empty production pool.
@@ -63,14 +70,59 @@ func (pl *Pool) Stats() PoolStats {
 	return pl.stats
 }
 
-// Live returns the number of packets currently checked out: Gets minus the
-// Puts that returned pool-owned packets. Zero after a fully drained run —
-// the leak audit the determinism suite asserts.
+// Live returns the number of packets currently checked out: checkouts
+// (Gets plus cross-pool Imports) minus returns of pool-owned packets and
+// cross-pool Exports. Zero after a fully drained run — the leak audit the
+// determinism suite asserts, per shard.
 func (pl *Pool) Live() int64 {
 	if pl == nil {
 		return 0
 	}
-	return int64(pl.stats.Gets) - int64(pl.stats.Puts-pl.stats.Foreign)
+	return int64(pl.stats.Gets+pl.stats.Imported) -
+		int64(pl.stats.Puts-pl.stats.Foreign) - int64(pl.stats.Exported)
+}
+
+// Export relinquishes ownership of an outstanding packet: the packet is no
+// longer counted against this pool and MUST subsequently be Imported into
+// exactly one other pool (the shard-boundary handoff — the source port's
+// pool exports into the mailbox, the destination's imports at the epoch
+// barrier). Exporting from a nil pool is a no-op: the packet was heap-
+// allocated and the importing side adopts it as foreign when it dies.
+func (pl *Pool) Export(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if p.pooled {
+		panic(fmt.Sprintf("pkt: exporting a freed packet %s", p))
+	}
+	pl.stats.Exported++
+	if pl.live != nil {
+		if _, ok := pl.live[p]; ok {
+			delete(pl.live, p)
+		} else {
+			panic(fmt.Sprintf("pkt: exporting packet %s this pool does not own", p))
+		}
+	}
+}
+
+// Import assumes ownership of a packet Exported from another pool. From
+// here on the packet counts against this pool's Live and must Put here
+// when it dies. Importing into a nil pool is a no-op (heap mode: nobody
+// tracks it, Put is a no-op too).
+func (pl *Pool) Import(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if p.pooled {
+		panic(fmt.Sprintf("pkt: importing a freed packet %s", p))
+	}
+	pl.stats.Imported++
+	if pl.live != nil {
+		if _, ok := pl.live[p]; ok {
+			panic(fmt.Sprintf("pkt: importing packet %s this pool already owns", p))
+		}
+		pl.live[p] = struct{}{}
+	}
 }
 
 // Leaked returns the outstanding packets in debug mode (order unspecified),
@@ -130,9 +182,11 @@ func (pl *Pool) Put(p *Packet) {
 		} else {
 			pl.stats.Foreign++
 		}
-	} else if pl.stats.Puts-pl.stats.Foreign >= pl.stats.Gets {
+	} else if int64(pl.stats.Puts-pl.stats.Foreign) >=
+		int64(pl.stats.Gets+pl.stats.Imported)-int64(pl.stats.Exported) {
 		// Production pools cannot afford the map, but a Put that cannot
-		// correspond to any outstanding Get is still countable as foreign
+		// correspond to any outstanding checkout (Get or cross-pool
+		// Import, net of Exports) is still countable as foreign
 		// (plain-constructor packets entering a pooled fabric).
 		pl.stats.Foreign++
 	}

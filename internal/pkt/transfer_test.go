@@ -1,0 +1,110 @@
+package pkt
+
+import "testing"
+
+// TestExportImportMovesOwnership: the shard-boundary handoff — Get from
+// pool A, Export, Import into pool B, Put into B — must leave both pools
+// with Live() == 0 and no foreign misclassification.
+func TestExportImportMovesOwnership(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Data(1, 0, 1, 0, ClassLossy, 0, 1000)
+	if a.Live() != 1 {
+		t.Fatalf("after Get: a.Live() = %d, want 1", a.Live())
+	}
+	a.Export(p)
+	if a.Live() != 0 {
+		t.Fatalf("after Export: a.Live() = %d, want 0", a.Live())
+	}
+	b.Import(p)
+	if b.Live() != 1 {
+		t.Fatalf("after Import: b.Live() = %d, want 1", b.Live())
+	}
+	b.Put(p)
+	if a.Live() != 0 || b.Live() != 0 {
+		t.Fatalf("after Put: a.Live()=%d b.Live()=%d, want 0/0", a.Live(), b.Live())
+	}
+	if s := b.Stats(); s.Foreign != 0 {
+		t.Fatalf("imported packet misclassified as foreign: %+v", s)
+	}
+	// The imported packet is now on b's free list and must be reusable.
+	q := b.Get()
+	if q != p {
+		t.Error("imported packet did not enter the importing pool's free list")
+	}
+}
+
+// TestExportImportDebugPools: debug pools move the packet between live
+// maps, so leak attribution follows ownership.
+func TestExportImportDebugPools(t *testing.T) {
+	a, b := NewDebugPool(), NewDebugPool()
+	p := a.Get()
+	a.Export(p)
+	b.Import(p)
+	if n := len(a.Leaked()); n != 0 {
+		t.Fatalf("exporter still tracks %d packets", n)
+	}
+	if n := len(b.Leaked()); n != 1 {
+		t.Fatalf("importer tracks %d packets, want 1", n)
+	}
+	b.Put(p)
+	if n := len(b.Leaked()); n != 0 {
+		t.Fatalf("importer leaks %d after Put", n)
+	}
+}
+
+// TestExportUnownedPanicsInDebug: exporting a packet the pool never handed
+// out is a wiring bug the debug pool must catch.
+func TestExportUnownedPanicsInDebug(t *testing.T) {
+	a := NewDebugPool()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("debug pool exported a packet it does not own")
+		}
+	}()
+	a.Export(&Packet{})
+}
+
+// TestImportFreedPanics: importing a packet that was already recycled
+// would alias the free list across pools.
+func TestImportFreedPanics(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	a.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pool imported a freed packet")
+		}
+	}()
+	b.Import(p)
+}
+
+// TestNilPoolTransferNoop: heap mode (nil pools) must keep working when
+// the wiring calls Export/Import unconditionally.
+func TestNilPoolTransferNoop(t *testing.T) {
+	var a, b *Pool
+	p := a.Data(1, 0, 1, 0, ClassLossy, 0, 1000)
+	a.Export(p)
+	b.Import(p)
+	b.Put(p)
+	if a.Live() != 0 || b.Live() != 0 {
+		t.Fatal("nil pools reported live packets")
+	}
+}
+
+// TestProductionForeignDetectionWithTransfers: after an import, a Put of
+// the imported packet must NOT count as foreign, while a genuinely foreign
+// Put after the books balance still must.
+func TestProductionForeignDetectionWithTransfers(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	a.Export(p)
+	b.Import(p)
+	b.Put(p)
+	if s := b.Stats(); s.Foreign != 0 {
+		t.Fatalf("imported packet counted foreign: %+v", s)
+	}
+	b.Put(&Packet{}) // books balanced: this one cannot match a checkout
+	if s := b.Stats(); s.Foreign != 1 {
+		t.Fatalf("plain-constructor packet not counted foreign: %+v", s)
+	}
+}

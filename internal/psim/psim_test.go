@@ -1,0 +1,207 @@
+package psim
+
+import (
+	"fmt"
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/host"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+	"l2bm/internal/transport"
+)
+
+func dtFactory() core.Policy { return core.NewDT() }
+
+// fingerprint captures everything a run can diverge on: every flow's
+// completion instant, per-switch packet counters, and the lossless check.
+type fingerprint struct {
+	completions map[pkt.FlowID]sim.Time
+	switches    string
+	gaps        uint64
+}
+
+// runTiny builds the tiny cluster over the given shard count, launches one
+// cross-pod flow per host at t=0 (every frame crosses the fabric; half the
+// paths cross shards at 2 shards), runs to a horizon and fingerprints.
+func runTiny(t *testing.T, shards int, seed int64) fingerprint {
+	t.Helper()
+	cfg := topo.TinyConfig()
+	cfg.PacketPoolDebug = true
+	part, err := topo.ComputePartition(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine(seed)
+	}
+	comps := make([]map[pkt.FlowID]sim.Time, shards)
+	for i := range comps {
+		m := make(map[pkt.FlowID]sim.Time)
+		comps[i] = m
+	}
+	cl, err := topo.BuildSharded(engines, part, cfg, dtFactory,
+		func(shard int) host.CompletionHandler {
+			m := comps[shard]
+			return func(id pkt.FlowID, at sim.Time) { m[id] = at }
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := cl.NumHosts()
+	for i := 0; i < n; i++ {
+		cl.StartFlow(&transport.Flow{
+			ID: pkt.FlowID(i + 1), Src: i, Dst: (i + n/2) % n, Size: 50_000,
+			Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+		})
+	}
+
+	c := ForCluster(cl)
+	defer c.Close()
+	c.Run(20 * sim.Millisecond)
+
+	fp := fingerprint{completions: map[pkt.FlowID]sim.Time{}, gaps: cl.LosslessGaps()}
+	for shard, m := range comps {
+		for id, at := range m {
+			if _, dup := fp.completions[id]; dup {
+				t.Fatalf("flow %d completed on two shards", id)
+			}
+			// Completions are receiver-side: they land on the shard owning
+			// the destination host.
+			dst := (int(id-1) + n/2) % n
+			if cl.Part.Host[dst] != shard {
+				t.Fatalf("flow %d completed on shard %d, destination owned by %d",
+					id, shard, cl.Part.Host[dst])
+			}
+			fp.completions[id] = at
+		}
+	}
+	for _, sw := range cl.AllSwitches() {
+		st := sw.Stats()
+		fp.switches += fmt.Sprintf("%s rx=%d tx=%d ecn=%d pause=%d|",
+			sw.Name(), st.RxPackets, st.TxPackets, st.ECNMarked, st.PauseFramesSent)
+	}
+
+	// Pool conservation across the Export/Import boundary: once the run
+	// drains, no packet may remain checked out on any shard.
+	for i, pl := range cl.Pools {
+		if pl != nil && pl.Live() != 0 {
+			t.Fatalf("shards=%d: shard %d pool has %d live packets after drain", shards, i, pl.Live())
+		}
+	}
+	return fp
+}
+
+// TestShardedMatchesSequential: the tiny cluster must produce identical
+// completions and switch counters at 1 and 2 shards (TinyConfig has two
+// ToRs, so two is the maximum legal shard count).
+func TestShardedMatchesSequential(t *testing.T) {
+	seq := runTiny(t, 1, 42)
+	par := runTiny(t, 2, 42)
+
+	if len(seq.completions) == 0 {
+		t.Fatal("no flows completed in the sequential run")
+	}
+	if len(seq.completions) != len(par.completions) {
+		t.Fatalf("completions: %d sequential vs %d sharded", len(seq.completions), len(par.completions))
+	}
+	for id, at := range seq.completions {
+		if par.completions[id] != at {
+			t.Errorf("flow %d: completion %v sequential vs %v sharded", id, at, par.completions[id])
+		}
+	}
+	if seq.switches != par.switches {
+		t.Errorf("switch counters diverged:\n seq: %s\n par: %s", seq.switches, par.switches)
+	}
+	if seq.gaps != 0 || par.gaps != 0 {
+		t.Errorf("lossless gaps: seq=%d par=%d", seq.gaps, par.gaps)
+	}
+}
+
+// TestConductorBarrierTasks: tasks fire at exact multiples of their period,
+// the same number of times regardless of shard count, after all events at
+// the firing instant have executed.
+func TestConductorBarrierTasks(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		cfg := topo.TinyConfig()
+		part, err := topo.ComputePartition(cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines := make([]*sim.Engine, shards)
+		for i := range engines {
+			engines[i] = sim.NewEngine(9)
+		}
+		cl, err := topo.BuildSharded(engines, part, cfg, dtFactory,
+			func(int) host.CompletionHandler { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.StartFlow(&transport.Flow{
+			ID: 1, Src: 0, Dst: cl.NumHosts() - 1, Size: 100_000,
+			Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+		})
+
+		c := ForCluster(cl)
+		var fired []sim.Time
+		c.AddTask(100*sim.Microsecond, func(now sim.Time) {
+			fired = append(fired, now)
+			for _, e := range cl.Engines {
+				if e.Now() != now {
+					t.Errorf("shards=%d: engine clock %v at task time %v", shards, e.Now(), now)
+				}
+			}
+		})
+		c.Run(sim.Millisecond)
+		c.Close()
+
+		if len(fired) != 10 {
+			t.Fatalf("shards=%d: task fired %d times, want 10", shards, len(fired))
+		}
+		for i, at := range fired {
+			if want := sim.Time(100*sim.Microsecond) * sim.Time(i+1); at != want {
+				t.Errorf("shards=%d: firing %d at %v, want %v", shards, i, at, want)
+			}
+		}
+		if c.Now() != sim.Time(sim.Millisecond) {
+			t.Errorf("shards=%d: conductor clock %v after run, want 1ms", shards, c.Now())
+		}
+	}
+}
+
+// TestConductorStats: a 2-shard run with cross-pod traffic must both
+// execute multiple epochs and deliver cross-shard frames through mailboxes.
+func TestConductorStats(t *testing.T) {
+	cfg := topo.TinyConfig()
+	part, err := topo.ComputePartition(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*sim.Engine{sim.NewEngine(3), sim.NewEngine(3)}
+	cl, err := topo.BuildSharded(engines, part, cfg, dtFactory,
+		func(int) host.CompletionHandler { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.StartFlow(&transport.Flow{
+		ID: 7, Src: 0, Dst: cl.NumHosts() - 1, Size: 100_000,
+		Priority: pkt.PrioLossless, Class: pkt.ClassLossless,
+	})
+	c := ForCluster(cl)
+	defer c.Close()
+	c.Run(10 * sim.Millisecond)
+
+	st := c.Stats()
+	if st.Epochs < 2 {
+		t.Errorf("Epochs = %d, want several", st.Epochs)
+	}
+	if st.Delivered == 0 {
+		t.Error("no cross-shard frames delivered despite cross-pod traffic")
+	}
+	if c.Events() == 0 {
+		t.Error("no events executed")
+	}
+}

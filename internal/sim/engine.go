@@ -116,6 +116,32 @@ func (e *Engine) Events() uint64 { return e.fired }
 // at roughly the live count plus a constant).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextEventTime returns the timestamp of the earliest live event still
+// queued, or (0, false) when no live event is pending. Cancelled records
+// parked at the head of the heap (lazy cancellation) are drained and
+// recycled on the way, so the answer is exact even right after a burst of
+// cancels or a compaction. The clock does not move and no callback runs —
+// this is the conservative-time peek the psim epoch conductor uses to
+// compute each barrier window, and it doubles as an idle probe for
+// harnesses ("is anything left before the horizon?").
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if head.live() {
+			return head.at, true
+		}
+		// Dead head: reclaim it exactly like Run would have.
+		e.pop()
+		if e.cancelled > 0 {
+			e.cancelled--
+		}
+		head.clear()
+		head.gen++
+		e.free = append(e.free, head)
+	}
+	return 0, false
+}
+
 // Cancelled returns the number of cancelled events still occupying heap
 // slots (observability for the compaction policy).
 func (e *Engine) Cancelled() int { return e.cancelled }
@@ -156,6 +182,41 @@ func (e *Engine) ScheduleArgAt(at Time, fn ArgCallback, arg any) EventRef {
 		panic("sim: scheduling a nil callback")
 	}
 	ev := e.alloc(at)
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev)
+	return EventRef{eng: e, ev: ev, gen: ev.gen}
+}
+
+// ArrivalKeyBit is set in every explicit ordering key passed to
+// ScheduleArrivalAt. Plain Schedule/ScheduleArg events carry the engine's
+// monotonically increasing sequence counter as their tie-break key, which
+// stays far below 2^63 in any feasible run; keyed arrivals live in the
+// upper half of the key space so that, at an equal timestamp, a frame
+// arrival always fires after every locally scheduled event of that instant
+// — in both the sequential and the sharded engine, which is what makes the
+// tie-break mode-invariant.
+const ArrivalKeyBit = uint64(1) << 63
+
+// ScheduleArrivalAt runs fn(arg) at the absolute time at, ordered among
+// same-timestamp events by the caller-supplied key instead of the engine's
+// scheduling sequence. The caller must guarantee keys are unique per
+// (at, key) pair — netdev derives them as
+// ArrivalKeyBit | portKey<<43 | txSeq, unique by construction. This is the
+// primitive that makes cross-shard packet delivery deterministic: the key
+// depends only on the wiring (which port sent the frame, and its how-manyth
+// transmission it was), never on which engine scheduled the arrival or
+// when, so the sequential engine and any shard count dispatch equal-time
+// events in exactly the same order.
+func (e *Engine) ScheduleArrivalAt(at Time, fn ArgCallback, arg any, key uint64) EventRef {
+	if fn == nil {
+		panic("sim: scheduling a nil callback")
+	}
+	if key&ArrivalKeyBit == 0 {
+		panic("sim: arrival key missing ArrivalKeyBit")
+	}
+	ev := e.alloc(at)
+	ev.seq = key // override the stamped sequence with the wiring-derived key
 	ev.afn = fn
 	ev.arg = arg
 	e.push(ev)

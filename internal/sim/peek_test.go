@@ -1,0 +1,176 @@
+package sim
+
+import "testing"
+
+// TestNextEventTimeEmptyQueue: a fresh engine (and one that has drained
+// completely) reports no pending event.
+func TestNextEventTimeEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	if at, ok := e.NextEventTime(); ok {
+		t.Fatalf("empty engine reported a pending event at %v", at)
+	}
+	e.Schedule(10, func() {})
+	e.RunAll()
+	if at, ok := e.NextEventTime(); ok {
+		t.Fatalf("drained engine reported a pending event at %v", at)
+	}
+}
+
+// TestNextEventTimePeeksWithoutRunning: the peek must not advance the
+// clock or fire anything.
+func TestNextEventTimePeeksWithoutRunning(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(42, func() { fired = true })
+	at, ok := e.NextEventTime()
+	if !ok || at != 42 {
+		t.Fatalf("peek = (%v, %v), want (42, true)", at, ok)
+	}
+	if fired {
+		t.Fatal("peek fired the event")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("peek moved the clock to %v", e.Now())
+	}
+	// Peeking is idempotent.
+	if at2, ok2 := e.NextEventTime(); !ok2 || at2 != 42 {
+		t.Fatalf("second peek = (%v, %v), want (42, true)", at2, ok2)
+	}
+}
+
+// TestNextEventTimeSkipsCancelledHead: cancelled records parked at the
+// heap head (lazy cancellation) must be skipped — and reclaimed — so the
+// peek reports the earliest *live* event.
+func TestNextEventTimeSkipsCancelledHead(t *testing.T) {
+	e := NewEngine(1)
+	r1 := e.Schedule(5, func() {})
+	r2 := e.Schedule(7, func() {})
+	e.Schedule(9, func() {})
+	r1.Cancel()
+	r2.Cancel()
+	at, ok := e.NextEventTime()
+	if !ok || at != 9 {
+		t.Fatalf("peek over cancelled heads = (%v, %v), want (9, true)", at, ok)
+	}
+	if got := e.Cancelled(); got != 0 {
+		t.Fatalf("peek left %d cancelled slots unreclaimed at the head", got)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after head reclamation, want 1", got)
+	}
+	// The surviving event still fires normally.
+	final := e.RunAll()
+	if final != 9 {
+		t.Fatalf("RunAll ended at %v, want 9", final)
+	}
+}
+
+// TestNextEventTimeAllCancelled: when every queued event is cancelled the
+// peek drains them all and reports emptiness.
+func TestNextEventTimeAllCancelled(t *testing.T) {
+	e := NewEngine(1)
+	refs := make([]EventRef, 0, 8)
+	for i := Duration(1); i <= 8; i++ {
+		refs = append(refs, e.Schedule(i, func() {}))
+	}
+	for i := range refs {
+		refs[i].Cancel()
+	}
+	if at, ok := e.NextEventTime(); ok {
+		t.Fatalf("all-cancelled engine reported a live event at %v", at)
+	}
+	if e.Pending() != 0 || e.Cancelled() != 0 {
+		t.Fatalf("peek left pending=%d cancelled=%d", e.Pending(), e.Cancelled())
+	}
+}
+
+// TestNextEventTimeAfterCompaction: compaction rebuilds the heap and
+// invalidates stale generations; the peek must keep answering correctly
+// afterwards.
+func TestNextEventTimeAfterCompaction(t *testing.T) {
+	e := NewEngine(1)
+	// Enough cancellations to cross compactThreshold with cancelled
+	// outnumbering live: 100 doomed timers + 2 survivors.
+	doomed := make([]EventRef, 0, 100)
+	for i := 0; i < 100; i++ {
+		doomed = append(doomed, e.Schedule(Duration(1000+i), func() {}))
+	}
+	e.Schedule(500, func() {})
+	e.Schedule(2000, func() {})
+	for i := range doomed {
+		doomed[i].Cancel()
+	}
+	if e.Pending() >= 102 {
+		t.Fatalf("compaction did not run: Pending() = %d", e.Pending())
+	}
+	at, ok := e.NextEventTime()
+	if !ok || at != 500 {
+		t.Fatalf("post-compaction peek = (%v, %v), want (500, true)", at, ok)
+	}
+	if got := e.Run(600); got != 600 {
+		t.Fatalf("Run(600) ended at %v", got)
+	}
+	at, ok = e.NextEventTime()
+	if !ok || at != 2000 {
+		t.Fatalf("peek after partial run = (%v, %v), want (2000, true)", at, ok)
+	}
+}
+
+// TestScheduleArrivalAtOrdersByKey: at an equal timestamp, keyed arrivals
+// fire after every plain event of that instant, and among themselves in
+// ascending key order regardless of the order they were scheduled in —
+// the mode-invariant tie-break the sharded engine relies on.
+func TestScheduleArrivalAtOrdersByKey(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	log := func(tag string) ArgCallback {
+		return func(any) { order = append(order, tag) }
+	}
+	// Schedule arrivals first, in descending key order, then the plain
+	// events: dispatch order must still be plain-first, key-ascending.
+	e.ScheduleArrivalAt(10, log("k9"), nil, ArrivalKeyBit|9)
+	e.ScheduleArrivalAt(10, log("k3"), nil, ArrivalKeyBit|3)
+	e.ScheduleAt(10, func() { order = append(order, "plainA") })
+	e.ScheduleAt(10, func() { order = append(order, "plainB") })
+	e.ScheduleArrivalAt(10, log("k5"), nil, ArrivalKeyBit|5)
+	e.RunAll()
+	want := []string{"plainA", "plainB", "k3", "k5", "k9"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestScheduleArrivalAtCancel: keyed arrivals cancel and recycle exactly
+// like plain events.
+func TestScheduleArrivalAtCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ref := e.ScheduleArrivalAt(10, func(any) { fired = true }, nil, ArrivalKeyBit|1)
+	if !ref.Pending() {
+		t.Fatal("keyed arrival not pending after scheduling")
+	}
+	if !ref.Cancel() {
+		t.Fatal("cancel of a pending keyed arrival returned false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled keyed arrival fired")
+	}
+}
+
+// TestScheduleArrivalAtRejectsBareKey: keys without ArrivalKeyBit could
+// collide with engine sequence numbers, so the engine refuses them.
+func TestScheduleArrivalAtRejectsBareKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleArrivalAt accepted a key without ArrivalKeyBit")
+		}
+	}()
+	e := NewEngine(1)
+	e.ScheduleArrivalAt(10, func(any) {}, nil, 7)
+}

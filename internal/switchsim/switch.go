@@ -191,6 +191,15 @@ func (s *Switch) HandleArrival(p *pkt.Packet, port *netdev.Port) {
 	if s.route == nil {
 		panic("switchsim: no router installed on " + s.name)
 	}
+	// Engine-affinity audit (debug pools only): under the sharded runner
+	// every switch is pinned to one shard's engine, and a frame must be
+	// handed over via the ingress port's outbox — never delivered directly
+	// by another shard's engine. A violation here means a cross-shard wire
+	// was built without ConnectOn, which silently breaks determinism.
+	if s.pool.Debug() && port.Engine() != s.eng {
+		panic(fmt.Sprintf("switchsim: %s received a frame on a foreign engine (port %d)",
+			s.name, port.ID))
+	}
 	out := s.route(p, port.ID)
 	if out < 0 || out >= len(s.ports) {
 		panic(fmt.Sprintf("switchsim: router returned invalid port %d on %s", out, s.name))

@@ -168,13 +168,13 @@ func TestSetLinkStateIdempotent(t *testing.T) {
 	}
 	cl.SetLinkState(idx, false)
 	cl.SetLinkState(idx, false)
-	if cl.fabricDown != 1 {
-		t.Fatalf("fabricDown = %d after repeated down, want 1", cl.fabricDown)
+	if got := cl.states[0].fabricDown; got != 1 {
+		t.Fatalf("fabricDown = %d after repeated down, want 1", got)
 	}
 	cl.SetLinkState(idx, true)
 	cl.SetLinkState(idx, true)
-	if cl.fabricDown != 0 {
-		t.Fatalf("fabricDown = %d after repair, want 0", cl.fabricDown)
+	if got := cl.states[0].fabricDown; got != 0 {
+		t.Fatalf("fabricDown = %d after repair, want 0", got)
 	}
 }
 

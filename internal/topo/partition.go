@@ -1,0 +1,70 @@
+// Cluster partitioning for the sharded conservative-time engine (psim): a
+// Partition maps every node of the Clos to a shard so that each shard owns a
+// contiguous band of ToRs together with their racks, the aggregation
+// switches most tightly coupled to them, and a proportional slice of the
+// cores. Access links (0-lookahead is allowed there) never cross shards —
+// a host always shares its ToR's shard — so every cross-shard link is a
+// fabric link with a real propagation delay, which is what gives the
+// conductor a nonzero lookahead.
+package topo
+
+import "fmt"
+
+// Partition assigns every node of a cluster to one of Shards shards. The
+// slices are indexed by the node's global id (host id, ToR id, agg id, core
+// id) and hold shard numbers in [0, Shards).
+type Partition struct {
+	Shards int
+	Host   []int
+	ToR    []int
+	Agg    []int
+	Core   []int
+}
+
+// ComputePartition derives a deterministic pod/ToR-granularity partition of
+// cfg's cluster into the given number of shards:
+//
+//   - ToR t goes to shard t·shards/ToRCount — contiguous bands, so pods stay
+//     together whenever shards ≤ Pods and racks are never split.
+//   - Host h follows its ToR (h/ServersPerToR), so access links are always
+//     shard-local.
+//   - Aggregation switch a (pod p, local index k) goes to the shard of ToR
+//     p·torsPerPod + (k mod torsPerPod): each pod's aggs are dealt round-
+//     robin over the shards that own that pod's ToRs, balancing fabric
+//     state without splitting a pod's agg layer away from its racks.
+//   - Core c goes to shard c·shards/CoreCount — spread evenly, since cores
+//     talk to every pod anyway.
+//
+// Shards must be in [1, ToRCount]: with more shards than ToRs some shard
+// would own no rack and the contiguous-band map degenerates.
+func ComputePartition(cfg Config, shards int) (*Partition, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 || shards > cfg.ToRCount {
+		return nil, fmt.Errorf("topo: shards = %d, want 1..ToRCount (%d)", shards, cfg.ToRCount)
+	}
+	p := &Partition{
+		Shards: shards,
+		Host:   make([]int, cfg.ToRCount*cfg.ServersPerToR),
+		ToR:    make([]int, cfg.ToRCount),
+		Agg:    make([]int, cfg.AggCount),
+		Core:   make([]int, cfg.CoreCount),
+	}
+	for t := 0; t < cfg.ToRCount; t++ {
+		p.ToR[t] = t * shards / cfg.ToRCount
+	}
+	for h := range p.Host {
+		p.Host[h] = p.ToR[h/cfg.ServersPerToR]
+	}
+	torsPerPod := cfg.ToRCount / cfg.Pods
+	aggsPerPod := cfg.AggCount / cfg.Pods
+	for a := 0; a < cfg.AggCount; a++ {
+		pod, k := a/aggsPerPod, a%aggsPerPod
+		p.Agg[a] = p.ToR[pod*torsPerPod+k%torsPerPod]
+	}
+	for c := 0; c < cfg.CoreCount; c++ {
+		p.Core[c] = c * shards / cfg.CoreCount
+	}
+	return p, nil
+}

@@ -160,80 +160,176 @@ type Link struct {
 	A, B         *netdev.Port
 	AName, BName string
 
+	// AShard and BShard are the shards owning each endpoint (equal unless
+	// the cable crosses a shard boundary in a sharded build).
+	AShard, BShard int
+
 	// Layer-local coordinates into the liveness matrices.
 	tor, aggLocal int // TierTorAgg
 	agg, core     int // TierAggCore
 
-	up bool
+	cl *Cluster
 }
 
-// Up reports whether the link currently has carrier.
-func (l *Link) Up() bool { return l.up }
+// Up reports whether the link currently has carrier. Liveness is tracked
+// per shard (each shard replays the same fault process); all replicas agree
+// at barriers, so shard 0's view is authoritative for observers.
+func (l *Link) Up() bool { return l.cl.states[0].linkUp[l.Index] }
+
+// CrossShard reports whether the cable's endpoints live on different shards.
+func (l *Link) CrossShard() bool { return l.AShard != l.BShard }
+
+// shardState is one shard's private replica of the fabric-liveness tables
+// the routers consult. Every shard replays the identical fault process (the
+// injector is replicated), so the replicas agree at barriers; giving each
+// shard its own copy means routers never read state another shard writes
+// mid-epoch.
+type shardState struct {
+	torAggUp   [][]bool // [torGlobal][aggWithinPod]
+	aggCoreUp  [][]bool // [aggGlobal][core]
+	linkUp     []bool   // [linkIndex]
+	fabricDown int      // count of fabric links currently down (fast path)
+}
 
 // Cluster is a built network.
 type Cluster struct {
-	Eng   *sim.Engine
+	// Eng is shard 0's engine — the only engine in a classic (unsharded)
+	// build, kept as an alias so single-engine callers stay unchanged.
+	Eng *sim.Engine
+	// Engines holds one engine per shard (length 1 in a classic build).
+	// All engines must share the same seed: replicated generators rely on
+	// identical named streams across shards.
+	Engines []*sim.Engine
+	// Part is the node→shard map the cluster was wired with.
+	Part *Partition
+
 	Cfg   Config
 	Hosts []*host.Host
 	ToRs  []*switchsim.Switch
 	Aggs  []*switchsim.Switch
 	Cores []*switchsim.Switch
 
-	// Pool is the engine-wide packet free list every host, switch and port
-	// draws from and recycles into — nil when Cfg.DisablePacketPool. One
-	// pool per engine: the parallel experiment scheduler gives each worker
-	// its own engine, so the pool needs no locks.
+	// Pool is shard 0's packet free list — nil when Cfg.DisablePacketPool.
+	// An alias of Pools[0] for single-engine callers.
 	Pool *pkt.Pool
+	// Pools holds one free list per shard: a pool is single-threaded state,
+	// so each shard owns its own and cross-shard frames change pools via
+	// Export/Import at the mailbox boundary.
+	Pools []*pkt.Pool
 
-	// Link registry and liveness, consulted by the reroute-aware routers.
-	links      []*Link
-	torAggUp   [][]bool // [torGlobal][aggWithinPod]
-	aggCoreUp  [][]bool // [aggGlobal][core]
-	fabricDown int      // count of fabric links currently down (fast path)
+	// Lookahead is the minimum propagation delay over cross-shard links —
+	// the conductor's epoch bound. Zero when no link crosses a shard.
+	Lookahead sim.Duration
+
+	// Link registry and per-shard liveness replicas.
+	links    []*Link
+	states   []*shardState
+	outboxes []*netdev.Outbox
 }
 
-// Build wires the cluster and installs routing. Flow completions are fanned
-// out to onComplete (may be nil).
+// Build wires the cluster on a single engine and installs routing. Flow
+// completions are fanned out to onComplete (may be nil).
 func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host.CompletionHandler) (*Cluster, error) {
+	part, err := ComputePartition(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return BuildSharded([]*sim.Engine{eng}, part, cfg, newPolicy,
+		func(int) host.CompletionHandler { return onComplete })
+}
+
+// BuildSharded wires the cluster across len(engines) shards following part:
+// every node lives on its shard's engine, shard-local links are ordinary
+// same-engine cables, and cross-shard links get mailboxes (netdev.Outbox)
+// the psim conductor drains at barriers. Every port — in both classic and
+// sharded builds — receives a global wiring-order arrival key, so frame
+// dispatch order is a function of the wiring alone and identical results
+// fall out for every shard count. onCompleteFor returns the completion
+// handler for each shard's hosts (per-shard recorders; may return nil), so
+// completion recording needs no cross-shard synchronization.
+//
+// All engines must carry the same seed: workload generators are replicated
+// per shard and rely on identically-named RNG streams drawing identical
+// sequences everywhere.
+func BuildSharded(engines []*sim.Engine, part *Partition, cfg Config, newPolicy PolicyFactory, onCompleteFor func(shard int) host.CompletionHandler) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if part == nil || part.Shards != len(engines) {
+		return nil, fmt.Errorf("topo: partition shards and engine count disagree")
+	}
+	if part.Shards > 1 && (cfg.TorAggDelay <= 0 || cfg.AggCoreDelay <= 0) {
+		return nil, fmt.Errorf("topo: sharded builds need positive fabric propagation delays (lookahead)")
 	}
 	if cfg.DCQCN.LineRate == 0 {
 		cfg.DCQCN = dcqcn.DefaultConfig(cfg.ServerRate)
 	}
-	cl := &Cluster{Eng: eng, Cfg: cfg}
+	cl := &Cluster{Eng: engines[0], Engines: engines, Part: part, Cfg: cfg}
+	cl.Pools = make([]*pkt.Pool, part.Shards)
 	if !cfg.DisablePacketPool {
-		if cfg.PacketPoolDebug {
-			cl.Pool = pkt.NewDebugPool()
-		} else {
-			cl.Pool = pkt.NewPool()
+		for i := range cl.Pools {
+			if cfg.PacketPoolDebug {
+				cl.Pools[i] = pkt.NewDebugPool()
+			} else {
+				cl.Pools[i] = pkt.NewPool()
+			}
+		}
+	}
+	cl.Pool = cl.Pools[0]
+	cl.states = make([]*shardState, part.Shards)
+	for i := range cl.states {
+		cl.states[i] = &shardState{
+			torAggUp:  make([][]bool, cfg.ToRCount),
+			aggCoreUp: make([][]bool, cfg.AggCount),
 		}
 	}
 
 	for i := 0; i < cfg.ToRCount; i++ {
-		cl.ToRs = append(cl.ToRs, switchsim.NewSwitch(eng, fmt.Sprintf("tor%d", i), cfg.Switch, newPolicy()))
+		cl.ToRs = append(cl.ToRs, switchsim.NewSwitch(engines[part.ToR[i]], fmt.Sprintf("tor%d", i), cfg.Switch, newPolicy()))
 	}
 	for i := 0; i < cfg.AggCount; i++ {
-		cl.Aggs = append(cl.Aggs, switchsim.NewSwitch(eng, fmt.Sprintf("agg%d", i), cfg.Switch, newPolicy()))
+		cl.Aggs = append(cl.Aggs, switchsim.NewSwitch(engines[part.Agg[i]], fmt.Sprintf("agg%d", i), cfg.Switch, newPolicy()))
 	}
 	for i := 0; i < cfg.CoreCount; i++ {
-		cl.Cores = append(cl.Cores, switchsim.NewSwitch(eng, fmt.Sprintf("core%d", i), cfg.Switch, newPolicy()))
+		cl.Cores = append(cl.Cores, switchsim.NewSwitch(engines[part.Core[i]], fmt.Sprintf("core%d", i), cfg.Switch, newPolicy()))
+	}
+
+	// nextKey numbers ports in global wiring order (1-based): the key is
+	// the mode-invariant tiebreak for same-tick arrivals, so it must be a
+	// pure function of the wiring, never of the shard layout.
+	nextKey := uint64(1)
+	connect := func(engA, engB *sim.Engine, a, b netdev.Node, rate int64, prop sim.Duration) (*netdev.Port, *netdev.Port) {
+		pa, pb := netdev.ConnectOn(engA, engB, a, b, rate, prop)
+		pa.SetArrivalKey(nextKey)
+		pb.SetArrivalKey(nextKey + 1)
+		nextKey += 2
+		if engA != engB {
+			if cl.Lookahead == 0 || prop < cl.Lookahead {
+				cl.Lookahead = prop
+			}
+			cl.outboxes = append(cl.outboxes, pa.Outbox(), pb.Outbox())
+		}
+		return pa, pb
 	}
 
 	// Servers: host h sits under ToR h/ServersPerToR on port h%ServersPerToR.
+	// Hosts follow their ToR's shard, so access links are always local.
 	total := cfg.ToRCount * cfg.ServersPerToR
 	for h := 0; h < total; h++ {
 		t := h / cfg.ServersPerToR
+		sh := part.Host[h]
+		eng := engines[sh]
 		hst := host.New(eng, h, fmt.Sprintf("host%d", h), cfg.DCTCP, cfg.DCQCN)
-		hst.SetPool(cl.Pool)
-		hp, sp := netdev.Connect(eng, hst, cl.ToRs[t], cfg.ServerRate, cfg.ServerDelay)
-		hp.SetPool(cl.Pool)
+		hst.SetPool(cl.Pools[sh])
+		hp, sp := connect(eng, engines[part.ToR[t]], hst, cl.ToRs[t], cfg.ServerRate, cfg.ServerDelay)
+		hp.SetPool(cl.Pools[sh])
 		hst.SetNIC(hp)
 		cl.ToRs[t].AddPort(sp)
-		hst.SetCompletionHandler(onComplete)
+		hst.SetCompletionHandler(onCompleteFor(sh))
 		cl.Hosts = append(cl.Hosts, hst)
 		cl.addLink(&Link{
 			Tier: TierServer, A: hp, B: sp,
+			AShard: sh, BShard: part.ToR[t],
 			AName: hst.Name(), BName: cl.ToRs[t].Name(),
 		})
 	}
@@ -242,18 +338,25 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 	// the server ports; agg down ports are indexed by ToR-within-pod.
 	aggsPerPod := cfg.AggCount / cfg.Pods
 	torsPerPod := cfg.ToRCount / cfg.Pods
-	cl.torAggUp = make([][]bool, cfg.ToRCount)
+	for _, st := range cl.states {
+		for t := range st.torAggUp {
+			st.torAggUp[t] = make([]bool, aggsPerPod)
+		}
+	}
 	for t, tor := range cl.ToRs {
-		cl.torAggUp[t] = make([]bool, aggsPerPod)
 		pod := t / torsPerPod
 		for a := 0; a < aggsPerPod; a++ {
-			cl.torAggUp[t][a] = true
-			agg := cl.Aggs[pod*aggsPerPod+a]
-			tp, ap := netdev.Connect(eng, tor, agg, cfg.FabricRate, cfg.TorAggDelay)
+			for _, st := range cl.states {
+				st.torAggUp[t][a] = true
+			}
+			aggIdx := pod*aggsPerPod + a
+			agg := cl.Aggs[aggIdx]
+			tp, ap := connect(engines[part.ToR[t]], engines[part.Agg[aggIdx]], tor, agg, cfg.FabricRate, cfg.TorAggDelay)
 			tor.AddPort(tp)
 			agg.AddPort(ap)
 			cl.addLink(&Link{
 				Tier: TierTorAgg, A: tp, B: ap,
+				AShard: part.ToR[t], BShard: part.Agg[aggIdx],
 				AName: tor.Name(), BName: agg.Name(),
 				tor: t, aggLocal: a,
 			})
@@ -261,16 +364,22 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 	}
 
 	// Agg ↔ Core, full bipartite. Core down ports indexed by agg id.
-	cl.aggCoreUp = make([][]bool, cfg.AggCount)
+	for _, st := range cl.states {
+		for a := range st.aggCoreUp {
+			st.aggCoreUp[a] = make([]bool, cfg.CoreCount)
+		}
+	}
 	for a, agg := range cl.Aggs {
-		cl.aggCoreUp[a] = make([]bool, cfg.CoreCount)
 		for c := 0; c < cfg.CoreCount; c++ {
-			cl.aggCoreUp[a][c] = true
-			ap, cp := netdev.Connect(eng, agg, cl.Cores[c], cfg.FabricRate, cfg.AggCoreDelay)
+			for _, st := range cl.states {
+				st.aggCoreUp[a][c] = true
+			}
+			ap, cp := connect(engines[part.Agg[a]], engines[part.Core[c]], agg, cl.Cores[c], cfg.FabricRate, cfg.AggCoreDelay)
 			agg.AddPort(ap)
 			cl.Cores[c].AddPort(cp)
 			cl.addLink(&Link{
 				Tier: TierAggCore, A: ap, B: cp,
+				AShard: part.Agg[a], BShard: part.Core[c],
 				AName: agg.Name(), BName: cl.Cores[c].Name(),
 				agg: a, core: c,
 			})
@@ -278,9 +387,16 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 	}
 
 	// SetPool after AddPort so every switch port (including the switch side
-	// of the access links) is covered in one pass.
-	for _, sw := range cl.AllSwitches() {
-		sw.SetPool(cl.Pool)
+	// of the access links) is covered in one pass, each switch drawing from
+	// its own shard's pool.
+	for i, sw := range cl.ToRs {
+		sw.SetPool(cl.Pools[part.ToR[i]])
+	}
+	for i, sw := range cl.Aggs {
+		sw.SetPool(cl.Pools[part.Agg[i]])
+	}
+	for i, sw := range cl.Cores {
+		sw.SetPool(cl.Pools[part.Core[i]])
 	}
 
 	cl.installRouting()
@@ -291,35 +407,58 @@ func Build(eng *sim.Engine, cfg Config, newPolicy PolicyFactory, onComplete host
 func (cl *Cluster) addLink(l *Link) {
 	l.Index = len(cl.links)
 	l.Name = l.AName + "~" + l.BName
-	l.up = true
+	l.cl = cl
+	for _, st := range cl.states {
+		st.linkUp = append(st.linkUp, true)
+	}
 	cl.links = append(cl.links, l)
 }
 
 // Links returns the cluster's cable registry in deterministic build order.
 func (cl *Cluster) Links() []*Link { return cl.links }
 
-// SetLinkState raises or cuts the carrier on link index, updating the
-// liveness matrices the routers consult. Idempotent: repeating the current
-// state is a no-op.
+// Outboxes returns every cross-shard mailbox in deterministic wiring order
+// (both directions of each cross-shard cable). Empty in a classic build.
+func (cl *Cluster) Outboxes() []*netdev.Outbox { return cl.outboxes }
+
+// SetLinkState raises or cuts the carrier on link index across every shard
+// replica. Single-threaded use only (classic builds, or between epochs):
+// under the sharded conductor each shard's injector replica calls
+// SetLinkStateOn for itself instead.
 func (cl *Cluster) SetLinkState(index int, up bool) {
+	for s := range cl.states {
+		cl.SetLinkStateOn(s, index, up)
+	}
+}
+
+// SetLinkStateOn applies a carrier change to one shard's replica of the
+// liveness tables, touching only the ports that shard owns — safe to call
+// from that shard's goroutine mid-epoch. Idempotent per shard: repeating
+// the current state is a no-op.
+func (cl *Cluster) SetLinkStateOn(shard, index int, up bool) {
 	l := cl.links[index]
-	if l.up == up {
+	st := cl.states[shard]
+	if st.linkUp[index] == up {
 		return
 	}
-	l.up = up
-	l.A.SetCarrier(up)
-	l.B.SetCarrier(up)
+	st.linkUp[index] = up
+	if l.AShard == shard {
+		l.A.SetCarrier(up)
+	}
+	if l.BShard == shard {
+		l.B.SetCarrier(up)
+	}
 	delta := 1
 	if up {
 		delta = -1
 	}
 	switch l.Tier {
 	case TierTorAgg:
-		cl.torAggUp[l.tor][l.aggLocal] = up
-		cl.fabricDown += delta
+		st.torAggUp[l.tor][l.aggLocal] = up
+		st.fabricDown += delta
 	case TierAggCore:
-		cl.aggCoreUp[l.agg][l.core] = up
-		cl.fabricDown += delta
+		st.aggCoreUp[l.agg][l.core] = up
+		st.fabricDown += delta
 	}
 }
 
@@ -368,14 +507,15 @@ func pickECMP(f pkt.FlowID, salt uint64, n int, eligible func(int) bool) int {
 	return h
 }
 
-// coreReaches reports whether core c has a live two-hop path down to dstToR
-// (some aggregation switch in the destination pod with both links alive).
-func (cl *Cluster) coreReaches(c, dstToR int) bool {
+// coreReaches reports whether, in shard state st, core c has a live two-hop
+// path down to dstToR (some aggregation switch in the destination pod with
+// both links alive).
+func (cl *Cluster) coreReaches(st *shardState, c, dstToR int) bool {
 	aggsPerPod := cl.Cfg.AggCount / cl.Cfg.Pods
 	torsPerPod := cl.Cfg.ToRCount / cl.Cfg.Pods
 	dstPod := dstToR / torsPerPod
 	for a := 0; a < aggsPerPod; a++ {
-		if cl.aggCoreUp[dstPod*aggsPerPod+a][c] && cl.torAggUp[dstToR][a] {
+		if st.aggCoreUp[dstPod*aggsPerPod+a][c] && st.torAggUp[dstToR][a] {
 			return true
 		}
 	}
@@ -385,7 +525,9 @@ func (cl *Cluster) coreReaches(c, dstToR int) bool {
 // installRouting programs every switch's forwarding closure. Each router has
 // a fast path — when no fabric link is down it computes exactly the original
 // ECMP hash, allocation-free — and a liveness-aware slow path that re-hashes
-// around dead links while faults are active.
+// around dead links while faults are active. Every router closes over its
+// own shard's liveness replica, so routing reads never cross a shard
+// boundary mid-epoch.
 func (cl *Cluster) installRouting() {
 	cfg := cl.Cfg
 	aggsPerPod := cfg.AggCount / cfg.Pods
@@ -395,28 +537,29 @@ func (cl *Cluster) installRouting() {
 	for t, tor := range cl.ToRs {
 		t := t
 		pod := t / torsPerPod
+		st := cl.states[cl.Part.ToR[t]]
 		tor.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			if dstToR == t {
 				return p.Dst % s // local server port
 			}
-			if cl.fabricDown == 0 {
+			if st.fabricDown == 0 {
 				return s + ecmpHash(p.Flow, 0x746f72, aggsPerPod) // uplink
 			}
 			dstPod := dstToR / torsPerPod
 			return s + pickECMP(p.Flow, 0x746f72, aggsPerPod, func(a int) bool {
-				if !cl.torAggUp[t][a] {
+				if !st.torAggUp[t][a] {
 					return false
 				}
 				if dstPod == pod {
 					// Same pod: that agg must also reach the destination rack.
-					return cl.torAggUp[dstToR][a]
+					return st.torAggUp[dstToR][a]
 				}
 				// Cross-pod: the agg needs a live uplink to a core that can
 				// still descend into the destination pod.
 				agg := pod*aggsPerPod + a
 				for c := 0; c < cfg.CoreCount; c++ {
-					if cl.aggCoreUp[agg][c] && cl.coreReaches(c, dstToR) {
+					if st.aggCoreUp[agg][c] && cl.coreReaches(st, c, dstToR) {
 						return true
 					}
 				}
@@ -428,32 +571,34 @@ func (cl *Cluster) installRouting() {
 	for a, agg := range cl.Aggs {
 		a := a
 		pod := a / aggsPerPod
+		st := cl.states[cl.Part.Agg[a]]
 		agg.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			dstPod := dstToR / torsPerPod
 			if dstPod == pod {
 				return dstToR % torsPerPod // down to the rack (single path)
 			}
-			if cl.fabricDown == 0 {
+			if st.fabricDown == 0 {
 				return torsPerPod + ecmpHash(p.Flow, 0x616767, cfg.CoreCount) // up
 			}
 			return torsPerPod + pickECMP(p.Flow, 0x616767, cfg.CoreCount, func(c int) bool {
-				return cl.aggCoreUp[a][c] && cl.coreReaches(c, dstToR)
+				return st.aggCoreUp[a][c] && cl.coreReaches(st, c, dstToR)
 			})
 		})
 	}
 
 	for ci, cr := range cl.Cores {
 		ci := ci
+		st := cl.states[cl.Part.Core[ci]]
 		cr.SetRouter(func(p *pkt.Packet, _ int) int {
 			dstToR := p.Dst / s
 			dstPod := dstToR / torsPerPod
 			// Core port layout: one port per agg, in agg-id order.
-			if cl.fabricDown == 0 {
+			if st.fabricDown == 0 {
 				return dstPod*aggsPerPod + ecmpHash(p.Flow, 0x636f7265, aggsPerPod)
 			}
 			return dstPod*aggsPerPod + pickECMP(p.Flow, 0x636f7265, aggsPerPod, func(a int) bool {
-				return cl.aggCoreUp[dstPod*aggsPerPod+a][ci] && cl.torAggUp[dstToR][a]
+				return st.aggCoreUp[dstPod*aggsPerPod+a][ci] && st.torAggUp[dstToR][a]
 			})
 		})
 	}

@@ -1,0 +1,84 @@
+// Canonical trace merging: the sharded runner gives every shard its own
+// Recorder (rings are single-threaded like the engine that feeds them), so
+// a run's trace arrives as N per-shard recorders. Merge folds them into one
+// canonically-ordered recorder; the classic runner routes its single
+// recorder through the same function so exported trace files are
+// byte-identical across shard counts.
+package trace
+
+import "sort"
+
+// Merge combines the retained events of the given recorders into one new
+// recorder in canonical order: each channel is stably sorted by (time,
+// switch name). Every switch lives on exactly one shard, so its events
+// arrive already time-ordered within one input and the stable sort
+// preserves that per-switch order while fixing a deterministic interleave
+// across switches — the result depends only on what was recorded, never on
+// how the recording was split across shards. Nil inputs are skipped; the
+// output's channels are sized to hold everything (no eviction during the
+// merge). Note that per-shard rings only hold identical content for every
+// shard count as long as no input ring evicted history; size capacities
+// accordingly when byte-identical traces matter.
+func Merge(recorders ...*Recorder) *Recorder {
+	var occ []OccSample
+	var pfc []PFCEvent
+	var weights []WeightSample
+	var pkts []PacketEvent
+	for _, r := range recorders {
+		if r == nil {
+			continue
+		}
+		occ = append(occ, r.OccSamples()...)
+		pfc = append(pfc, r.PFCEvents()...)
+		weights = append(weights, r.WeightSamples()...)
+		pkts = append(pkts, r.PacketEvents()...)
+	}
+	sort.SliceStable(occ, func(i, j int) bool {
+		if occ[i].At != occ[j].At {
+			return occ[i].At < occ[j].At
+		}
+		return occ[i].Switch < occ[j].Switch
+	})
+	sort.SliceStable(pfc, func(i, j int) bool {
+		if pfc[i].At != pfc[j].At {
+			return pfc[i].At < pfc[j].At
+		}
+		return pfc[i].Switch < pfc[j].Switch
+	})
+	sort.SliceStable(weights, func(i, j int) bool {
+		if weights[i].At != weights[j].At {
+			return weights[i].At < weights[j].At
+		}
+		return weights[i].Switch < weights[j].Switch
+	})
+	sort.SliceStable(pkts, func(i, j int) bool {
+		if pkts[i].At != pkts[j].At {
+			return pkts[i].At < pkts[j].At
+		}
+		return pkts[i].Switch < pkts[j].Switch
+	})
+
+	maxLen := len(occ)
+	for _, n := range []int{len(pfc), len(weights), len(pkts)} {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen == 0 {
+		maxLen = 1
+	}
+	out := NewRecorder(maxLen)
+	for _, s := range occ {
+		out.RecordOcc(s)
+	}
+	for _, e := range pfc {
+		out.RecordPFC(e)
+	}
+	for _, s := range weights {
+		out.RecordWeight(s)
+	}
+	for _, e := range pkts {
+		out.RecordPacketEvent(e)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeCanonicalOrder: two recorders holding interleaved per-switch
+// histories merge into one (time, switch)-ordered stream, regardless of
+// which recorder held which switch.
+func TestMergeCanonicalOrder(t *testing.T) {
+	a := NewRecorder(16)
+	b := NewRecorder(16)
+	// Switch "agg0" lives on recorder a, "tor1" on b; their samples
+	// interleave in time.
+	a.RecordOcc(OccSample{At: 10, Switch: "agg0", Resident: 1})
+	a.RecordOcc(OccSample{At: 30, Switch: "agg0", Resident: 3})
+	b.RecordOcc(OccSample{At: 10, Switch: "tor1", Resident: 2})
+	b.RecordOcc(OccSample{At: 20, Switch: "tor1", Resident: 4})
+	a.RecordPFC(PFCEvent{At: 15, Switch: "agg0", Port: 1, Kind: PFCAssert})
+	b.RecordPFC(PFCEvent{At: 15, Switch: "tor1", Port: 2, Kind: PFCAssert})
+
+	ab := Merge(a, b)
+	ba := Merge(b, a)
+
+	wantOcc := []OccSample{
+		{At: 10, Switch: "agg0", Resident: 1},
+		{At: 10, Switch: "tor1", Resident: 2},
+		{At: 20, Switch: "tor1", Resident: 4},
+		{At: 30, Switch: "agg0", Resident: 3},
+	}
+	if got := ab.OccSamples(); !reflect.DeepEqual(got, wantOcc) {
+		t.Errorf("Merge(a,b) occ = %v, want %v", got, wantOcc)
+	}
+	// Canonical: input order must not matter.
+	if !reflect.DeepEqual(ab.OccSamples(), ba.OccSamples()) {
+		t.Errorf("Merge is sensitive to input order: %v vs %v",
+			ab.OccSamples(), ba.OccSamples())
+	}
+	if !reflect.DeepEqual(ab.PFCEvents(), ba.PFCEvents()) {
+		t.Errorf("PFC merge is sensitive to input order")
+	}
+	if len(ab.PFCEvents()) != 2 || ab.PFCEvents()[0].Switch != "agg0" {
+		t.Errorf("PFC tie at t=15 not broken by switch name: %v", ab.PFCEvents())
+	}
+}
+
+// TestMergeNilAndEmpty: nil recorders are skipped and an all-empty merge
+// yields a usable empty recorder.
+func TestMergeNilAndEmpty(t *testing.T) {
+	a := NewRecorder(4)
+	a.RecordWeight(WeightSample{At: 5, Switch: "tor0", Weight: 1.5})
+	out := Merge(nil, a, nil)
+	if got := out.WeightSamples(); len(got) != 1 || got[0].Weight != 1.5 {
+		t.Errorf("merge with nils lost data: %v", got)
+	}
+	empty := Merge(nil, NewRecorder(4))
+	if empty == nil || len(empty.OccSamples()) != 0 {
+		t.Errorf("empty merge should yield an empty recorder")
+	}
+}
+
+// TestMergePreservesPerSwitchOrder: equal-time samples of the SAME switch
+// from one input keep their recorded order (stable sort).
+func TestMergePreservesPerSwitchOrder(t *testing.T) {
+	a := NewRecorder(8)
+	a.RecordPFC(PFCEvent{At: 7, Switch: "tor0", Port: 1, Kind: PFCAssert})
+	a.RecordPFC(PFCEvent{At: 7, Switch: "tor0", Port: 1, Kind: PFCRelease})
+	out := Merge(a)
+	ev := out.PFCEvents()
+	if len(ev) != 2 || ev[0].Kind != PFCAssert || ev[1].Kind != PFCRelease {
+		t.Errorf("same-switch same-time order not preserved: %v", ev)
+	}
+}

@@ -35,6 +35,21 @@ type IncastConfig struct {
 	StreamName string
 	// IDs allocates flow IDs; share one across a simulation's generators.
 	IDs *IDSource
+	// IDTag, when non-zero, switches to structured flow IDs:
+	// tag<<56 | queryID<<16 | fanout-index. Structured IDs are a pure
+	// function of the query sequence, so replicated generators running in
+	// lockstep on different shards mint identical IDs without a shared
+	// counter. IDs is ignored when IDTag is set.
+	IDTag byte
+	// LaunchFilter, when set, limits which responder flows this instance
+	// actually starts (Observer + StartFlow): only flows whose source host
+	// satisfies the predicate launch here. Everything else — random draws,
+	// query bookkeeping, flow→query registration — still happens, keeping
+	// replicated instances on different shards in lockstep: each shard
+	// launches only the responders it owns, while the target's shard (where
+	// every response lands) can still match completions to the query.
+	// LaunchFilter requires IDTag (replicas cannot share an IDSource).
+	LaunchFilter func(src int) bool
 }
 
 // Validate reports configuration errors.
@@ -94,10 +109,24 @@ func NewIncast(eng *sim.Engine, sink Sink, cfg IncastConfig) (*Incast, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.LaunchFilter != nil && cfg.IDTag == 0 {
+		return nil, fmt.Errorf("workload: incast LaunchFilter requires IDTag (structured IDs)")
+	}
 	if cfg.IDs == nil {
 		cfg.IDs = NewIDSource()
 	}
 	return &Incast{cfg: cfg, eng: eng, sink: sink, flowToQ: make(map[pkt.FlowID]*Query)}, nil
+}
+
+// flowID mints the ID of the launched-th responder flow of query q.
+func (g *Incast) flowID(q *Query, launched int) pkt.FlowID {
+	if g.cfg.IDTag == 0 {
+		return g.cfg.IDs.Next()
+	}
+	if q.ID >= 1<<40 || launched >= 1<<16 {
+		panic(fmt.Sprintf("workload: structured incast flow ID overflow (query=%d idx=%d)", q.ID, launched))
+	}
+	return pkt.FlowID(uint64(g.cfg.IDTag)<<56 | uint64(q.ID)<<16 | uint64(launched))
 }
 
 // Install schedules the Poisson query stream. Queries are issued for
@@ -136,7 +165,7 @@ func (g *Incast) issue(picks *sim.Rand) {
 			continue
 		}
 		f := &transport.Flow{
-			ID:       g.cfg.IDs.Next(),
+			ID:       g.flowID(q, launched),
 			Src:      responder,
 			Dst:      target,
 			Size:     shard,
@@ -146,10 +175,12 @@ func (g *Incast) issue(picks *sim.Rand) {
 		}
 		g.flowToQ[f.ID] = q
 		g.FlowsGenerated++
-		if g.cfg.Observer != nil {
-			g.cfg.Observer(f)
+		if g.cfg.LaunchFilter == nil || g.cfg.LaunchFilter(responder) {
+			if g.cfg.Observer != nil {
+				g.cfg.Observer(f)
+			}
+			g.sink.StartFlow(f)
 		}
-		g.sink.StartFlow(f)
 		launched++
 		if launched == g.cfg.Fanout {
 			break
@@ -176,6 +207,49 @@ func (g *Incast) OnFlowComplete(id pkt.FlowID, at sim.Time) {
 
 // Queries returns all issued queries (completed or not).
 func (g *Incast) Queries() []*Query { return g.queries }
+
+// MergeCompletedResponseTimes combines the views of replicated incast
+// generators (one per shard, identical draws, disjoint LaunchFilters) into
+// the response times a single generator would have reported: each replica
+// only hears the completions of the responders it owns, so a query is
+// complete when the replicas' completion counts sum to the fanout, and its
+// Done is the max over replicas. Panics if the replicas disagree on the
+// query sequence — they run in lockstep by construction.
+func MergeCompletedResponseTimes(gens ...*Incast) []sim.Duration {
+	if len(gens) == 0 {
+		return nil
+	}
+	if len(gens) == 1 {
+		return gens[0].CompletedResponseTimes()
+	}
+	first := gens[0]
+	for _, g := range gens[1:] {
+		if len(g.queries) != len(first.queries) {
+			panic(fmt.Sprintf("workload: incast replicas issued %d vs %d queries",
+				len(g.queries), len(first.queries)))
+		}
+	}
+	var out []sim.Duration
+	for i, q0 := range first.queries {
+		fanout := first.cfg.Fanout
+		seen := 0
+		done := sim.Time(0)
+		for _, g := range gens {
+			q := g.queries[i]
+			if q.ID != q0.ID || q.Target != q0.Target || q.Issued != q0.Issued {
+				panic(fmt.Sprintf("workload: incast replicas diverged at query %d", i))
+			}
+			seen += fanout - q.pending
+			if q.Done > done {
+				done = q.Done
+			}
+		}
+		if seen == fanout {
+			out = append(out, done-q0.Issued)
+		}
+	}
+	return out
+}
 
 // CompletedResponseTimes returns the response times of completed queries.
 func (g *Incast) CompletedResponseTimes() []sim.Duration {

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"l2bm/internal/sim"
+)
+
+// replica builds a synthetic Incast view: one generator's partial knowledge
+// of a shared query sequence, as the sharded runner sees it.
+func replica(fanout int, qs ...*Query) *Incast {
+	return &Incast{cfg: IncastConfig{Fanout: fanout}, queries: qs}
+}
+
+// TestMergeCompletedResponseTimes: two replicas that each heard half of a
+// query's completions must reconstruct the single-generator answer — the
+// query counts as complete exactly when the per-replica completion counts
+// sum to the fanout, with Done = max over replicas.
+func TestMergeCompletedResponseTimes(t *testing.T) {
+	// Query 0: fanout 4; replica A heard 3 completions (last at t=50),
+	// replica B heard 1 (at t=70). Together: complete, done at 70.
+	// Query 1: fanout 4; A heard 2, B heard 1 → 3 of 4, incomplete.
+	a := replica(4,
+		&Query{ID: 0, Target: 7, Issued: 10, Done: 50, pending: 1},
+		&Query{ID: 1, Target: 3, Issued: 20, Done: 90, pending: 2},
+	)
+	b := replica(4,
+		&Query{ID: 0, Target: 7, Issued: 10, Done: 70, pending: 3},
+		&Query{ID: 1, Target: 3, Issued: 20, Done: 0, pending: 3},
+	)
+	got := MergeCompletedResponseTimes(a, b)
+	want := []sim.Duration{60} // 70 - 10
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged response times = %v, want %v", got, want)
+	}
+}
+
+// TestMergeCompletedResponseTimesSingle: a single replica passes through
+// its own completed queries untouched.
+func TestMergeCompletedResponseTimesSingle(t *testing.T) {
+	g := replica(2,
+		&Query{ID: 0, Issued: 5, Done: 25, Complete: true},
+		&Query{ID: 1, Issued: 10, Done: 0, pending: 2},
+	)
+	got := MergeCompletedResponseTimes(g)
+	want := []sim.Duration{20}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("single-replica merge = %v, want %v", got, want)
+	}
+	if MergeCompletedResponseTimes() != nil {
+		t.Errorf("zero-replica merge should be nil")
+	}
+}
+
+// TestMergeCompletedResponseTimesDivergence: replicas that disagree on the
+// query sequence indicate a lost-lockstep bug and must panic loudly rather
+// than report silently wrong latencies.
+func TestMergeCompletedResponseTimesDivergence(t *testing.T) {
+	a := replica(2, &Query{ID: 0, Target: 1, Issued: 10})
+	b := replica(2, &Query{ID: 0, Target: 2, Issued: 10})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("diverged replicas did not panic")
+		}
+	}()
+	MergeCompletedResponseTimes(a, b)
+}

@@ -67,6 +67,15 @@ type PoissonConfig struct {
 	// IDs allocates flow IDs; generators sharing a simulation must share
 	// one. A private allocator is used when nil.
 	IDs *IDSource
+	// IDTag, when non-zero, switches the generator to structured flow IDs:
+	// tag<<56 | src<<32 | per-source-sequence. Structured IDs depend only
+	// on (tag, source host, how-manyth flow of that source) — never on how
+	// launches from different sources interleave globally — which is what
+	// lets a sharded run, where each shard drives only its own sources,
+	// mint exactly the IDs the sequential run mints. Tags must be unique
+	// per generator in a run (flow IDs seed ECMP hashing, so collisions
+	// would alias paths); IDs is ignored when IDTag is set.
+	IDTag byte
 }
 
 // Validate reports configuration errors.
@@ -95,6 +104,9 @@ type Poisson struct {
 	eng  *sim.Engine
 	sink Sink
 
+	// seqBySrc numbers each source's flows for structured IDs (IDTag != 0).
+	seqBySrc map[int]uint64
+
 	// Generated counts flows started.
 	Generated uint64
 	// BytesOffered sums generated flow sizes.
@@ -109,7 +121,21 @@ func NewPoisson(eng *sim.Engine, sink Sink, cfg PoissonConfig) (*Poisson, error)
 	if cfg.IDs == nil {
 		cfg.IDs = NewIDSource()
 	}
-	return &Poisson{cfg: cfg, eng: eng, sink: sink}, nil
+	return &Poisson{cfg: cfg, eng: eng, sink: sink, seqBySrc: make(map[int]uint64)}, nil
+}
+
+// nextID mints the next flow ID for src: structured when IDTag is set,
+// from the shared sequential allocator otherwise.
+func (g *Poisson) nextID(src int) pkt.FlowID {
+	if g.cfg.IDTag == 0 {
+		return g.cfg.IDs.Next()
+	}
+	g.seqBySrc[src]++
+	seq := g.seqBySrc[src]
+	if src < 0 || src >= 1<<24 || seq >= 1<<32 {
+		panic(fmt.Sprintf("workload: structured flow ID overflow (src=%d seq=%d)", src, seq))
+	}
+	return pkt.FlowID(uint64(g.cfg.IDTag)<<56 | uint64(src)<<32 | seq)
 }
 
 // Install schedules the first arrival of every source host. The mean
@@ -153,7 +179,7 @@ func (g *Poisson) launch(src int, sizes, dests *sim.Rand) {
 		dst = g.cfg.Dests[dests.Intn(len(g.cfg.Dests))]
 	}
 	f := &transport.Flow{
-		ID:       g.cfg.IDs.Next(),
+		ID:       g.nextID(src),
 		Src:      src,
 		Dst:      dst,
 		Size:     g.cfg.Sizes.Sample(sizes),
