@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-guard faults speedup speedup-shards trace-demo clean
+.PHONY: all build vet test race check bench bench-json bench-guard faults chaos chaos-soak speedup speedup-shards trace-demo clean
 
 all: check
 
@@ -45,6 +45,17 @@ bench-guard:
 # The robustness ablation: link flaps + BER + recovery, four policies.
 faults:
 	$(GO) run ./cmd/l2bmexp -exp faults -scale tiny
+
+# Randomized robustness soak: fuzz scenarios (topology x workload x fault
+# plan) under the global invariant auditor, shrink any failure to a minimal
+# scenario and write a runnable JSON reproducer (replay one with
+# `go run ./cmd/l2bmexp -exp chaos -replay repros/chaos-seed<N>.json`).
+# Findings exit nonzero. Default 50 seeds; chaos-soak is the nightly size.
+chaos:
+	$(GO) run ./cmd/l2bmexp -exp chaos -repro-out repros
+
+chaos-soak:
+	$(GO) run ./cmd/l2bmexp -exp chaos -seeds 200 -repro-out repros
 
 # Wall-clock speedup of the parallel scheduler: the same Fig. 7 grid
 # (4 policies x 8 loads), sequential vs all cores. On a >=4-core machine

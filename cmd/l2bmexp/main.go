@@ -7,12 +7,28 @@
 //	l2bmexp -exp all -scale full -out results.txt
 //	l2bmexp -exp fig7 -scale full -parallel 8 -cpuprofile cpu.pprof
 //
-// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults all.
+// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults all,
+// plus the beyond-the-paper chaos soak (see below).
 // The faults experiment is a beyond-the-paper robustness ablation: link
 // flaps plus frame corruption with go-back-N recovery and PFC deadlock
 // detection enabled.
 // Scales: tiny (seconds), small (minutes), full (paper topology; tens of
 // minutes for the sweeps).
+//
+// Robustness extras:
+//
+//	l2bmexp -exp chaos -seeds 200 -repro-out repros
+//	l2bmexp -exp chaos -replay repros/chaos-seed17.json
+//	l2bmexp -exp fig7 -scale full -resume ckpt -point-timeout 5m
+//
+// -exp chaos fuzzes randomized scenarios (topology × hybrid workload ×
+// fault plan) under the global invariant auditor, shrinks any failure to a
+// minimal scenario and writes a runnable JSON reproducer; findings exit
+// nonzero. -resume makes long sweeps crash-safe: completed grid points are
+// checkpointed to the directory and a rerun of the same command restores
+// them byte-identically instead of recomputing. -point-timeout bounds each
+// point's wall clock and -keep-going records failed points without
+// abandoning the rest of the grid.
 //
 // Independent grid points fan out across -parallel workers (default: all
 // cores; 1 restores sequential execution). Tables and progress lines are
@@ -33,6 +49,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"l2bm/internal/exp"
@@ -48,7 +66,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("l2bmexp", flag.ContinueOnError)
-	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|all")
+	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|all|chaos")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
@@ -58,6 +76,13 @@ func run(args []string, stdout io.Writer) error {
 	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
 	traceOut := fs.String("trace-out", "traces", "directory for per-run trace CSV/JSONL files (with -trace)")
 	traceSample := fs.Duration("trace-sample", 0, "trace sampling period (wall units, e.g. 50us; 0 = the run's occupancy period)")
+	resume := fs.String("resume", "", "checkpoint directory: completed grid points persist there and a rerun of the same sweep resumes instead of recomputing")
+	pointTimeout := fs.Duration("point-timeout", 0, "per-point wall-clock limit (e.g. 5m; 0 = unbounded)")
+	keepGoing := fs.Bool("keep-going", false, "record failed grid points and keep running the rest instead of halting on the first failure")
+	seeds := fs.Int("seeds", 0, "chaos: how many scenarios to fuzz (0 = 50)")
+	baseSeed := fs.Int64("base-seed", 0, "chaos: scenario i uses seed base-seed+i (rotate ranges without overlap)")
+	reproOut := fs.String("repro-out", "", "chaos: directory for runnable JSON reproducers of any findings")
+	replay := fs.String("replay", "", "chaos: replay this reproducer file instead of fuzzing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,12 +98,63 @@ func run(args []string, stdout io.Writer) error {
 	if !*traceOn && *traceSample != 0 {
 		return fmt.Errorf("-trace-sample requires -trace")
 	}
+	if *seeds < 0 {
+		return fmt.Errorf("-seeds must be >= 0, got %d", *seeds)
+	}
+	if *pointTimeout < 0 {
+		return fmt.Errorf("-point-timeout must be >= 0, got %v", *pointTimeout)
+	}
+
+	// Validate the experiment selection and every output destination before
+	// any work (or profile) starts: a typo'd -exp or an unwritable directory
+	// must fail in milliseconds, not after a long sweep.
+	if err := validateExp(*expName); err != nil {
+		return err
+	}
+	if *expName != "chaos" {
+		for flagName, val := range map[string]string{
+			"-seeds": strconv.Itoa(*seeds), "-base-seed": strconv.FormatInt(*baseSeed, 10),
+		} {
+			if val != "0" {
+				return fmt.Errorf("%s requires -exp chaos", flagName)
+			}
+		}
+		if *reproOut != "" || *replay != "" {
+			return fmt.Errorf("-repro-out and -replay require -exp chaos")
+		}
+	}
+	if *resume != "" {
+		if *expName == "chaos" {
+			return fmt.Errorf("-resume does not apply to -exp chaos (reproducer files are its persistence)")
+		}
+		if *traceOn {
+			return fmt.Errorf("-resume is incompatible with -trace (traced sweeps are not checkpointable)")
+		}
+		if err := ensureWritableDir("-resume", *resume); err != nil {
+			return err
+		}
+	}
+	if *traceOn {
+		if err := ensureWritableDir("-trace-out", *traceOut); err != nil {
+			return err
+		}
+	}
+	if *reproOut != "" {
+		if err := ensureWritableDir("-repro-out", *reproOut); err != nil {
+			return err
+		}
+	}
+	if *replay != "" {
+		if _, err := os.Stat(*replay); err != nil {
+			return fmt.Errorf("-replay: %w", err)
+		}
+	}
 
 	w := stdout
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return err
+			return fmt.Errorf("-out: %w", err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(stdout, f)
@@ -96,7 +172,11 @@ func run(args []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := Options{Workers: *parallel, Shards: *shards}
+	opts := Options{
+		Workers: *parallel, Shards: *shards,
+		Resume: *resume, PointTimeout: *pointTimeout, KeepGoing: *keepGoing,
+		Seeds: *seeds, BaseSeed: *baseSeed, ReproDir: *reproOut, Replay: *replay,
+	}
 	if *traceOn {
 		opts.Trace = true
 		opts.TraceDir = *traceOut
@@ -131,6 +211,46 @@ type Options struct {
 	TraceDir string
 	// TraceSample overrides the trace sampling period (0 = run default).
 	TraceSample time.Duration
+	// Resume, when non-empty, checkpoints completed grid points to the
+	// directory and resumes matching sweeps from it (see exp.Harness).
+	Resume string
+	// PointTimeout bounds each grid point's wall clock (0 = unbounded).
+	PointTimeout time.Duration
+	// KeepGoing records failed points instead of halting the grid.
+	KeepGoing bool
+	// Seeds, BaseSeed, ReproDir and Replay parameterize -exp chaos.
+	Seeds    int
+	BaseSeed int64
+	ReproDir string
+	Replay   string
+}
+
+// validateExp rejects unknown -exp values before any work begins.
+func validateExp(name string) error {
+	if name == "all" || name == "chaos" {
+		return nil
+	}
+	for _, n := range experimentOrder {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (have %s all chaos)", name, strings.Join(experimentOrder, " "))
+}
+
+// ensureWritableDir creates the directory if needed and proves it accepts
+// writes, so output-path failures surface before hours of simulation.
+func ensureWritableDir(flagName, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%s: %w", flagName, err)
+	}
+	probe, err := os.CreateTemp(dir, ".l2bmexp-probe-*")
+	if err != nil {
+		return fmt.Errorf("%s: directory %s is not writable: %w", flagName, dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // Run executes one named experiment (or all) at the given scale with the
@@ -140,26 +260,32 @@ func Run(expName, scaleName string, workers int, w io.Writer) error {
 	return RunOpts(expName, scaleName, Options{Workers: workers}, w)
 }
 
-// RunOpts is Run with the full option set (tracing, worker pool).
+// RunOpts is Run with the full option set (tracing, worker pool,
+// checkpointing, chaos).
 func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	scale, err := parseScale(scaleName)
 	if err != nil {
 		return err
 	}
+	if expName == "chaos" {
+		return runChaos(opts, w)
+	}
 
 	harness, runners := experimentRunners(opts.Workers)
 	harness.Shards = opts.Shards
+	harness.CheckpointDir = opts.Resume
+	harness.PointTimeout = opts.PointTimeout
+	harness.KeepGoing = opts.KeepGoing
 	if opts.Trace {
 		harness.Trace = &exp.TraceSpec{
 			SampleEvery: sim.Duration(opts.TraceSample.Nanoseconds()) * sim.Nanosecond,
 		}
 		harness.TraceDir = opts.TraceDir
 	}
-	order := []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
 
 	var selected []string
 	if expName == "all" {
-		selected = order
+		selected = experimentOrder
 	} else {
 		if _, ok := runners[expName]; !ok {
 			return fmt.Errorf("unknown experiment %q", expName)

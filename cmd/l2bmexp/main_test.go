@@ -76,6 +76,72 @@ func TestParallelFlagDeterminism(t *testing.T) {
 	}
 }
 
+// TestCLIUpfrontValidation: every bad flag combination and unwritable
+// destination must fail during validation, before any simulation (or
+// profile) starts.
+func TestCLIUpfrontValidation(t *testing.T) {
+	blocker := t.TempDir() + "/file"
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-exp", "fig99"},
+		{"-exp", "chaos", "-seeds", "-1"},
+		{"-seeds", "5"},       // -seeds without -exp chaos
+		{"-base-seed", "7"},   // ditto
+		{"-repro-out", "x"},   // ditto
+		{"-replay", "x.json"}, // ditto
+		{"-exp", "chaos", "-replay", "nonexistent.json"},
+		{"-exp", "chaos", "-resume", "ckpt"}, // chaos has its own persistence
+		{"-exp", "fig3a", "-resume", "ckpt", "-trace"},
+		{"-exp", "fig3a", "-point-timeout", "-1s"},
+		{"-exp", "fig3a", "-resume", blocker + "/sub"}, // unwritable
+		{"-exp", "fig3a", "-trace", "-trace-out", blocker + "/sub"},
+		{"-exp", "chaos", "-repro-out", blocker + "/sub"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: want validation error, got success", args)
+		}
+	}
+}
+
+// TestCLIChaos: a tiny soak through the real CLI path comes back clean and
+// prints the summary line.
+func TestCLIChaos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "chaos", "-seeds", "3", "-parallel", "2"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "chaos: 3 seeds, 0 findings") {
+		t.Errorf("missing soak summary:\n%s", buf.String())
+	}
+}
+
+// TestCLIResume: -resume populates a checkpoint directory and a rerun of
+// the identical command restores from it, with identical deterministic
+// output.
+func TestCLIResume(t *testing.T) {
+	dir := t.TempDir()
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-exp", "fig3a", "-scale", "tiny", "-resume", dir}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		drop := regexp.MustCompile(`(?m)^\((?:.* finished in .*|mem: .*)\)$`)
+		return drop.ReplaceAllString(buf.String(), "")
+	}
+	first := render()
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint files written (err=%v)", err)
+	}
+	if second := render(); second != first {
+		t.Errorf("resumed run diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
 func TestCLIProfileFlags(t *testing.T) {
 	dir := t.TempDir()
 	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"

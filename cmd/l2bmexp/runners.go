@@ -1,13 +1,57 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"os"
+	"os/signal"
 
+	"l2bm/internal/chaos"
 	"l2bm/internal/exp"
 )
 
 // parseScale maps the CLI flag to an exp.Scale.
 func parseScale(s string) (exp.Scale, error) { return exp.ParseScale(s) }
+
+// experimentOrder is the paper-figure run order (-exp all) and the
+// vocabulary upfront flag validation checks against. The chaos soak is
+// deliberately not part of "all": it is a robustness harness, not a paper
+// artifact.
+var experimentOrder = []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
+
+// runChaos executes the -exp chaos soak (or, with -replay, re-runs a saved
+// reproducer). Findings are a nonzero exit: the soak is a CI gate.
+func runChaos(opts Options, w io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	copts := chaos.Options{
+		Seeds:        opts.Seeds,
+		BaseSeed:     opts.BaseSeed,
+		Workers:      opts.Workers,
+		PointTimeout: opts.PointTimeout,
+		ReproDir:     opts.ReproDir,
+		Out:          w,
+	}
+	if opts.Replay != "" {
+		reason, err := chaos.Replay(ctx, opts.Replay, copts)
+		if err != nil {
+			return err
+		}
+		if reason != "" {
+			return fmt.Errorf("reproducer %s still fails", opts.Replay)
+		}
+		return nil
+	}
+	rep, err := chaos.Run(ctx, copts)
+	if err != nil {
+		return err
+	}
+	if n := len(rep.Findings); n > 0 {
+		return fmt.Errorf("chaos soak found %d failing scenario(s) out of %d seeds", n, rep.Seeds)
+	}
+	return nil
+}
 
 // experimentRunners maps experiment names to their runners, all sharing
 // one harness (worker pool + aggregate event accounting). A Fig. 7 sweep

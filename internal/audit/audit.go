@@ -1,0 +1,234 @@
+// Package audit is the global invariant auditor: a periodic, observer-free
+// sweep of conservation laws the whole fabric must obey at every event
+// boundary, run while the simulation is in flight rather than only at the
+// end. The per-switch MMU consistency checks (switchsim.CheckInvariants)
+// catch local accounting bugs; the auditor composes them with the global
+// laws no single switch can see:
+//
+//   - buffer-byte conservation per switch: the per-queue occupancy sums
+//     must match the MMU's pool totals (delegated to CheckInvariants),
+//     and the shared pool must stay within its configured capacity
+//     (plus one in-flight MTU of admission slack);
+//   - non-negative occupancy and threshold bounds (CheckInvariants);
+//   - PFC pause/resume pairing: every XOFF must eventually be matched by
+//     an XON — a transmit pause older than MaxPauseAge is flagged, and
+//     after a full drain no pause may remain at all;
+//   - flow-byte conservation: data bytes injected by hosts equal bytes
+//     delivered plus bytes dropped at any kill site plus bytes in flight
+//     (in-flight is never negative mid-run, and exactly zero after a
+//     drained run);
+//   - pool accounting: no packet pool's outstanding count may go negative,
+//     and in debug mode the live-map census must equal the counter-derived
+//     Live() exactly.
+//
+// Observer-freedom is a hard contract: a sweep only reads state — it draws
+// from no RNG stream, schedules nothing that runs simulation code, and
+// mutates nothing outside the auditor itself — so an auditor-on run
+// produces byte-identical results and trace files to an auditor-off run
+// (enforced by test in internal/exp). In the classic engine the sweep rides
+// an ordinary periodic event (consuming sequence numbers does not reorder
+// other events: the (time, seq) tie-break is monotone, and keyed arrivals
+// live in a disjoint key space). Under the sharded conductor the sweep runs
+// as a barrier task, when all shard clocks agree and every cross-shard
+// mailbox is drained — the only instant a global read is coherent.
+package audit
+
+import (
+	"fmt"
+
+	"l2bm/internal/netdev"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+)
+
+// Config tunes the auditor. The zero value is usable: a 500 µs sweep
+// period, pause-age checking off, and up to 64 retained violations.
+type Config struct {
+	// Every is the sweep period (0 = 500 µs).
+	Every sim.Duration
+	// MaxPauseAge, when positive, flags any transmit-pause interval that
+	// has lasted longer than this without a matching resume. Enable it only
+	// on scenarios that cannot legitimately wedge a pause (no PFC-frame
+	// loss, no carrier cuts): a lost XON is a modeled fault, not a
+	// simulator bug, and is checked at drain time instead.
+	MaxPauseAge sim.Duration
+	// AllowLeakedPause skips the after-drain no-pause-left check — set it
+	// when the fault plan destroys PFC frames or cuts carriers, either of
+	// which can legitimately strand a pause with no XON to clear it.
+	AllowLeakedPause bool
+	// Limit caps the retained violation strings (0 = 64); the total count
+	// keeps climbing past it.
+	Limit int
+}
+
+// Auditor sweeps one built cluster. Build with New, then either Start (the
+// classic engine's periodic event chain) or wire CheckOnce as a psim
+// barrier task; call Final after the run for the drain-time checks.
+type Auditor struct {
+	cfg Config
+	cl  *topo.Cluster
+	eng *sim.Engine
+
+	violations []string
+	total      uint64
+	checks     uint64
+	stopped    bool
+}
+
+// New builds an auditor over cl, applying Config defaults.
+func New(cl *topo.Cluster, cfg Config) *Auditor {
+	if cfg.Every <= 0 {
+		cfg.Every = 500 * sim.Microsecond
+	}
+	if cfg.Limit <= 0 {
+		cfg.Limit = 64
+	}
+	return &Auditor{cfg: cfg, cl: cl, eng: cl.Eng}
+}
+
+// Every returns the effective sweep period.
+func (a *Auditor) Every() sim.Duration { return a.cfg.Every }
+
+// Start arms the periodic sweep on the cluster's engine (classic,
+// single-engine runs). Sharded runs must NOT Start: they register CheckOnce
+// as a conductor barrier task instead, because an engine event on one shard
+// reads other shards' state mid-epoch.
+func (a *Auditor) Start() {
+	a.stopped = false
+	a.eng.Schedule(a.cfg.Every, a.tick)
+}
+
+// Stop halts the periodic sweep after the current tick.
+func (a *Auditor) Stop() { a.stopped = true }
+
+func (a *Auditor) tick() {
+	if a.stopped {
+		return
+	}
+	a.CheckOnce(a.eng.Now())
+	a.eng.Schedule(a.cfg.Every, a.tick)
+}
+
+// CheckOnce runs one full sweep at the given instant. Pure reads only.
+func (a *Auditor) CheckOnce(now sim.Time) {
+	a.checks++
+
+	// Per-switch MMU consistency plus the shared-pool capacity bound. The
+	// one-MTU slack is admission granularity: a single in-flight admission
+	// may carry the pool past B by at most one wire MTU before thresholds
+	// (all of the α·(B−Q) family) collapse to zero.
+	for _, sw := range a.cl.AllSwitches() {
+		if err := sw.CheckInvariants(); err != nil {
+			a.record(now, "%v", err)
+		}
+		if used, total := sw.SharedUsed(), sw.TotalShared(); used > total+pkt.MTUBytes {
+			a.record(now, "switch %s: sharedUsed=%d exceeds TotalShared=%d (+1 MTU slack)",
+				sw.Name(), used, total)
+		}
+	}
+
+	// PFC pause/resume pairing, transmitter view: a pause older than
+	// MaxPauseAge means an XOFF whose matching XON never came.
+	if a.cfg.MaxPauseAge > 0 {
+		a.checkPauseAges(now, a.cfg.MaxPauseAge)
+	}
+
+	// Flow-byte conservation: in-flight bytes can never be negative.
+	if tx, rx, dropped := a.cl.DataBytes(); tx-rx-dropped < 0 {
+		a.record(now, "flow-byte ledger negative: injected=%d delivered=%d dropped=%d (in-flight %d)",
+			tx, rx, dropped, tx-rx-dropped)
+	}
+
+	// Pool accounting. Barrier tasks run with every cross-shard mailbox
+	// drained and the classic engine has no mailboxes, so at a sweep
+	// instant every live packet is owned by exactly one pool.
+	for shard, pl := range a.cl.Pools {
+		if pl == nil {
+			continue
+		}
+		live := pl.Live()
+		if live < 0 {
+			a.record(now, "pool[%d]: Live()=%d < 0 (more returns than checkouts)", shard, live)
+		}
+		if pl.Debug() {
+			if tracked := int64(len(pl.Leaked())); tracked != live {
+				a.record(now, "pool[%d]: live map tracks %d packets but counters say %d",
+					shard, tracked, live)
+			}
+		}
+	}
+}
+
+// checkPauseAges scans every transmit direction in the fabric — switch
+// ports and host NICs — for pauses older than maxAge.
+func (a *Auditor) checkPauseAges(now sim.Time, maxAge sim.Duration) {
+	check := func(p *netdev.Port) {
+		for prio := 0; prio < pkt.NumPriorities; prio++ {
+			if p.Paused(prio) && now-p.PausedSince(prio) >= sim.Time(maxAge) {
+				a.record(now, "%v prio %d paused since %v with no resume (max pause age %v)",
+					p, prio, p.PausedSince(prio), maxAge)
+			}
+		}
+	}
+	for _, sw := range a.cl.AllSwitches() {
+		for i := 0; i < sw.NumPorts(); i++ {
+			check(sw.Port(i))
+		}
+	}
+	for _, h := range a.cl.Hosts {
+		check(h.NIC())
+	}
+}
+
+// Final runs the drain-time checks after the run has ended: one last sweep,
+// and — when every packet pool reads fully returned, i.e. nothing is in
+// flight anywhere — exact conservation: the flow-byte ledger must balance
+// to zero, every switch must be quiescent (CheckDrained), and no PFC pause
+// may remain asserted (unless the fault plan can legitimately strand one,
+// see Config.AllowLeakedPause).
+func (a *Auditor) Final() {
+	now := a.eng.Now()
+	a.CheckOnce(now)
+
+	drained := true
+	for _, pl := range a.cl.Pools {
+		if pl == nil || pl.Live() != 0 {
+			drained = false // pooling off, or frames still parked/in flight
+		}
+	}
+	if !drained {
+		return
+	}
+	if tx, rx, dropped := a.cl.DataBytes(); tx-rx-dropped != 0 {
+		a.record(now, "flow-byte ledger unbalanced after drain: injected=%d delivered=%d dropped=%d (in-flight %d, want 0)",
+			tx, rx, dropped, tx-rx-dropped)
+	}
+	for _, sw := range a.cl.AllSwitches() {
+		if err := sw.CheckDrained(); err != nil {
+			a.record(now, "after drain: %v", err)
+		}
+	}
+	if !a.cfg.AllowLeakedPause {
+		a.checkPauseAges(now, 0) // any surviving pause is a leak now
+	}
+}
+
+// record appends one violation, keeping at most cfg.Limit strings.
+func (a *Auditor) record(now sim.Time, format string, args ...any) {
+	a.total++
+	if len(a.violations) < a.cfg.Limit {
+		msg := fmt.Sprintf(format, args...)
+		a.violations = append(a.violations, fmt.Sprintf("audit t=%v: %s", now, msg))
+	}
+}
+
+// Violations returns the retained violation strings (empty on a clean run).
+func (a *Auditor) Violations() []string { return a.violations }
+
+// Total returns the total violation count, including those past the
+// retention limit.
+func (a *Auditor) Total() uint64 { return a.total }
+
+// Checks returns how many sweeps ran (Final's last sweep included).
+func (a *Auditor) Checks() uint64 { return a.checks }

@@ -1,0 +1,87 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+)
+
+// buildTiny builds a minimal cluster for in-package sweeps. The
+// end-to-end auditor behavior (observer-freedom, catching seeded
+// corruption, fault tolerance) is exercised in internal/exp and
+// internal/chaos; these tests pin the package's own contract surface.
+func buildTiny(t *testing.T) *topo.Cluster {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl, err := topo.Build(eng, topo.TinyConfig(), func() core.Policy { return core.NewDT() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestConfigDefaults: the zero Config must be usable — 500 µs period,
+// 64-violation retention.
+func TestConfigDefaults(t *testing.T) {
+	a := New(buildTiny(t), Config{})
+	if a.Every() != 500*sim.Microsecond {
+		t.Errorf("default period = %v, want 500µs", a.Every())
+	}
+	if a.cfg.Limit != 64 {
+		t.Errorf("default retention limit = %d, want 64", a.cfg.Limit)
+	}
+}
+
+// TestCleanIdleSweep: an idle, freshly built cluster passes every check,
+// including the drain-time finals.
+func TestCleanIdleSweep(t *testing.T) {
+	a := New(buildTiny(t), Config{MaxPauseAge: sim.Duration(sim.Millisecond)})
+	a.CheckOnce(0)
+	a.Final()
+	if len(a.Violations()) != 0 || a.Total() != 0 {
+		t.Fatalf("idle cluster flagged: %v", a.Violations())
+	}
+	if a.Checks() != 2 { // CheckOnce + Final's sweep
+		t.Errorf("checks = %d, want 2", a.Checks())
+	}
+}
+
+// TestCatchesSkewAndCapsRetention: a seeded shared-pool skew is flagged on
+// every sweep, retention stops at Limit while Total keeps counting.
+func TestCatchesSkewAndCapsRetention(t *testing.T) {
+	cl := buildTiny(t)
+	cl.ToRs[0].SkewSharedUsedForTest(1 << 20)
+	a := New(cl, Config{Limit: 3})
+	for i := 0; i < 10; i++ {
+		a.CheckOnce(sim.Time(i))
+	}
+	if len(a.Violations()) != 3 {
+		t.Fatalf("retained %d violations, want the cap of 3: %v", len(a.Violations()), a.Violations())
+	}
+	if a.Total() < 10 {
+		t.Errorf("total = %d, want >= 10 (one per sweep past the cap)", a.Total())
+	}
+	if v := a.Violations()[0]; !strings.Contains(v, "sharedUsed") || !strings.Contains(v, "audit t=") {
+		t.Errorf("violation text missing diagnosis or timestamp: %q", v)
+	}
+}
+
+// TestStartStop: the engine-driven chain sweeps once per period and stops
+// cleanly when asked.
+func TestStartStop(t *testing.T) {
+	cl := buildTiny(t)
+	a := New(cl, Config{Every: 100 * sim.Microsecond})
+	a.Start()
+	cl.Eng.Run(sim.Time(1050 * sim.Microsecond))
+	if a.Checks() != 10 {
+		t.Errorf("checks after 1.05ms at 100µs = %d, want 10", a.Checks())
+	}
+	a.Stop()
+	cl.Eng.Run(sim.Time(2 * sim.Millisecond))
+	if a.Checks() != 10 {
+		t.Errorf("sweeps continued after Stop: %d", a.Checks())
+	}
+}

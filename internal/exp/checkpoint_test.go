@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"l2bm/internal/topo"
+)
+
+// checkpointGrid is a small multi-policy sweep for the resume suite.
+func checkpointGrid() []HybridSpec {
+	var specs []HybridSpec
+	for _, policy := range []string{"L2BM", "DT"} {
+		for _, load := range []float64{0.3, 0.6} {
+			specs = append(specs, HybridSpec{
+				Name:     "ckpt-suite",
+				Policy:   policy,
+				Scale:    ScaleTiny,
+				RDMALoad: 0.4,
+				TCPLoad:  load,
+			})
+		}
+	}
+	return specs
+}
+
+// TestCheckpointResumeByteIdentical is the crash-safety acceptance test:
+// kill a sweep partway (external cancellation stands in for SIGKILL — the
+// file only ever holds whole fsynced lines either way), resume it, and the
+// resumed sweep's output must be byte-identical to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	specs := checkpointGrid()
+
+	ref := &Harness{Workers: 2}
+	want, err := ref.runAll(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+
+	// "Kill" the first attempt after the first emitted point.
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := &Harness{Workers: 1, Ctx: ctx, CheckpointDir: dir}
+	_, err = killed.runAll(specs, func(i int, r *Result) { cancel() })
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	stored, total, err := CheckpointProbe(dir, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored == 0 || stored >= total {
+		t.Fatalf("after interruption: %d/%d points stored, want a strict partial", stored, total)
+	}
+
+	resumed := &Harness{Workers: 2, CheckpointDir: dir}
+	got, err := resumed.runAll(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if shardFingerprint(got[i]) != shardFingerprint(want[i]) {
+			t.Errorf("point %d: resumed output diverged from the uninterrupted run", i)
+		}
+	}
+	if stored, _, _ := CheckpointProbe(dir, specs); stored != total {
+		t.Errorf("after resume: %d/%d points stored", stored, total)
+	}
+}
+
+// TestCheckpointRestoreShortCircuits proves restored points are served from
+// the file, not silently recomputed: a doctored stored result surfaces
+// verbatim in the resumed sweep.
+func TestCheckpointRestoreShortCircuits(t *testing.T) {
+	specs := checkpointGrid()
+	dir := t.TempDir()
+	hash, err := sweepHash(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w, err := openCheckpoint(dir, hash, len(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = 123_456_789
+	if err := w.append(2, &Result{Policy: "L2BM", Events: marker}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	h := &Harness{Workers: 2, CheckpointDir: dir}
+	got, err := h.runAll(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2].Events != marker {
+		t.Errorf("point 2 was recomputed (Events=%d), want restored marker %d", got[2].Events, marker)
+	}
+	if got[2].Spec.Policy != specs[2].Policy {
+		t.Errorf("restored point lost its spec: %+v", got[2].Spec)
+	}
+}
+
+// TestCheckpointToleratesTornTail: a crash mid-append leaves a partial last
+// line; the loader must keep every whole line before it and the resumed
+// sweep must recompute only the torn point.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	specs := checkpointGrid()
+	dir := t.TempDir()
+
+	full := &Harness{Workers: 1, CheckpointDir: dir}
+	want, err := full.runAll(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hash, _ := sweepHash(specs)
+	path := filepath.Join(dir, fmt.Sprintf("sweep-%016x.jsonl", hash))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"result":{"Policy":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	stored, total, err := CheckpointProbe(dir, specs)
+	if err != nil {
+		t.Fatalf("torn tail broke the loader: %v", err)
+	}
+	if stored != total {
+		t.Fatalf("torn tail dropped whole lines: %d/%d", stored, total)
+	}
+	resumed := &Harness{Workers: 1, CheckpointDir: dir}
+	got, err := resumed.runAll(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if shardFingerprint(got[i]) != shardFingerprint(want[i]) {
+			t.Errorf("point %d diverged after torn-tail resume", i)
+		}
+	}
+}
+
+// TestCheckpointRefusesForeignFile: a header from a different sweep (moved
+// or hand-edited file) must refuse loudly, never restore wrong results.
+func TestCheckpointRefusesForeignFile(t *testing.T) {
+	specs := checkpointGrid()
+	hash, _ := sweepHash(specs)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.jsonl")
+	if err := os.WriteFile(path,
+		[]byte(`{"version":1,"hash":"deadbeefdeadbeef","points":4}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path, hash, len(specs)); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("foreign header accepted (err=%v)", err)
+	}
+}
+
+// TestCheckpointIneligibleSpecsRefuse: funcs don't serialize — sweeps
+// carrying them must error out before running anything.
+func TestCheckpointIneligibleSpecsRefuse(t *testing.T) {
+	specs := checkpointGrid()
+	specs[1].Hooks = &RunHooks{PostBuild: func(*topo.Cluster) {}}
+	h := &Harness{CheckpointDir: t.TempDir()}
+	if _, err := h.runAll(specs, nil); err == nil || !strings.Contains(err.Error(), "Hooks") {
+		t.Errorf("Hooks-carrying sweep checkpointed (err=%v)", err)
+	}
+
+	traced := &Harness{CheckpointDir: t.TempDir(), Trace: &TraceSpec{}}
+	if _, err := traced.runAll(checkpointGrid(), nil); err == nil ||
+		!strings.Contains(err.Error(), "Trace") {
+		t.Errorf("traced sweep checkpointed (err=%v)", err)
+	}
+}

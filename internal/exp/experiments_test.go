@@ -141,6 +141,50 @@ func TestSweepLookup(t *testing.T) {
 	}
 }
 
+// TestSweepLookupEdges covers the remaining degenerate shapes a partially
+// populated or hand-built sweep can take.
+func TestSweepLookupEdges(t *testing.T) {
+	// Zero value: no Cells map at all.
+	var zero SweepResult
+	if zero.Lookup("DT", 0.4) != nil {
+		t.Error("zero-value sweep should return nil, not panic")
+	}
+
+	s := syntheticSweep([]string{"DT"}, []float64{0.4, 0.5})
+
+	// Epsilon boundary: within loadEpsilon matches, at/beyond it does not.
+	if s.Lookup("DT", 0.4+loadEpsilon/2) == nil {
+		t.Error("load within epsilon should match")
+	}
+	if s.Lookup("DT", 0.4+2*loadEpsilon) != nil {
+		t.Error("load beyond epsilon should not match")
+	}
+
+	// Loads present but the cell row is empty (grid never ran).
+	s.Cells["DT"] = nil
+	if s.Lookup("DT", 0.4) != nil {
+		t.Error("empty cell row should return nil")
+	}
+
+	// A nil hole inside an otherwise populated row (failed point under
+	// KeepGoing) comes back as nil rather than a dangling dereference.
+	s2 := syntheticSweep([]string{"DT"}, []float64{0.4, 0.5})
+	s2.Cells["DT"][1] = nil
+	if s2.Lookup("DT", 0.5) != nil {
+		t.Error("nil cell should surface as nil")
+	}
+	if s2.Lookup("DT", 0.4) == nil {
+		t.Error("populated neighbor of a nil cell should still match")
+	}
+
+	// Empty Loads axis.
+	s3 := &SweepResult{Policies: []string{"DT"}, Loads: nil,
+		Cells: map[string][]*Result{"DT": {}}}
+	if s3.Lookup("DT", 0.4) != nil {
+		t.Error("empty loads axis should return nil")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tab := NewTable("demo", "a", "b")
 	tab.AddRow("1", "2")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Harness executes the paper's figure/table runners over a shared worker
@@ -32,6 +33,20 @@ type Harness struct {
 	// it). Results are byte-identical for any legal shard count, so tables
 	// and progress lines do not change — only wall clock does.
 	Shards int
+	// CheckpointDir, when non-empty, makes every grid crash-resumable:
+	// completed points append to <dir>/sweep-<hash>.jsonl (hash = content
+	// hash of the grid's specs) and a rerun of the same grid restores them
+	// instead of recomputing, yielding byte-identical output. Grids whose
+	// specs carry funcs (PolicyFactory, TopoOverride, Hooks, a LinkFilter,
+	// or tracing — including Harness.Trace) refuse to checkpoint.
+	CheckpointDir string
+	// KeepGoing degrades gracefully instead of halting: a failed point is
+	// recorded and skipped, the rest of the grid still runs and emits, and
+	// runAll returns a *FailureSummary. See Pool.KeepGoing.
+	KeepGoing bool
+	// PointTimeout bounds each point's wall-clock time; an overrun point
+	// fails with *PointTimeoutError. Zero = unbounded. See Pool.PointTimeout.
+	PointTimeout time.Duration
 
 	points      atomic.Uint64
 	events      atomic.Uint64
@@ -69,12 +84,50 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 			}
 		}
 	}
-	pool := &Pool{Workers: h.Workers}
+	pool := &Pool{Workers: h.Workers, KeepGoing: h.KeepGoing, PointTimeout: h.PointTimeout}
+
+	var restored []*Result
+	var ckpt *checkpointWriter
+	var ckptErr error
+	if h.CheckpointDir != "" {
+		hash, err := sweepHash(specs)
+		if err != nil {
+			return nil, err
+		}
+		restored, ckpt, err = openCheckpoint(h.CheckpointDir, hash, len(specs))
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+		// Persist each newly computed success the moment the collator sees
+		// it (ascending order, single goroutine — no locking needed).
+		pool.Observe = func(i int, r *Result, err error) {
+			if err == nil && r != nil && (restored == nil || restored[i] == nil) {
+				if werr := ckpt.append(i, r); werr != nil && ckptErr == nil {
+					ckptErr = werr
+				}
+			}
+		}
+	}
+
 	results, stats, err := pool.Run(h.context(), len(specs),
-		func(_ context.Context, i int) (*Result, error) { return RunHybrid(specs[i]) },
+		func(ctx context.Context, i int) (*Result, error) {
+			if restored != nil && restored[i] != nil {
+				// Determinism makes the stored result indistinguishable
+				// from a recomputed one; reattach the in-memory spec that
+				// JSON could not carry.
+				r := restored[i]
+				r.Spec = specs[i]
+				return r, nil
+			}
+			return RunHybridCtx(ctx, specs[i])
+		},
 		emit)
 	h.points.Add(uint64(stats.Points))
 	h.events.Add(stats.Events)
+	if err == nil && ckptErr != nil {
+		return results, ckptErr
+	}
 	if err == nil && h.TraceDir != "" {
 		base := h.tracePoints
 		h.tracePoints += len(results)

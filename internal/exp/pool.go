@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,81 @@ type Pool struct {
 	// runtime.GOMAXPROCS(0). Workers == 1 reproduces strictly sequential
 	// execution.
 	Workers int
+	// KeepGoing selects graceful degradation: a failed point no longer
+	// cancels the rest of the grid — every point runs, successful points
+	// past a failure are still emitted (the failed index itself is not),
+	// and Run returns the successful results alongside a *FailureSummary
+	// aggregating every failure. Long soaks and chaos sweeps use this so
+	// one bad point cannot waste hours of completed work.
+	KeepGoing bool
+	// PointTimeout bounds each point's wall-clock time (0 = unbounded).
+	// The point's context expires at the deadline; a point that honors it
+	// (RunHybridCtx does) fails with a *PointTimeoutError — a real point
+	// failure, never mistaken for external cancellation of the sweep.
+	PointTimeout time.Duration
+	// Observe, when non-nil, fires from the collator goroutine in strictly
+	// ascending index order — exactly once per point, successes and
+	// failures alike, never concurrently — regardless of KeepGoing or
+	// halting. Checkpoint writers hang off this hook.
+	Observe func(i int, r *Result, err error)
+}
+
+// PanicError is a point panic converted into an error: the pool contains
+// panics so one exploding point cannot take down a long sweep, and the
+// stack survives into the failure report instead of dying with the worker.
+type PanicError struct {
+	Point int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("point %d panicked: %v\n%s", e.Point, e.Value, e.Stack)
+}
+
+// PointTimeoutError marks a point cancelled by Pool.PointTimeout. It is
+// deliberately NOT errors.Is-equal to context.DeadlineExceeded: the error-
+// precedence pass treats context errors as cancellation artifacts, and a
+// timed-out point is a real failure.
+type PointTimeoutError struct {
+	Point int
+	Limit time.Duration
+}
+
+func (e *PointTimeoutError) Error() string {
+	return fmt.Sprintf("point %d exceeded the per-point timeout %v", e.Point, e.Limit)
+}
+
+// PointFailure pairs a failed grid index with its error.
+type PointFailure struct {
+	Point int
+	Err   error
+}
+
+// FailureSummary aggregates every failed point of a KeepGoing run.
+type FailureSummary struct {
+	// Failures holds the failed points in ascending index order.
+	Failures []PointFailure
+	// Total is the grid size, for "k of n failed" reporting.
+	Total int
+}
+
+func (e *FailureSummary) Error() string {
+	s := fmt.Sprintf("%d of %d points failed; first: point %d: %v",
+		len(e.Failures), e.Total, e.Failures[0].Point, e.Failures[0].Err)
+	if len(e.Failures) > 1 {
+		s += fmt.Sprintf(" (and %d more)", len(e.Failures)-1)
+	}
+	return s
+}
+
+// Unwrap exposes the per-point errors to errors.Is / errors.As.
+func (e *FailureSummary) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
 }
 
 // PointFunc computes grid point i. It must be self-contained: no shared
@@ -108,9 +184,9 @@ func (p *Pool) Run(ctx context.Context, n int, point PointFunc, emit EmitFunc) (
 					done <- i
 					continue
 				}
-				res, err := point(ctx, i)
+				res, err := p.runPoint(ctx, point, i)
 				results[i], errs[i] = res, err
-				if err != nil {
+				if err != nil && !p.KeepGoing {
 					cancel()
 				}
 				done <- i
@@ -127,10 +203,13 @@ func (p *Pool) Run(ctx context.Context, n int, point PointFunc, emit EmitFunc) (
 		i := <-done
 		ready[i] = true
 		for flushed < n && ready[flushed] {
-			if errs[flushed] != nil {
+			if p.Observe != nil {
+				p.Observe(flushed, results[flushed], errs[flushed])
+			}
+			if errs[flushed] != nil && !p.KeepGoing {
 				halted = true
 			}
-			if emit != nil && !halted {
+			if emit != nil && !halted && errs[flushed] == nil {
 				emit(flushed, results[flushed])
 			}
 			flushed++
@@ -138,24 +217,60 @@ func (p *Pool) Run(ctx context.Context, n int, point PointFunc, emit EmitFunc) (
 	}
 	wg.Wait()
 	stats.Wall = time.Since(start)
+	for _, r := range results {
+		if r != nil {
+			stats.Points++
+			stats.Events += r.Events
+		}
+	}
 
 	// Lowest-index real failure wins deterministically. Indices are
-	// claimed in ascending order and in-flight points always finish, so
-	// every point below a failed index holds its true outcome, not a
-	// cancellation artifact.
+	// claimed in ascending order and (without KeepGoing) in-flight points
+	// always finish, so every point below a failed index holds its true
+	// outcome, not a cancellation artifact.
+	var fails []PointFailure
 	for i, err := range errs {
 		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, stats, fmt.Errorf("point %d: %w", i, err)
+			fails = append(fails, PointFailure{Point: i, Err: err})
 		}
+	}
+	if len(fails) > 0 {
+		if p.KeepGoing {
+			// Degrade gracefully: hand back what succeeded with the full
+			// failure inventory; callers decide how loudly to fail.
+			return results, stats, &FailureSummary{Failures: fails, Total: n}
+		}
+		return nil, stats, fmt.Errorf("point %d: %w", fails[0].Point, fails[0].Err)
 	}
 	for _, err := range errs {
 		if err != nil { // external cancellation only
 			return nil, stats, err
 		}
 	}
-	for _, r := range results {
-		stats.Points++
-		stats.Events += r.Events
-	}
 	return results, stats, nil
+}
+
+// runPoint executes one point with the pool's robustness wrappers: the
+// per-point wall-clock deadline, and panic containment (a panic becomes a
+// *PanicError carrying the stack).
+func (p *Pool) runPoint(parent context.Context, point PointFunc, i int) (res *Result, err error) {
+	ctx := parent
+	if p.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, p.PointTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Point: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	res, err = point(ctx, i)
+	if err != nil && p.PointTimeout > 0 &&
+		errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		// The per-point deadline (not the sweep context) expired: surface
+		// it as a real failure so cancellation filtering can't hide it.
+		err = &PointTimeoutError{Point: i, Limit: p.PointTimeout}
+	}
+	return res, err
 }

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"l2bm/internal/audit"
 	"l2bm/internal/core"
 	"l2bm/internal/dcqcn"
 	"l2bm/internal/faults"
@@ -73,6 +75,37 @@ type HybridSpec struct {
 	// feed-forward only — a traced run produces byte-identical results to
 	// an untraced one.
 	Trace *TraceSpec
+	// Audit, when non-nil, arms the global invariant auditor (internal/audit):
+	// periodic in-flight sweeps of buffer-byte conservation, pause pairing,
+	// flow-byte conservation and pool accounting, plus the drain-time exact
+	// checks. Violations land in Result.AuditErrors. Auditing is observer-free:
+	// an audited run produces byte-identical results and traces to an
+	// unaudited one (Result.Events differs on the classic path only, because
+	// audit ticks are engine events there).
+	Audit *AuditSpec
+	// Hooks, when non-nil, exposes test-only interception points.
+	Hooks *RunHooks
+}
+
+// AuditSpec configures the in-run invariant auditor.
+type AuditSpec struct {
+	// Every is the sweep period (0 = the auditor default, 500 µs).
+	Every sim.Duration
+	// MaxPauseAge, when positive, flags unpaired XOFFs older than this
+	// mid-run. Leave zero for fault scenarios: injected PFC loss or carrier
+	// cuts legitimately delay or destroy resumes.
+	MaxPauseAge sim.Duration
+	// Limit caps retained violation strings (0 = auditor default).
+	Limit int
+}
+
+// RunHooks are test-only interception points; production specs leave this
+// nil. Specs carrying hooks cannot be checkpointed (funcs don't serialize).
+type RunHooks struct {
+	// PostBuild runs once right after the cluster is built, before any
+	// traffic or observers are armed — the place a mutation test plants a
+	// seeded accounting bug (e.g. Switch.SkewSharedUsedForTest).
+	PostBuild func(*topo.Cluster)
 }
 
 // FaultSpec couples a fault plan with the detection machinery settings.
@@ -102,7 +135,11 @@ type IncastSpec struct {
 
 // Result is everything a figure/table needs from one run.
 type Result struct {
-	Spec   HybridSpec
+	// Spec is carried for in-process consumers; it is excluded from JSON
+	// (checkpoints): its func-valued fields (PolicyFactory, TopoOverride,
+	// Hooks, Trace) do not serialize, and resume re-derives the spec from
+	// the sweep grid anyway.
+	Spec   HybridSpec `json:"-"`
 	Policy string
 
 	// Per-class slowdowns of completed flows, ascending.
@@ -118,7 +155,9 @@ type Result struct {
 
 	// Trace is the flight recorder armed by Spec.Trace (nil when tracing
 	// was off). Export with WriteTrace or the trace.Recorder writers.
-	Trace *trace.Recorder
+	// Excluded from JSON checkpoints: traced sweeps are checkpoint-
+	// ineligible (the recorder is unbounded relative to point results).
+	Trace *trace.Recorder `json:"-"`
 
 	// PauseFrames is the total XOFF count across all switches (the Fig.
 	// 7(d)/Table II metric); the per-layer counters break it down.
@@ -147,10 +186,14 @@ type Result struct {
 	// empty; under faults it pinpoints lost transfers).
 	Incomplete []*metrics.FlowRecord
 
-	// AuditErrors lists MMU-counter invariant violations found by the
-	// end-of-run CheckInvariants sweep over every switch; always empty in
-	// a correct simulator, faults or not.
+	// AuditErrors lists invariant violations: the end-of-run CheckInvariants
+	// sweep over every switch always runs, and when Spec.Audit is set the
+	// in-flight auditor's violations (including drain-time conservation
+	// checks) are appended. Always empty in a correct simulator, faults or
+	// not.
 	AuditErrors []string
+	// AuditChecks counts auditor sweeps that ran (zero when Spec.Audit nil).
+	AuditChecks uint64
 
 	// PoolGets counts packet-pool checkouts over the run and PoolLive the
 	// packets still checked out at run end (zero when the run fully
@@ -207,11 +250,50 @@ func (r *Result) QueryDelaySummary() metrics.Summary {
 	return metrics.Summarize(xs)
 }
 
+// interruptPollEvents is how many executed events pass between context
+// polls when a run is cancellable. Event-count based (not sim-time) so even
+// a zero-delay livelock still gets interrupted; cheap enough (~one atomic
+// load per 4096 events) to leave always-on.
+const interruptPollEvents = 4096
+
+// newAuditor builds the in-run invariant auditor for a spec, deriving the
+// fault-tolerant settings: any active fault plan may legitimately strand a
+// PFC pause (lost XON, cut carrier, blacked-out switch), so drain-time
+// pause-leak checking is relaxed exactly then.
+func newAuditor(spec HybridSpec, cl *topo.Cluster) *audit.Auditor {
+	return audit.New(cl, audit.Config{
+		Every:            spec.Audit.Every,
+		MaxPauseAge:      spec.Audit.MaxPauseAge,
+		Limit:            spec.Audit.Limit,
+		AllowLeakedPause: spec.Faults != nil,
+	})
+}
+
+// finishAudit runs the drain-time checks and folds the auditor's findings
+// into the result.
+func finishAudit(aud *audit.Auditor, res *Result) {
+	aud.Final()
+	res.AuditErrors = append(res.AuditErrors, aud.Violations()...)
+	res.AuditChecks = aud.Checks()
+}
+
 // RunHybrid executes one hybrid data point, dispatching to the sharded
 // conductor when spec.Shards ≥ 1.
 func RunHybrid(spec HybridSpec) (*Result, error) {
+	return RunHybridCtx(context.Background(), spec)
+}
+
+// RunHybridCtx is RunHybrid with cooperative cancellation: when ctx is
+// cancelled (or times out) mid-run, the engine abandons the event loop at
+// the next poll boundary and the call returns (nil, ctx.Err()) — the torn
+// partial state is discarded, never summarized. An uncancelled ctx is
+// observer-free: arming the poll changes no results.
+func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if spec.Shards >= 1 {
-		return runHybridSharded(spec)
+		return runHybridSharded(ctx, spec)
 	}
 	policyName := spec.Policy
 	factory := spec.PolicyFactory
@@ -256,6 +338,9 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 	cl, err := topo.Build(eng, topoCfg, factory, onComplete)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Hooks != nil && spec.Hooks.PostBuild != nil {
+		spec.Hooks.PostBuild(cl)
 	}
 
 	var inj *faults.Injector
@@ -435,7 +520,20 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 		ts.Start(window) // sample the loaded phase, like the metrics samplers
 	}
 
+	var aud *audit.Auditor
+	if spec.Audit != nil {
+		aud = newAuditor(spec, cl)
+		aud.Start()
+	}
+	if ctx.Done() != nil {
+		eng.SetInterrupt(interruptPollEvents, func() bool { return ctx.Err() != nil })
+	}
+
 	eng.Run(horizon)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Spec:          spec,
@@ -490,6 +588,10 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 		if err := sw.CheckInvariants(); err != nil {
 			res.AuditErrors = append(res.AuditErrors, err.Error())
 		}
+	}
+	if aud != nil {
+		aud.Stop()
+		finishAudit(aud, res)
 	}
 	if inj != nil {
 		s := inj.Stats()

@@ -9,9 +9,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"l2bm/internal/audit"
 	"l2bm/internal/core"
 	"l2bm/internal/dcqcn"
 	"l2bm/internal/faults"
@@ -42,7 +44,7 @@ const (
 // shards. The seed derivation deliberately matches the classic path and
 // excludes the shard count: shard count is an execution strategy, not a
 // workload parameter.
-func runHybridSharded(spec HybridSpec) (*Result, error) {
+func runHybridSharded(ctx context.Context, spec HybridSpec) (*Result, error) {
 	shards := spec.Shards
 	policyName := spec.Policy
 	factory := spec.PolicyFactory
@@ -101,9 +103,20 @@ func runHybridSharded(spec HybridSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Hooks != nil && spec.Hooks.PostBuild != nil {
+		spec.Hooks.PostBuild(cl)
+	}
 
 	cond := psim.ForCluster(cl)
 	defer cond.Close()
+
+	// The auditor reads state across every shard, so like the detector and
+	// watchdog it runs as a barrier task, never as one shard's engine event.
+	var aud *audit.Auditor
+	if spec.Audit != nil {
+		aud = newAuditor(spec, cl)
+		cond.AddTask(aud.Every(), func(now sim.Time) { aud.CheckOnce(now) })
+	}
 
 	// Fault injection: one replica per shard, all replaying the identical
 	// plan (same named streams on identically-seeded engines). Each replica
@@ -329,7 +342,17 @@ func runHybridSharded(spec HybridSpec) (*Result, error) {
 		}
 	}
 
+	if ctx.Done() != nil {
+		// ctx.Err is safe for concurrent use, as SetInterrupt requires of
+		// its poll (shard workers check it in parallel).
+		cond.SetInterrupt(interruptPollEvents, func() bool { return ctx.Err() != nil })
+	}
+
 	cond.Run(horizon)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	rec := recs[0].Merge(recs[1:]...)
 	res := &Result{
@@ -389,6 +412,9 @@ func runHybridSharded(spec HybridSpec) (*Result, error) {
 		if err := sw.CheckInvariants(); err != nil {
 			res.AuditErrors = append(res.AuditErrors, err.Error())
 		}
+	}
+	if aud != nil {
+		finishAudit(aud, res)
 	}
 	if len(injs) > 0 {
 		// Process counters (flaps, blackouts) replay identically on every

@@ -340,3 +340,66 @@ func TestDeadlockDetectorIgnoresTransientPauses(t *testing.T) {
 		t.Errorf("transient pause reported as deadlock (%d cycles)", n)
 	}
 }
+
+// TestWatchdogRestartDoesNotDoubleChain: before the fix, Stop only set a
+// flag and left the pending tick queued; a later Start then ran TWO tick
+// chains, phase-shifted by the stop interval — doubling the cadence,
+// halving the effective no-progress window, and double-counting stalls.
+func TestWatchdogRestartDoesNotDoubleChain(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered uint64
+	ticks := 0
+	wd := NewWatchdog(eng, func() uint64 { return delivered }, func() int64 { return 1 << 20 })
+	wd.Window = sim.Millisecond
+	wd.OnStall = func(sim.Time) { ticks++ }
+
+	wd.Start()
+	eng.Run(sim.Time(2500 * sim.Microsecond)) // ticks at 1ms, 2ms
+	wd.Stop()
+	eng.Run(sim.Time(5500 * sim.Microsecond)) // stopped: old chain must die
+	wd.Start()                                // restart at 5.5ms: ticks at 6.5, 7.5, ...
+	eng.Run(sim.Time(10 * sim.Millisecond))
+	wd.Stop()
+
+	// One chain: 2 ticks before the stop + ticks at 6.5/7.5/8.5/9.5 ms.
+	// A doubled chain would also fire at 3/4/.../10 ms.
+	if ticks != 6 {
+		t.Errorf("observed %d stalled ticks, want 6 (single chain)", ticks)
+	}
+	if wd.Stalls != 6 {
+		t.Errorf("Stalls = %d, want 6", wd.Stalls)
+	}
+}
+
+// TestWatchdogRestartRePrimes: progress made while the watchdog is stopped
+// must not be compared against the pre-stop snapshot — the first window
+// after a restart is measured fresh, so a resumed interval cannot be
+// misread. Conversely a genuine post-restart stall is still caught.
+func TestWatchdogRestartRePrimes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var delivered uint64
+	wd := NewWatchdog(eng, func() uint64 { return delivered }, func() int64 { return 1 << 20 })
+	wd.Window = sim.Millisecond
+
+	wd.Start()
+	// Healthy progress through the first window.
+	eng.Schedule(500*sim.Microsecond, func() { delivered++ })
+	eng.Run(sim.Time(1500 * sim.Microsecond))
+	if wd.Stalls != 0 {
+		t.Fatalf("healthy window stalled (%d)", wd.Stalls)
+	}
+	wd.Stop()
+
+	// Progress happens while paused; then restart with NO further progress.
+	delivered += 10
+	eng.Run(sim.Time(3500 * sim.Microsecond))
+	wd.Start()
+	eng.Run(sim.Time(4200 * sim.Microsecond)) // restart was at 3.5ms; first tick due 4.5ms
+	if wd.Stalls != 0 {
+		t.Fatalf("stall declared before a full post-restart window elapsed (%d)", wd.Stalls)
+	}
+	eng.Run(sim.Time(6 * sim.Millisecond)) // windows at 4.5ms and 5.5ms: no progress → stalls
+	if wd.Stalls != 2 {
+		t.Errorf("post-restart stalls = %d, want 2", wd.Stalls)
+	}
+}

@@ -32,6 +32,7 @@ type Watchdog struct {
 	last    uint64
 	primed  bool
 	stopped bool
+	pending sim.EventRef // the armed tick, cancelled on Stop/restart
 
 	// Stalls counts no-progress windows observed.
 	Stalls uint64
@@ -49,15 +50,26 @@ func NewWatchdog(eng *sim.Engine, progress func() uint64, resident func() int64)
 	}
 }
 
-// Start arms the periodic check (engine-driven mode).
+// Start arms the periodic check (engine-driven mode). Restarting after a
+// Stop re-primes: the first full Window after the resume is measured fresh,
+// so a pause spanning an otherwise-stalled interval cannot produce a
+// spurious stall, and any tick left pending from the previous incarnation
+// is cancelled rather than resuming as a second, phase-shifted chain.
 func (w *Watchdog) Start() {
+	w.pending.Cancel()
 	w.stopped = false
 	w.Prime()
-	w.eng.Schedule(w.Window, w.tick)
+	w.pending = w.eng.Schedule(w.Window, w.tick)
 }
 
-// Stop halts checking after the current tick.
-func (w *Watchdog) Stop() { w.stopped = true }
+// Stop halts checking and disarms the pending tick, so a later Start
+// cannot inherit the old chain (which would double the cadence and halve
+// the effective no-progress window).
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	w.pending.Cancel()
+	w.pending = sim.EventRef{}
+}
 
 // Prime snapshots the progress counter without arming the engine-driven
 // tick chain — the sharded conductor's replacement for Start: it primes
@@ -91,5 +103,5 @@ func (w *Watchdog) tick() {
 		return
 	}
 	w.TickOnce()
-	w.eng.Schedule(w.Window, w.tick)
+	w.pending = w.eng.Schedule(w.Window, w.tick)
 }

@@ -44,6 +44,14 @@ type Host struct {
 	// DataReceived counts data packets delivered to this host's receivers —
 	// the fabric-wide progress signal the fault watchdog monitors.
 	DataReceived uint64
+	// TxDataBytes and RxDataBytes are the host's ends of the global
+	// flow-byte conservation ledger the invariant auditor checks: wire
+	// bytes (header + payload) of every data frame this host injected into
+	// its NIC, and of every data frame delivered to its receivers
+	// (including duplicates and out-of-order arrivals — the ledger closes
+	// over retransmissions at the wire level, not the application level).
+	TxDataBytes int64
+	RxDataBytes int64
 }
 
 var (
@@ -145,6 +153,7 @@ func (h *Host) HandleArrival(p *pkt.Packet, port *netdev.Port) {
 
 func (h *Host) handleData(p *pkt.Packet) {
 	h.DataReceived++
+	h.RxDataBytes += int64(p.Size)
 	switch p.Class {
 	case pkt.ClassLossless:
 		r, ok := h.rdmaRx[p.Flow]
@@ -221,8 +230,15 @@ func (h *Host) RDMASender(id pkt.FlowID) *dcqcn.Sender { return h.rdmaTx[id] }
 // Now implements transport.Env.
 func (h *Host) Now() sim.Time { return h.eng.Now() }
 
-// Send implements transport.Env.
-func (h *Host) Send(p *pkt.Packet) { h.nic.Enqueue(p) }
+// Send implements transport.Env. Every frame a transport emits — first
+// transmissions and retransmissions alike — passes through here, so this is
+// the single injection point of the flow-byte conservation ledger.
+func (h *Host) Send(p *pkt.Packet) {
+	if p.Kind == pkt.KindData {
+		h.TxDataBytes += int64(p.Size)
+	}
+	h.nic.Enqueue(p)
+}
 
 // Schedule implements transport.Env.
 func (h *Host) Schedule(delay sim.Duration, fn func()) sim.EventRef {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"testing"
 
 	"l2bm/internal/pkt"
@@ -113,6 +114,63 @@ func TestMergePanicsOnDuplicateStart(t *testing.T) {
 		}
 	}()
 	a.Merge(b)
+}
+
+// TestMergeSelfPanics: passing the receiver as an argument duplicates
+// every started flow, which must trip the duplicate-start panic rather
+// than silently doubling records.
+func TestMergeSelfPanics(t *testing.T) {
+	a := NewFCTRecorder()
+	startFlow(a, 2, 0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("a.Merge(a) did not panic")
+		}
+	}()
+	a.Merge(a)
+}
+
+// TestMergeDuplicateStartPanicDeterministic: with several duplicated IDs
+// the panic must name the same flow on every run — IDs are visited in
+// sorted order, so the smallest duplicate in the second recorder wins.
+func TestMergeDuplicateStartPanicDeterministic(t *testing.T) {
+	for run := 0; run < 5; run++ {
+		a, b := NewFCTRecorder(), NewFCTRecorder()
+		for _, id := range []pkt.FlowID{4, 9, 17} {
+			startFlow(a, id, 0, 100)
+			startFlow(b, id, 0, 100)
+		}
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatal("duplicate starts accepted")
+				}
+				if msg, _ := v.(string); !strings.Contains(msg, "flow 4") {
+					t.Fatalf("run %d: panic named %q, want the smallest duplicate (flow 4)", run, msg)
+				}
+			}()
+			a.Merge(b)
+		}()
+	}
+}
+
+// TestMergeFirstOrphanWins: when two shards both park a completion for the
+// same flow, the earlier input's timestamp is the one that joins the start
+// — mirroring Completed's own first-completion-wins rule.
+func TestMergeFirstOrphanWins(t *testing.T) {
+	starter, a, b := NewFCTRecorder(), NewFCTRecorder(), NewFCTRecorder()
+	startFlow(starter, 8, 0, 100)
+	a.Completed(8, sim.Time(10))
+	b.Completed(8, sim.Time(999))
+	m := starter.Merge(a, b)
+	if rec := m.Records(0)[0]; rec.End != sim.Time(10) {
+		t.Fatalf("later duplicate orphan won: End=%v, want 10", rec.End)
+	}
+	// And the duplicate orphan is consumed, not left dangling.
+	if m.Orphans() != 0 {
+		t.Fatalf("merged recorder holds %d orphans, want 0", m.Orphans())
+	}
 }
 
 // TestMergeNilAndEmptyInputs: nil recorders in the argument list are

@@ -39,6 +39,12 @@ type PortStats struct {
 	// FaultDrops counts frames discarded by the RxFault hook (bit-error
 	// corruption or injected control-frame loss).
 	FaultDrops uint64
+	// CarrierDropDataBytes and FaultDropDataBytes restrict the two drop
+	// counters above to data frames, in wire bytes — the port-layer kill
+	// sites of the flow-byte conservation ledger (control frames are not
+	// part of the ledger).
+	CarrierDropDataBytes uint64
+	FaultDropDataBytes   uint64
 	// ForcedResumes counts PFC pause states cleared by ForceResume (the
 	// deadlock detector's documented degraded mode).
 	ForcedResumes uint64
@@ -484,11 +490,17 @@ func (p *Port) finishTransmit(q *pkt.Packet) {
 func (p *Port) receive(q *pkt.Packet) {
 	if p.down {
 		p.stats.CarrierDrops++
+		if q.Kind == pkt.KindData {
+			p.stats.CarrierDropDataBytes += uint64(q.Size)
+		}
 		p.pool.Put(q) // sink: the frame died on a dark fiber
 		return
 	}
 	if p.RxFault != nil && !p.RxFault(q) {
 		p.stats.FaultDrops++
+		if q.Kind == pkt.KindData {
+			p.stats.FaultDropDataBytes += uint64(q.Size)
+		}
 		p.pool.Put(q) // sink: corrupted or injected-loss frame
 		return
 	}

@@ -72,6 +72,10 @@ type Conductor struct {
 	// worker plumbing: one persistent goroutine per shard when sharded.
 	start []chan sim.Time
 	done  chan int
+
+	// intr, when set, is polled between epochs (and inside each shard's
+	// engine loop); returning true abandons the run early.
+	intr func() bool
 }
 
 // New builds a conductor over the given engines and cross-shard mailboxes.
@@ -116,6 +120,22 @@ func (c *Conductor) AddTask(every sim.Duration, fn func(now sim.Time)) {
 	c.tasks = append(c.tasks, &Task{Every: every, Fn: fn, next: c.engines[0].Now() + sim.Time(every)})
 }
 
+// SetInterrupt installs an abandon-the-run poll: fn is checked between
+// epochs on the conductor goroutine AND every `every` fired events inside
+// each shard engine's run loop (so a livelocked epoch is interrupted too,
+// not just the barrier). When fn returns true, Run returns early with the
+// fabric in a torn mid-run state — callers must discard results, which is
+// exactly what a context-cancelled experiment point does. fn MUST be safe
+// for concurrent use (shard workers poll it in parallel); context.Err-style
+// checks qualify. Pass fn == nil to disarm. Like the engine-level
+// SetInterrupt, an armed poll that never fires is observer-free.
+func (c *Conductor) SetInterrupt(every uint64, fn func() bool) {
+	c.intr = fn
+	for _, e := range c.engines {
+		e.SetInterrupt(every, fn)
+	}
+}
+
 // Stats returns a snapshot of the conductor counters.
 func (c *Conductor) Stats() Stats { return c.stats }
 
@@ -156,6 +176,9 @@ func (c *Conductor) Close() {
 // sim.Engine.Run).
 func (c *Conductor) Run(horizon sim.Time) {
 	for {
+		if c.intr != nil && c.intr() {
+			return
+		}
 		bound := horizon
 
 		// Earliest due barrier task bounds the epoch: the task must observe

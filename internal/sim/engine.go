@@ -96,6 +96,14 @@ type Engine struct {
 	// cancelled counts events cancelled but still occupying heap slots
 	// (reclaimed lazily on pop or by compaction).
 	cancelled int
+
+	// Interrupt polling (SetInterrupt): intrFn is consulted every intrEvery
+	// fired events; returning true stops the run like Stop. Event-count
+	// based rather than sim-time based so a zero-delay livelock — events
+	// firing forever at a frozen clock — still gets interrupted.
+	intrFn    func() bool
+	intrEvery uint64
+	intrCount uint64
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose master
@@ -250,6 +258,25 @@ func (e *Engine) alloc(at Time) *event {
 // resume from the stop point.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetInterrupt installs a poll the run loop consults every `every` fired
+// events: when fn returns true, the current Run/RunAll stops exactly like
+// Stop (resumable). fn(nil) disarms. The poll is counted in executed events,
+// not simulated time, so it fires even inside a zero-delay event livelock
+// where the clock never advances — the property the per-point wall-clock
+// timeout needs. fn runs on the engine goroutine but MUST also be safe to
+// call concurrently from other goroutines when the engine is driven by the
+// sharded conductor (ctx.Err-style checks qualify). The poll never runs
+// simulation code and draws no RNG, so an interrupt that does not fire is
+// observer-free: results are byte-identical with or without it armed.
+func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
+	if fn != nil && every == 0 {
+		panic("sim: interrupt poll period must be positive")
+	}
+	e.intrFn = fn
+	e.intrEvery = every
+	e.intrCount = 0
+}
+
 // Run executes events in timestamp order until the queue empties, the clock
 // would pass until, or Stop is called. It returns the simulated time at exit
 // (== until when the horizon was reached, even if no event fired there).
@@ -263,6 +290,14 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.pop()
 		e.dispatch(next)
+		if e.intrFn != nil {
+			if e.intrCount++; e.intrCount >= e.intrEvery {
+				e.intrCount = 0
+				if e.intrFn() {
+					e.stopped = true
+				}
+			}
+		}
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -278,6 +313,14 @@ func (e *Engine) RunAll() Time {
 		next := e.queue[0]
 		e.pop()
 		e.dispatch(next)
+		if e.intrFn != nil {
+			if e.intrCount++; e.intrCount >= e.intrEvery {
+				e.intrCount = 0
+				if e.intrFn() {
+					e.stopped = true
+				}
+			}
+		}
 	}
 	return e.now
 }

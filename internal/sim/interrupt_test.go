@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+// TestInterruptStopsRunEarly: a poll returning true abandons the loop at
+// the next poll boundary, leaving later events pending.
+func TestInterruptStopsRunEarly(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	for i := 1; i <= 100; i++ {
+		e.Schedule(Duration(i)*Microsecond, func() { fired++ })
+	}
+	polls := 0
+	e.SetInterrupt(10, func() bool {
+		polls++
+		return polls >= 3 // fire on the 3rd poll = after 30 events
+	})
+	e.RunAll()
+	if fired != 30 {
+		t.Errorf("fired %d events before interrupt, want 30", fired)
+	}
+	if polls != 3 {
+		t.Errorf("polled %d times, want 3", polls)
+	}
+	// The engine is stopped, not broken: disarm and resume, and the
+	// remaining 70 events execute normally.
+	e.SetInterrupt(0, nil)
+	e.RunAll()
+	if fired != 100 {
+		t.Errorf("resume after interrupt fired %d total events, want 100", fired)
+	}
+}
+
+// TestInterruptStopsBoundedRun: same contract for Run(until).
+func TestInterruptStopsBoundedRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	for i := 1; i <= 50; i++ {
+		e.Schedule(Duration(i)*Microsecond, func() { fired++ })
+	}
+	e.SetInterrupt(1, func() bool { return fired >= 7 })
+	e.Run(Time(100 * Microsecond))
+	if fired != 7 {
+		t.Errorf("fired %d events before interrupt, want 7", fired)
+	}
+}
+
+// TestInterruptObserverFree: an armed poll that never fires must not change
+// what executes, when, or the clock — it is a pure read of the loop.
+func TestInterruptObserverFree(t *testing.T) {
+	run := func(arm bool) (uint64, Time) {
+		e := NewEngine(7)
+		if arm {
+			e.SetInterrupt(4, func() bool { return false })
+		}
+		for i := 1; i <= 20; i++ {
+			d := Duration(e.Rand("d").Intn(100)+1) * Microsecond
+			e.Schedule(d, func() {
+				if e.Rand("chain").Float64() < 0.5 {
+					e.Schedule(Microsecond, func() {})
+				}
+			})
+		}
+		e.RunAll()
+		return e.Events(), e.Now()
+	}
+	offEvents, offNow := run(false)
+	onEvents, onNow := run(true)
+	if offEvents != onEvents || offNow != onNow {
+		t.Errorf("armed-but-idle interrupt perturbed the run: events %d→%d, now %v→%v",
+			offEvents, onEvents, offNow, onNow)
+	}
+}
+
+// TestInterruptDisarm: nil fn disarms; zero period with a non-nil fn is a
+// programming error.
+func TestInterruptDisarm(t *testing.T) {
+	e := NewEngine(1)
+	e.SetInterrupt(1, func() bool { return true })
+	e.SetInterrupt(0, nil) // disarm — zero period legal here
+	fired := 0
+	e.Schedule(Microsecond, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Errorf("disarmed interrupt still stopped the run (fired=%d)", fired)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetInterrupt(0, fn) did not panic")
+		}
+	}()
+	e.SetInterrupt(0, func() bool { return false })
+}

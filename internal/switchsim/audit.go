@@ -18,7 +18,10 @@ import (
 //  4. resident equals total ingress + headroom bytes, and also total
 //     egress bytes (every resident packet is counted once on each side);
 //  5. the per-priority congested-queue census matches the counters;
-//  6. a paused ingress queue is lossless (only lossless queues send PFC).
+//  6. a paused ingress queue is lossless (only lossless queues send PFC);
+//  7. no headroom counter exceeds the configured per-queue headroom pool
+//     (admission enforces the cap; a counter past it means some path
+//     charged headroom without the check).
 func (s *Switch) CheckInvariants() error {
 	var ingSum, hrSum, egSum, sharedSum int64
 	var poolSum [4]int64
@@ -32,6 +35,10 @@ func (s *Switch) CheckInvariants() error {
 			if ing < 0 || eg < 0 || hr < 0 {
 				return fmt.Errorf("switch %s: negative counter at (%d,%d): ing=%d eg=%d hr=%d",
 					s.name, port, prio, ing, eg, hr)
+			}
+			if hr > s.cfg.HeadroomPerQueue {
+				return fmt.Errorf("switch %s: headroom (%d,%d)=%d exceeds per-queue pool %d",
+					s.name, port, prio, hr, s.cfg.HeadroomPerQueue)
 			}
 			ingSum += ing
 			hrSum += hr
@@ -71,6 +78,13 @@ func (s *Switch) CheckInvariants() error {
 	}
 	return nil
 }
+
+// SkewSharedUsedForTest corrupts the MMU's shared-pool counter by delta
+// bytes WITHOUT touching the per-queue counters it is derived from — the
+// seeded accounting bug the chaos harness's mutation test plants to prove
+// the invariant auditor catches (and the shrinker minimizes) real
+// conservation violations. Production code must never call this.
+func (s *Switch) SkewSharedUsedForTest(delta int64) { s.mmu.sharedUsed += delta }
 
 // CheckDrained audits that the MMU is fully quiescent — the state every
 // switch must reach after all traffic has drained, even across faults

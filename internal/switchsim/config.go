@@ -110,6 +110,13 @@ type Stats struct {
 	// LosslessViolations counts lossless packets dropped because headroom
 	// was exhausted — zero in any correctly configured run.
 	LosslessViolations uint64
+	// LossyDropBytesIngress/LossyDropBytesEgress/LosslessViolationBytes are
+	// the wire-byte counterparts of the three drop counters above — the
+	// switch-layer kill sites of the flow-byte conservation ledger the
+	// invariant auditor checks (injected == delivered + dropped + in-flight).
+	LossyDropBytesIngress  uint64
+	LossyDropBytesEgress   uint64
+	LosslessViolationBytes uint64
 	// ECNMarked counts CE marks applied.
 	ECNMarked uint64
 	// PauseFramesSent counts XOFF frames generated (the paper's Fig. 7(d)

@@ -230,6 +230,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 		// headroom (PFC is already, or is about to be, asserted).
 		if p.Class == pkt.ClassLossy {
 			s.stats.LossyDropsIngress++
+			s.stats.LossyDropBytesIngress += uint64(p.Size)
 			if s.tracer != nil {
 				s.recordPacketEvent(trace.DropLossyIngress, in, prio, p)
 			}
@@ -242,6 +243,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			// pause frame was lost, the re-issue guard is the only way to
 			// stop it.
 			s.stats.LosslessViolations++
+			s.stats.LosslessViolationBytes += uint64(p.Size)
 			if s.tracer != nil {
 				s.recordPacketEvent(trace.LosslessViolation, in, prio, p)
 			}
@@ -256,6 +258,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 		egTh := s.policy.EgressThreshold(s, out, prio)
 		if s.mmu.eg[out][prio]+size > s.cfg.ReservedPerQueue+egTh {
 			s.stats.LossyDropsEgress++
+			s.stats.LossyDropBytesEgress += uint64(p.Size)
 			if s.tracer != nil {
 				s.recordPacketEvent(trace.DropLossyEgress, out, prio, p)
 			}

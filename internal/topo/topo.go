@@ -682,6 +682,32 @@ func (cl *Cluster) ResidentBytes() int64 {
 	return total
 }
 
+// DataBytes returns the three legs of the fabric-wide flow-byte
+// conservation ledger, in wire bytes of data frames only: tx is what hosts
+// injected (first transmissions plus retransmissions), rx what hosts'
+// receivers took delivery of, and dropped what died at any kill site — the
+// switches' three admission-drop paths plus the ports' carrier and fault
+// (BER / injected-loss) drops. At any event boundary
+// tx - rx - dropped >= 0 (the difference is bytes in flight); after a full
+// drain the difference is exactly zero. The invariant auditor checks both.
+func (cl *Cluster) DataBytes() (tx, rx, dropped int64) {
+	for _, h := range cl.Hosts {
+		tx += h.TxDataBytes
+		rx += h.RxDataBytes
+		st := h.NIC().Stats()
+		dropped += int64(st.CarrierDropDataBytes + st.FaultDropDataBytes)
+	}
+	for _, sw := range cl.AllSwitches() {
+		st := sw.Stats()
+		dropped += int64(st.LossyDropBytesIngress + st.LossyDropBytesEgress + st.LosslessViolationBytes)
+		for i := 0; i < sw.NumPorts(); i++ {
+			ps := sw.Port(i).Stats()
+			dropped += int64(ps.CarrierDropDataBytes + ps.FaultDropDataBytes)
+		}
+	}
+	return tx, rx, dropped
+}
+
 // RecoveryBytes sums retransmitted payload bytes across all hosts.
 func (cl *Cluster) RecoveryBytes() int64 {
 	var total int64
@@ -710,6 +736,9 @@ func SwitchStats(switches []*switchsim.Switch) switchsim.Stats {
 		agg.TxPackets += st.TxPackets
 		agg.LossyDropsIngress += st.LossyDropsIngress
 		agg.LossyDropsEgress += st.LossyDropsEgress
+		agg.LossyDropBytesIngress += st.LossyDropBytesIngress
+		agg.LossyDropBytesEgress += st.LossyDropBytesEgress
+		agg.LosslessViolationBytes += st.LosslessViolationBytes
 		agg.LosslessHeadroom += st.LosslessHeadroom
 		agg.LosslessViolations += st.LosslessViolations
 		agg.ECNMarked += st.ECNMarked
