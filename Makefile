@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-guard faults chaos chaos-soak speedup speedup-shards trace-demo clean
+.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak speedup speedup-shards trace-demo clean
 
 all: check
 
@@ -39,8 +39,16 @@ bench-json:
 # (allocs/op is near-deterministic, unlike ns/op). Benchmarks without a
 # baseline entry are reported as "new (no baseline)" and skipped.
 bench-guard:
-	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun' -benchmem -benchtime=1x -run=^$$ ./... \
+	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$' -benchmem -benchtime=1x -run=^$$ ./... \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+
+# The policy arena: every registered buffer-management policy (the paper's
+# four plus the related work — EDT, TDT, BShare, Occamy, FB) raced on a
+# common load x burst x fault grid with the invariant auditor armed,
+# emitting a ranked scorecard (table + CSV). Restrict the field with e.g.
+# `go run ./cmd/l2bmexp -exp arena -policies L2BM,DT,Occamy`.
+arena:
+	$(GO) run ./cmd/l2bmexp -exp arena -scale tiny
 
 # The robustness ablation: link flaps + BER + recovery, four policies.
 faults:

@@ -94,6 +94,20 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkArenaPoint prices one arena grid cell (the high-load burst
+// cell, the arena's most expensive clean configuration) on the policy with
+// the most machinery in the admission path: Occamy, whose preemption hook
+// sits inside the MMU's drop sites. Guarded in CI via benchguard so the
+// registry/preemption layers stay off the per-packet allocation path.
+func BenchmarkArenaPoint(b *testing.B) {
+	runPoint(b, exp.HybridSpec{
+		Name: "arena", Policy: "Occamy", Scale: exp.ScaleTiny,
+		RDMALoad: 0.4, TCPLoad: 0.8,
+		Incast: &exp.IncastSpec{Fanout: 5, RequestBytes: 1 << 20, QueryRate: 752},
+		Audit:  &exp.AuditSpec{},
+	})
+}
+
 // BenchmarkSweepWorkers measures the parallel experiment scheduler on a
 // multi-policy sweep (Table II's 4 policies x 5 loads): workers=1 is the
 // sequential baseline, workers=0 (GOMAXPROCS) fans the independent points

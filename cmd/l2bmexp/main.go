@@ -7,8 +7,12 @@
 //	l2bmexp -exp all -scale full -out results.txt
 //	l2bmexp -exp fig7 -scale full -parallel 8 -cpuprofile cpu.pprof
 //
-// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults all,
-// plus the beyond-the-paper chaos soak (see below).
+// Experiments: fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11 faults arena
+// all, plus the beyond-the-paper chaos soak (see below).
+// The arena experiment races every registered buffer-management policy
+// (the paper's four plus the related work: EDT, TDT, BShare, Occamy, FB)
+// over a common load × burst × fault grid and emits a ranked scorecard;
+// -policies L2BM,DT,Occamy restricts the field.
 // The faults experiment is a beyond-the-paper robustness ablation: link
 // flaps plus frame corruption with go-back-N recovery and PFC deadlock
 // detection enabled.
@@ -53,6 +57,7 @@ import (
 	"strings"
 	"time"
 
+	"l2bm/internal/core"
 	"l2bm/internal/exp"
 	"l2bm/internal/sim"
 )
@@ -66,7 +71,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("l2bmexp", flag.ContinueOnError)
-	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|all|chaos")
+	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|arena|all|chaos")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
@@ -79,6 +84,7 @@ func run(args []string, stdout io.Writer) error {
 	resume := fs.String("resume", "", "checkpoint directory: completed grid points persist there and a rerun of the same sweep resumes instead of recomputing")
 	pointTimeout := fs.Duration("point-timeout", 0, "per-point wall-clock limit (e.g. 5m; 0 = unbounded)")
 	keepGoing := fs.Bool("keep-going", false, "record failed grid points and keep running the rest instead of halting on the first failure")
+	policiesFlag := fs.String("policies", "", "arena: comma-separated subset of registered policies to race (default: all)")
 	seeds := fs.Int("seeds", 0, "chaos: how many scenarios to fuzz (0 = 50)")
 	baseSeed := fs.Int64("base-seed", 0, "chaos: scenario i uses seed base-seed+i (rotate ranges without overlap)")
 	reproOut := fs.String("repro-out", "", "chaos: directory for runnable JSON reproducers of any findings")
@@ -109,6 +115,10 @@ func run(args []string, stdout io.Writer) error {
 	// any work (or profile) starts: a typo'd -exp or an unwritable directory
 	// must fail in milliseconds, not after a long sweep.
 	if err := validateExp(*expName); err != nil {
+		return err
+	}
+	policies, err := parsePolicies(*expName, *policiesFlag)
+	if err != nil {
 		return err
 	}
 	if *expName != "chaos" {
@@ -173,7 +183,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := Options{
-		Workers: *parallel, Shards: *shards,
+		Workers: *parallel, Shards: *shards, Policies: policies,
 		Resume: *resume, PointTimeout: *pointTimeout, KeepGoing: *keepGoing,
 		Seeds: *seeds, BaseSeed: *baseSeed, ReproDir: *reproOut, Replay: *replay,
 	}
@@ -205,6 +215,9 @@ type Options struct {
 	// Shards, when >= 1, runs every point on the sharded conservative-time
 	// engine with that many shards (0 = classic sequential engine).
 	Shards int
+	// Policies restricts the arena to this subset of registered policies
+	// (nil = every registered policy, in registration order).
+	Policies []string
 	// Trace arms the flight recorder on every run.
 	Trace bool
 	// TraceDir receives the per-run CSV/JSONL trace artifacts.
@@ -236,6 +249,31 @@ func validateExp(name string) error {
 		}
 	}
 	return fmt.Errorf("unknown experiment %q (have %s all chaos)", name, strings.Join(experimentOrder, " "))
+}
+
+// parsePolicies validates the -policies selection against the policy
+// registry before any work starts: a typo'd name ("BShar") must exit
+// nonzero in milliseconds, listing what the registry actually holds.
+func parsePolicies(expName, csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	if expName != "arena" {
+		return nil, fmt.Errorf("-policies requires -exp arena")
+	}
+	var policies []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-policies: empty policy name in %q", csv)
+		}
+		if !core.IsRegistered(name) {
+			return nil, fmt.Errorf("-policies: unknown policy %q (have %s)",
+				name, strings.Join(core.RegisteredPolicies(), " "))
+		}
+		policies = append(policies, name)
+	}
+	return policies, nil
 }
 
 // ensureWritableDir creates the directory if needed and proves it accepts
@@ -271,7 +309,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 		return runChaos(opts, w)
 	}
 
-	harness, runners := experimentRunners(opts.Workers)
+	harness, runners := experimentRunners(opts)
 	harness.Shards = opts.Shards
 	harness.CheckpointDir = opts.Resume
 	harness.PointTimeout = opts.PointTimeout

@@ -86,6 +86,10 @@ func TestCLIUpfrontValidation(t *testing.T) {
 	}
 	cases := [][]string{
 		{"-exp", "fig99"},
+		{"-exp", "arena", "-policies", "L2BM,BShar"}, // typo'd policy name
+		{"-exp", "arena", "-policies", "nope"},
+		{"-exp", "arena", "-policies", "L2BM,,DT"}, // empty element
+		{"-exp", "fig7", "-policies", "L2BM"},      // -policies is arena-only
 		{"-exp", "chaos", "-seeds", "-1"},
 		{"-seeds", "5"},       // -seeds without -exp chaos
 		{"-base-seed", "7"},   // ditto
@@ -104,6 +108,46 @@ func TestCLIUpfrontValidation(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v: want validation error, got success", args)
 		}
+	}
+}
+
+// TestCLIUnknownPolicyMessage: the -policies rejection must happen before
+// any simulation and must list the registry so the user can fix the typo.
+func TestCLIUnknownPolicyMessage(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "arena", "-scale", "tiny", "-policies", "L2BM,BShar"}, &buf)
+	if err == nil {
+		t.Fatal("typo'd -policies should fail")
+	}
+	for _, want := range []string{`unknown policy "BShar"`, "L2BM", "BShare", "Occamy", "FB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q (should list the registry)", err, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("validation failure still produced output:\n%s", buf.String())
+	}
+}
+
+// TestCLIArenaSmoke: a restricted arena through the real CLI path emits
+// the scorecard artifacts.
+func TestCLIArenaSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "arena", "-scale", "tiny", "-policies", "L2BM,DT2"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"arena: per-cell detail", "arena: ranked scorecard",
+		"arena scorecard CSV:", "arena: integrity",
+		"l0.4+faults", "fault_done",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("arena output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("arena output contains NaN")
 	}
 }
 

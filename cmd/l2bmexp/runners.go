@@ -18,7 +18,7 @@ func parseScale(s string) (exp.Scale, error) { return exp.ParseScale(s) }
 // vocabulary upfront flag validation checks against. The chaos soak is
 // deliberately not part of "all": it is a robustness harness, not a paper
 // artifact.
-var experimentOrder = []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults"}
+var experimentOrder = []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults", "arena"}
 
 // runChaos executes the -exp chaos soak (or, with -replay, re-runs a saved
 // reproducer). Findings are a nonzero exit: the soak is a CI gate.
@@ -57,8 +57,8 @@ func runChaos(opts Options, w io.Writer) error {
 // one harness (worker pool + aggregate event accounting). A Fig. 7 sweep
 // is cached so that Table II (the same grid) does not re-simulate when
 // both run in one invocation.
-func experimentRunners(workers int) (*exp.Harness, map[string]func(exp.Scale, io.Writer) error) {
-	h := exp.NewHarness(workers)
+func experimentRunners(opts Options) (*exp.Harness, map[string]func(exp.Scale, io.Writer) error) {
+	h := exp.NewHarness(opts.Workers)
 	var fig7Sweep *exp.SweepResult
 	var fig7Scale exp.Scale
 
@@ -104,6 +104,10 @@ func experimentRunners(workers int) (*exp.Harness, map[string]func(exp.Scale, io
 		},
 		"faults": func(s exp.Scale, w io.Writer) error {
 			_, err := h.RunFaultTolerance(s, w)
+			return err
+		},
+		"arena": func(s exp.Scale, w io.Writer) error {
+			_, err := h.RunArena(s, opts.Policies, w)
 			return err
 		},
 	}

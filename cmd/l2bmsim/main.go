@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"l2bm/internal/core"
 	"l2bm/internal/exp"
 )
 
@@ -26,7 +27,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("l2bmsim", flag.ContinueOnError)
-	policy := fs.String("policy", "L2BM", "buffer management policy: L2BM|DT|DT2|ABM")
+	policy := fs.String("policy", "L2BM", "buffer management policy (any registered name, e.g. L2BM|DT|DT2|ABM|BShare|Occamy|FB)")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	rdma := fs.Float64("rdma", 0.4, "RDMA offered load (fraction of 25G access links)")
 	tcp := fs.Float64("tcp", 0.8, "TCP offered load")
@@ -39,6 +40,11 @@ func run(args []string, w io.Writer) error {
 	scale, err := exp.ParseScale(*scaleName)
 	if err != nil {
 		return err
+	}
+	// Resolve the policy through the registry before building anything: an
+	// unknown name must be a clean CLI error, not a mid-run panic.
+	if _, err := core.NewPolicy(*policy); err != nil {
+		return fmt.Errorf("-policy: %w", err)
 	}
 	spec := exp.HybridSpec{
 		Name:     "l2bmsim",

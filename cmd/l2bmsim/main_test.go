@@ -40,3 +40,33 @@ func TestSimCLIErrors(t *testing.T) {
 		t.Error("bad flag should fail")
 	}
 }
+
+// TestSimCLIRejectsUnknownPolicy: an unregistered -policy must be a clean
+// upfront error listing the registry, not a mid-run panic.
+func TestSimCLIRejectsUnknownPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "BShar", "-scale", "tiny"}, &buf)
+	if err == nil {
+		t.Fatal("unknown -policy should fail")
+	}
+	for _, want := range []string{`unknown policy "BShar"`, "BShare", "Occamy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("validation failure still produced output:\n%s", buf.String())
+	}
+}
+
+// TestSimCLIRunsRegistryPolicy: a related-work policy resolves through
+// the registry end to end.
+func TestSimCLIRunsRegistryPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "FB", "-scale", "tiny", "-tcp", "0.3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "policy=FB") {
+		t.Error("FB run missing its policy banner")
+	}
+}

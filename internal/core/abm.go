@@ -40,7 +40,10 @@ func (a *ABM) IngressThreshold(s StateView, _, _ int) int64 {
 }
 
 // EgressThreshold implements Policy: the ABM formula over the queue's class
-// pool.
+// pool. Cold start and fully drained switches are the dangerous corner:
+// CongestedEgressQueues(prio) can be 0 (denominator clamped to 1) and the
+// measured dequeue/line rates can both be 0 — normalizedDrainRate guards
+// the division so no Inf/NaN ever escapes into a threshold.
 func (a *ABM) EgressThreshold(s StateView, port, prio int) int64 {
 	free := s.TotalShared() - s.EgressPoolUsed(ClassOfPriority(prio))
 	if free < 0 {
@@ -50,11 +53,26 @@ func (a *ABM) EgressThreshold(s StateView, port, prio int) int64 {
 	if n < 1 {
 		n = 1
 	}
-	mu := float64(s.EgressDrainRate(port, prio)) / float64(s.EgressLineRate(port))
-	if mu <= 0 {
-		mu = 1.0 / float64(pkt.NumPriorities)
-	}
+	mu := normalizedDrainRate(s, port, prio)
 	return int64(a.AlphaPriority / float64(n) * float64(free) * mu)
+}
+
+// normalizedDrainRate returns μ̂(port, prio): the queue's measured dequeue
+// rate normalized to the port's line rate. On an idle or freshly booted
+// switch both rates are 0 and the naive quotient is NaN — which compares
+// false against every guard (NaN <= 0 is false) and would silently poison
+// int64 conversion. The fallback mirrors ABM's cold-start convention: an
+// equal 1/NumPriorities share. Shared by ABM and FB.
+func normalizedDrainRate(s StateView, port, prio int) float64 {
+	line := float64(s.EgressLineRate(port))
+	if line <= 0 {
+		return 1.0 / float64(pkt.NumPriorities)
+	}
+	mu := float64(s.EgressDrainRate(port, prio)) / line
+	if mu <= 0 { // also catches NaN from a 0/0 quotient upstream
+		return 1.0 / float64(pkt.NumPriorities)
+	}
+	return mu
 }
 
 // OnEnqueue implements Policy; ABM needs no per-packet state (congestion

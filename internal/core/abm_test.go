@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"l2bm/internal/pkt"
@@ -67,6 +68,41 @@ func TestABMEgressZeroDrainFallsBack(t *testing.T) {
 	want := int64(abm.AlphaPriority / 1 * float64(s.total) / float64(pkt.NumPriorities))
 	if got != want {
 		t.Errorf("fallback threshold = %d, want %d", got, want)
+	}
+}
+
+// TestABMZeroLineRateNoNaN: on a cold-start or drained switch both the
+// measured dequeue rate and (with a downed link) the line rate can read 0.
+// The naive μ̂ = drain/line is then 0/0 = NaN, which slips past a `mu <= 0`
+// guard (NaN compares false) and turns the threshold into garbage via
+// int64(NaN). The fallback must engage instead.
+func TestABMZeroLineRateNoNaN(t *testing.T) {
+	s := newFakeState()
+	s.line = 0 // drain defaults to line → a 0/0 quotient without the guard
+	abm := NewABM()
+	got := abm.EgressThreshold(s, 0, pkt.PrioLossy)
+	want := int64(abm.AlphaPriority / 1 * float64(s.total) / float64(pkt.NumPriorities))
+	if got != want {
+		t.Errorf("zero-line-rate threshold = %d, want fallback %d", got, want)
+	}
+	if got < 0 || got > s.total {
+		t.Errorf("threshold %d escaped [0, %d]", got, s.total)
+	}
+}
+
+// TestNormalizedDrainRateFinite sweeps the degenerate rate combinations;
+// μ̂ must always be finite and in (0, 1].
+func TestNormalizedDrainRateFinite(t *testing.T) {
+	for _, tc := range []struct{ drain, line int64 }{
+		{0, 0}, {0, 25e9}, {25e9, 0}, {-1, 25e9}, {25e9, -1},
+	} {
+		s := newFakeState()
+		s.line = tc.line
+		s.drain[[2]int{0, pkt.PrioLossy}] = tc.drain
+		mu := normalizedDrainRate(s, 0, pkt.PrioLossy)
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || mu <= 0 || mu > 1 {
+			t.Errorf("drain=%d line=%d: μ̂ = %v, want finite in (0,1]", tc.drain, tc.line, mu)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// BShareConfig parameterizes the BShare policy. The zero value is not
+// valid; use DefaultBShareConfig.
+type BShareConfig struct {
+	// Alpha is the base ingress control factor scaled by the delay ratio.
+	Alpha float64
+	// AlphaEgressPool is the egress-pool DT factor (BShare, like L2BM, is
+	// an ingress-pool algorithm).
+	AlphaEgressPool float64
+	// TargetDelay is the absolute per-queue queueing-delay objective D:
+	// a queue measuring exactly D gets weight Alpha, faster queues earn
+	// more, slower queues are squeezed.
+	TargetDelay sim.Duration
+	// DelayFloor is the minimum measured delay used in the ratio,
+	// preventing division blow-ups for queues that drain immediately.
+	DelayFloor sim.Duration
+	// ExcludePauseTime keeps downstream-PFC stall time out of the delay
+	// estimate (same mitigation as L2BM §III-D — a paused queue is not a
+	// congested queue).
+	ExcludePauseTime bool
+	// BoundsLossless and BoundsLossy clamp the delay-driven weight per
+	// class, with the same rationale as L2BM's bounds: lossless queues are
+	// pinned at the common factor so PFC behaviour stays predictable, and
+	// lossy queues can never be boosted past the base factor.
+	BoundsLossless WeightBounds
+	BoundsLossy    WeightBounds
+}
+
+// DefaultBShareConfig returns the evaluation defaults: α = 0.5 with a
+// 16-MTU-serialization delay target at 25 Gb/s.
+func DefaultBShareConfig() BShareConfig {
+	floor := sim.TxTime(pkt.MTUBytes, 25e9)
+	return BShareConfig{
+		Alpha:            AlphaDT2,
+		AlphaEgressPool:  AlphaEgress,
+		TargetDelay:      16 * floor,
+		DelayFloor:       floor,
+		ExcludePauseTime: true,
+		BoundsLossless:   WeightBounds{Min: AlphaDT2, Max: AlphaDT2},
+		BoundsLossy:      WeightBounds{Min: AlphaDT2 / 8, Max: AlphaDT2},
+	}
+}
+
+// Validate rejects configurations that would silently corrupt thresholds:
+// NaN/Inf/non-positive control factors, non-positive delay parameters, and
+// malformed weight bounds.
+func (cfg *BShareConfig) Validate() error {
+	switch {
+	case math.IsNaN(cfg.Alpha) || math.IsInf(cfg.Alpha, 0) || cfg.Alpha <= 0:
+		return fmt.Errorf("core: BShare Alpha = %v, want finite > 0", cfg.Alpha)
+	case math.IsNaN(cfg.AlphaEgressPool) || math.IsInf(cfg.AlphaEgressPool, 0) || cfg.AlphaEgressPool <= 0:
+		return fmt.Errorf("core: BShare AlphaEgressPool = %v, want finite > 0", cfg.AlphaEgressPool)
+	case cfg.TargetDelay <= 0:
+		return fmt.Errorf("core: BShare TargetDelay = %v, want > 0", cfg.TargetDelay)
+	case cfg.DelayFloor <= 0:
+		return fmt.Errorf("core: BShare DelayFloor = %v, want > 0 (zero divides the ratio)", cfg.DelayFloor)
+	}
+	if err := cfg.BoundsLossless.Validate(); err != nil {
+		return fmt.Errorf("lossless %w", err)
+	}
+	if err := cfg.BoundsLossy.Validate(); err != nil {
+		return fmt.Errorf("lossy %w", err)
+	}
+	return nil
+}
+
+// BShare reimplements packet-queueing-delay-driven buffer sharing
+// (arXiv 2605.24178) — philosophically the closest rival to L2BM: both
+// read congestion from the time packets spend queued rather than from byte
+// counts. Where L2BM normalizes each ingress queue's sojourn estimate
+// against the other active queues (relative congestion), BShare holds
+// every queue to an absolute delay target D:
+//
+//	T_i^p(t) = clamp(D / τ_i^p) · α · (B − Q(t))
+//
+// Queues whose measured queueing delay sits below the target earn a
+// proportionally larger share of the free pool; queues exceeding it are
+// squeezed toward the class minimum. The per-queue delay estimate τ reuses
+// the sojourn module's machinery (Algorithm 1) unchanged.
+type BShare struct {
+	cfg     BShareConfig
+	sojourn *SojournTable
+}
+
+// NewBShareConfig returns a BShare policy with the given configuration,
+// panicking on invalid configurations like NewL2BM.
+func NewBShareConfig(cfg BShareConfig) *BShare {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &BShare{cfg: cfg, sojourn: NewSojournTable(cfg.ExcludePauseTime)}
+}
+
+// NewBShare returns BShare with the evaluation defaults.
+func NewBShare() *BShare { return NewBShareConfig(DefaultBShareConfig()) }
+
+// Name implements Policy.
+func (b *BShare) Name() string { return "BShare" }
+
+// Sojourn exposes the delay estimator for tests.
+func (b *BShare) Sojourn() *SojournTable { return b.sojourn }
+
+// Weight returns the delay-ratio weight clamp(D/τ)·α for ingress queue
+// (port, prio). An idle queue's τ collapses to the floor, so the ratio
+// saturates at the class maximum — cold start degenerates to DT with the
+// class's max weight, and thresholds never jump when traffic appears.
+func (b *BShare) Weight(s StateView, port, prio int) float64 {
+	tau := b.sojourn.Tau(s, port, prio)
+	if tau < b.cfg.DelayFloor {
+		tau = b.cfg.DelayFloor
+	}
+	w := float64(b.cfg.TargetDelay) / float64(tau) * b.cfg.Alpha
+	if ClassOfPriority(prio) == pkt.ClassLossless {
+		return b.cfg.BoundsLossless.clamp(w)
+	}
+	return b.cfg.BoundsLossy.clamp(w)
+}
+
+// IngressThreshold implements Policy: the delay-weighted DT share.
+func (b *BShare) IngressThreshold(s StateView, port, prio int) int64 {
+	free := s.TotalShared() - s.SharedUsed()
+	if free < 0 {
+		free = 0
+	}
+	return int64(b.Weight(s, port, prio) * float64(free))
+}
+
+// EgressThreshold implements Policy: standard egress-pool DT.
+func (b *BShare) EgressThreshold(s StateView, _, prio int) int64 {
+	return egressDT(s, prio, b.cfg.AlphaEgressPool)
+}
+
+// OnEnqueue implements Policy, feeding the delay estimator.
+func (b *BShare) OnEnqueue(s StateView, p *pkt.Packet) { b.sojourn.OnEnqueue(s, p) }
+
+// OnDequeue implements Policy.
+func (b *BShare) OnDequeue(s StateView, p *pkt.Packet) { b.sojourn.OnDequeue(s, p) }

@@ -89,4 +89,9 @@ var (
 	_ Policy = (*DT)(nil)
 	_ Policy = (*ABM)(nil)
 	_ Policy = (*L2BM)(nil)
+	_ Policy = (*FB)(nil)
+	_ Policy = (*BShare)(nil)
+	_ Policy = (*Occamy)(nil)
+
+	_ PreemptivePolicy = (*Occamy)(nil)
 )

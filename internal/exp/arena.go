@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"l2bm/internal/core"
+)
+
+// The arena races every registered policy over a common grid: two
+// background loads, with and without the incast query stream, plus one
+// faulted cell. Seeds exclude the policy name (common random numbers), so
+// every policy sees the identical offered workload in each cell and the
+// scorecard differences are attributable to buffer management alone.
+const (
+	// ArenaBaseLoad and ArenaHighLoad are the TCP offered loads of the
+	// clean grid columns (RDMA stays at the paper's fixed 0.4).
+	ArenaBaseLoad = 0.4
+	ArenaHighLoad = 0.8
+	// ArenaIncastFanout is N for the burst cells' query workload.
+	ArenaIncastFanout = 5
+)
+
+// ArenaCell is one point of the per-policy grid.
+type ArenaCell struct {
+	// Key labels the cell in tables and progress lines.
+	Key string
+	// TCPLoad is the background TCP offered load; RDMA is fixed at 0.4.
+	TCPLoad float64
+	// Burst adds the incast query stream (fanout ArenaIncastFanout).
+	Burst bool
+	// Fault arms DefaultFaultScenario with the extended fault drain.
+	Fault bool
+}
+
+// ArenaCells returns the grid every policy runs: base and high load, each
+// clean and bursty, plus a faulted base-load cell for the recovery
+// metrics. The slice order is the spec order (and so the emit order).
+func ArenaCells() []ArenaCell {
+	return []ArenaCell{
+		{Key: "l0.4", TCPLoad: ArenaBaseLoad},
+		{Key: "l0.8", TCPLoad: ArenaHighLoad},
+		{Key: "l0.4+burst", TCPLoad: ArenaBaseLoad, Burst: true},
+		{Key: "l0.8+burst", TCPLoad: ArenaHighLoad, Burst: true},
+		{Key: "l0.4+faults", TCPLoad: ArenaBaseLoad, Fault: true},
+	}
+}
+
+// ArenaScore is one policy's scorecard row. All criteria are
+// lower-is-better except FaultCompletion; Score is the min–max-normalized
+// mean over the criteria, so 0 would be a policy that wins every column
+// and 1 one that loses every column.
+type ArenaScore struct {
+	Policy string
+	Score  float64
+	// RDMAp99 and TCPp99 are the worst (max) per-class p99 FCT slowdowns
+	// over the clean cells; IncastP99 the worst over the burst cells.
+	RDMAp99   float64
+	TCPp99    float64
+	IncastP99 float64
+	// PauseFrames and Losses (drops + preemptive evictions) sum over the
+	// clean cells; the fault cell's are excluded as fault noise.
+	PauseFrames uint64
+	Losses      uint64
+	// FaultHorizonMs is the faulted cell's end-of-run instant — how long
+	// the fabric needed to drain after recovery — and FaultCompletion the
+	// fraction of started flows that finished despite the faults.
+	FaultHorizonMs  float64
+	FaultCompletion float64
+}
+
+// ArenaResult holds the full grid plus the ranked scorecard.
+type ArenaResult struct {
+	// Policies is the raced list in registration order.
+	Policies []string
+	// Cells is the grid, shared by every policy.
+	Cells []ArenaCell
+	// Results[policy][i] is the run for Cells[i].
+	Results map[string][]*Result
+	// Ranked is the scorecard, best (lowest Score) first.
+	Ranked []ArenaScore
+}
+
+// RunArena races the given policies (nil/empty = every registered policy)
+// over the arena grid and writes per-cell detail, the ranked scorecard
+// (table + CSV), and the integrity table to w. Every point runs with the
+// invariant auditor armed. Output is deterministic: byte-identical across
+// harness worker counts and shard counts.
+func (h *Harness) RunArena(scale Scale, policies []string, w io.Writer) (*ArenaResult, error) {
+	if len(policies) == 0 {
+		policies = append([]string(nil), ExtendedPolicyNames...)
+	}
+	for _, pol := range policies {
+		if !core.IsRegistered(pol) {
+			return nil, fmt.Errorf("exp: arena: unknown policy %q (have %s)",
+				pol, strings.Join(core.RegisteredPolicies(), ", "))
+		}
+	}
+	cells := ArenaCells()
+	specs := make([]HybridSpec, 0, len(policies)*len(cells))
+	for _, pol := range policies {
+		for _, c := range cells {
+			spec := HybridSpec{
+				Name:     "arena",
+				Policy:   pol,
+				Scale:    scale,
+				RDMALoad: 0.4,
+				TCPLoad:  c.TCPLoad,
+				Audit:    &AuditSpec{},
+			}
+			if c.Burst {
+				spec.Incast = incastSpecFor(ArenaIncastFanout)
+			}
+			if c.Fault {
+				spec.Faults = DefaultFaultScenario(scale)
+				spec.DrainOverride = FaultDrain * scale.Window()
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	var emit EmitFunc
+	if w != nil {
+		emit = func(i int, r *Result) {
+			pol, cell := policies[i/len(cells)], cells[i%len(cells)]
+			fmt.Fprintf(w, "  arena %s %s: flows %d/%d, pause=%d, losses=%d\n",
+				pol, cell.Key, r.FlowsCompleted, r.FlowsStarted,
+				r.PauseFrames, r.LossyDrops+r.LossyEvictions)
+		}
+	}
+	flat, err := h.runAll(specs, emit)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ArenaResult{
+		Policies: policies,
+		Cells:    cells,
+		Results:  make(map[string][]*Result, len(policies)),
+	}
+	for pi, pol := range policies {
+		res.Results[pol] = flat[pi*len(cells) : (pi+1)*len(cells)]
+	}
+	res.Ranked = rankArena(policies, cells, res.Results)
+
+	if w != nil {
+		if err := renderArena(w, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunArena runs the arena on a default harness.
+func RunArena(scale Scale, policies []string, w io.Writer) (*ArenaResult, error) {
+	return defaultHarness().RunArena(scale, policies, w)
+}
+
+// arenaScoreFor condenses one policy's grid row into scorecard criteria.
+func arenaScoreFor(pol string, cells []ArenaCell, runs []*Result) ArenaScore {
+	sc := ArenaScore{Policy: pol, FaultCompletion: 1}
+	for i, c := range cells {
+		r := runs[i]
+		if c.Fault {
+			sc.FaultHorizonMs = r.EndTime.Millis()
+			if r.FlowsStarted > 0 {
+				sc.FaultCompletion = float64(r.FlowsCompleted) / float64(r.FlowsStarted)
+			}
+			continue
+		}
+		if v := r.RDMAp99(); v > sc.RDMAp99 {
+			sc.RDMAp99 = v
+		}
+		if v := r.TCPp99(); v > sc.TCPp99 {
+			sc.TCPp99 = v
+		}
+		if c.Burst {
+			if v := r.Incastp99(); v > sc.IncastP99 {
+				sc.IncastP99 = v
+			}
+		}
+		sc.PauseFrames += r.PauseFrames
+		sc.Losses += r.LossyDrops + r.LossyEvictions
+	}
+	return sc
+}
+
+// rankArena builds the scorecard and sorts it best-first. Each criterion
+// is min–max normalized across the raced policies (a constant column
+// contributes zero to everyone), the score is the mean contribution, and
+// ties break on the input (registration) order, so the ranking is total
+// and deterministic.
+func rankArena(policies []string, cells []ArenaCell, results map[string][]*Result) []ArenaScore {
+	scores := make([]ArenaScore, len(policies))
+	for i, pol := range policies {
+		scores[i] = arenaScoreFor(pol, cells, results[pol])
+	}
+	criteria := []func(*ArenaScore) float64{
+		func(s *ArenaScore) float64 { return s.RDMAp99 },
+		func(s *ArenaScore) float64 { return s.TCPp99 },
+		func(s *ArenaScore) float64 { return s.IncastP99 },
+		func(s *ArenaScore) float64 { return float64(s.PauseFrames) },
+		func(s *ArenaScore) float64 { return float64(s.Losses) },
+		func(s *ArenaScore) float64 { return s.FaultHorizonMs },
+		func(s *ArenaScore) float64 { return 1 - s.FaultCompletion },
+	}
+	for _, crit := range criteria {
+		lo, hi := crit(&scores[0]), crit(&scores[0])
+		for i := range scores {
+			if v := crit(&scores[i]); v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		for i := range scores {
+			scores[i].Score += (crit(&scores[i]) - lo) / (hi - lo)
+		}
+	}
+	for i := range scores {
+		scores[i].Score /= float64(len(criteria))
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return scores[order[a]].Score < scores[order[b]].Score
+	})
+	ranked := make([]ArenaScore, len(scores))
+	for i, idx := range order {
+		ranked[i] = scores[idx]
+	}
+	return ranked
+}
+
+// renderArena writes the per-cell detail table, the ranked scorecard as a
+// table and as CSV, and the integrity table.
+func renderArena(w io.Writer, res *ArenaResult) error {
+	detail := NewTable("arena: per-cell detail",
+		"policy", "cell", "rdma_p99", "tcp_p99", "incast_p99",
+		"pause", "drops", "evict", "flows", "end_ms")
+	integ := newIntegrityTable("arena: integrity")
+	for _, pol := range res.Policies {
+		for i, c := range res.Cells {
+			r := res.Results[pol][i]
+			detail.AddRow(pol, c.Key,
+				f2(r.RDMAp99()), f2(r.TCPp99()), f2(r.Incastp99()),
+				fmt.Sprint(r.PauseFrames), fmt.Sprint(r.LossyDrops),
+				fmt.Sprint(r.LossyEvictions),
+				fmt.Sprintf("%d/%d", r.FlowsCompleted, r.FlowsStarted),
+				f2(r.EndTime.Millis()))
+			addIntegrityRow(integ, pol+"/"+c.Key, r)
+		}
+	}
+	if err := detail.Fprint(w); err != nil {
+		return err
+	}
+
+	card := NewTable("arena: ranked scorecard",
+		"rank", "policy", "score", "rdma_p99", "tcp_p99", "incast_p99",
+		"pause", "losses", "fault_ms", "fault_done")
+	for i, s := range res.Ranked {
+		card.AddRow(fmt.Sprint(i+1), s.Policy, f3(s.Score),
+			f2(s.RDMAp99), f2(s.TCPp99), f2(s.IncastP99),
+			fmt.Sprint(s.PauseFrames), fmt.Sprint(s.Losses),
+			f2(s.FaultHorizonMs), f3(s.FaultCompletion))
+	}
+	if err := card.Fprint(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\narena scorecard CSV:\n%s", card.CSV()); err != nil {
+		return err
+	}
+	return integ.Fprint(w)
+}

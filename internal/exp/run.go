@@ -166,8 +166,11 @@ type Result struct {
 	AggPauseFrames  uint64
 	CorePauseFrames uint64
 
-	// Drops and marks aggregated over all switches.
+	// Drops and marks aggregated over all switches. LossyEvictions counts
+	// already-admitted packets a preemptive policy (Occamy) evicted —
+	// losses like drops, but charged after admission.
 	LossyDrops         uint64
+	LossyEvictions     uint64
 	LosslessViolations uint64
 	ECNMarked          uint64
 
@@ -571,6 +574,7 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	all := topo.SwitchStats(cl.AllSwitches())
 	res.PauseFrames = all.PauseFramesSent
 	res.LossyDrops = all.LossyDropsIngress + all.LossyDropsEgress
+	res.LossyEvictions = all.LossyEvictions
 	res.LosslessViolations = all.LosslessViolations
 	res.ECNMarked = all.ECNMarked
 	res.PFCReissues = all.PFCReissues

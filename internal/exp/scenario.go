@@ -86,32 +86,22 @@ func (s Scale) Window() sim.Duration {
 // flows can finish.
 func (s Scale) Drain() sim.Duration { return 8 * s.Window() }
 
-// PolicyNames lists the evaluation's four schemes in the paper's order.
+// PolicyNames lists the evaluation's four schemes in the paper's order —
+// the row order of every reproduced figure/table. It is a fixed view into
+// the policy registry, which additionally carries the related-work
+// policies (see core.RegisteredPolicies / the arena experiment).
 var PolicyNames = []string{"L2BM", "DT", "DT2", "ABM"}
 
-// ExtendedPolicyNames adds the related-work DT variants the paper cites but
-// does not plot (EDT, TDT), available to l2bmsim and the extension benches.
-var ExtendedPolicyNames = []string{"L2BM", "DT", "DT2", "ABM", "EDT", "TDT"}
+// ExtendedPolicyNames is every policy in the registry, in registration
+// order: the paper's four first, then the related work (EDT, TDT, BShare,
+// Occamy, FB). The arena races exactly this list.
+var ExtendedPolicyNames = core.RegisteredPolicies()
 
-// NewPolicy returns a fresh policy instance by name. It panics on unknown
-// names (experiment configuration is static).
+// NewPolicy returns a fresh policy instance by name, resolved through the
+// core registry. It panics on unknown names (experiment configuration is
+// static; CLIs validate against the registry before any run starts).
 func NewPolicy(name string) core.Policy {
-	switch name {
-	case "L2BM":
-		return core.NewDefaultL2BM()
-	case "DT":
-		return core.NewDT()
-	case "DT2":
-		return core.NewDT2()
-	case "ABM":
-		return core.NewABM()
-	case "EDT":
-		return core.NewEDT()
-	case "TDT":
-		return core.NewTDT()
-	default:
-		panic(fmt.Sprintf("exp: unknown policy %q", name))
-	}
+	return core.MustNewPolicy(name)
 }
 
 // seedFor derives a stable per-scenario seed so every (experiment, policy,

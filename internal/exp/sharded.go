@@ -393,6 +393,7 @@ func runHybridSharded(ctx context.Context, spec HybridSpec) (*Result, error) {
 	all := topo.SwitchStats(cl.AllSwitches())
 	res.PauseFrames = all.PauseFramesSent
 	res.LossyDrops = all.LossyDropsIngress + all.LossyDropsEgress
+	res.LossyEvictions = all.LossyEvictions
 	res.LosslessViolations = all.LosslessViolations
 	res.ECNMarked = all.ECNMarked
 	res.PFCReissues = all.PFCReissues

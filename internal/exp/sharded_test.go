@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"l2bm/internal/core"
 	"l2bm/internal/faults"
 	"l2bm/internal/sim"
 )
@@ -19,9 +20,9 @@ func shardFingerprint(res *Result) string {
 		res.RDMASlowdowns, res.TCPSlowdowns, res.IncastSlowdowns, res.QueryDelays)
 	s += fmt.Sprintf("flows=%d/%d gaps=%d end=%v\n",
 		res.FlowsStarted, res.FlowsCompleted, res.LosslessGaps, res.EndTime)
-	s += fmt.Sprintf("pause=%d/%d/%d/%d drops=%d viol=%d ecn=%d reissue=%d\n",
+	s += fmt.Sprintf("pause=%d/%d/%d/%d drops=%d evict=%d viol=%d ecn=%d reissue=%d\n",
 		res.PauseFrames, res.ToRPauseFrames, res.AggPauseFrames, res.CorePauseFrames,
-		res.LossyDrops, res.LosslessViolations, res.ECNMarked, res.PFCReissues)
+		res.LossyDrops, res.LossyEvictions, res.LosslessViolations, res.ECNMarked, res.PFCReissues)
 	s += fmt.Sprintf("recov=%d nacks=%d tmo=%d down=%d corrupt=%d lostpfc=%d carrier=%d stalls=%d cycles=%d broken=%d\n",
 		res.RecoveryBytes, res.RDMANACKs, res.RDMATimeouts, res.LinkDownEvents,
 		res.CorruptedFrames, res.LostPFC, res.CarrierDrops,
@@ -90,6 +91,51 @@ func TestShardCountInvariance(t *testing.T) {
 				shards, prints[1], shards, prints[shards])
 		}
 		compareTraceDirs(t, dirs[1], dirs[shards], shards)
+	}
+}
+
+// TestShardCountInvarianceRegistrySweep runs every registered policy —
+// the paper's four plus the related work, including the stateful BShare
+// (sojourn table) and preemptive Occamy — through the same data point at
+// 1 and 2 shards. Shard count is an execution strategy, never a workload
+// parameter, so every observable must be byte-identical per policy.
+func TestShardCountInvarianceRegistrySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism suite")
+	}
+	for _, pol := range core.RegisteredPolicies() {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			prints := map[int]string{}
+			for _, shards := range []int{1, 2} {
+				spec := HybridSpec{
+					Name:     "shards-det-registry",
+					Policy:   pol,
+					Scale:    ScaleTiny,
+					RDMALoad: 0.4,
+					TCPLoad:  0.6,
+					Incast:   &IncastSpec{Fanout: 4, RequestBytes: 200_000, QueryRate: 2000},
+					Audit:    &AuditSpec{},
+					Shards:   shards,
+				}
+				res, err := RunHybrid(spec)
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", pol, shards, err)
+				}
+				if res.FlowsCompleted == 0 {
+					t.Fatalf("%s shards=%d: no flows completed", pol, shards)
+				}
+				if len(res.AuditErrors) > 0 {
+					t.Fatalf("%s shards=%d: audit errors: %v", pol, shards, res.AuditErrors)
+				}
+				prints[shards] = shardFingerprint(res)
+			}
+			if prints[2] != prints[1] {
+				t.Errorf("%s: shards=2 diverged from shards=1:\n--- 1 ---\n%.2000s\n--- 2 ---\n%.2000s",
+					pol, prints[1], prints[2])
+			}
+		})
 	}
 }
 

@@ -223,22 +223,26 @@ func sortedCopy(xs []float64) []float64 {
 // Percentile returns the p-th percentile (0–100) of sorted-or-not xs by
 // linear interpolation between the two closest order statistics (the
 // rank is p/100·(n−1); numpy's default convention — not nearest-rank).
-// p outside [0, 100] clamps to min/max; NaN for empty input. xs is
-// copied, never mutated. Callers holding an already-sorted sample set
-// should use PercentileSorted to skip the copy and re-sort.
+// p outside [0, 100] clamps to min/max; 0 for empty input — an empty
+// sample set (e.g. an arena cell where a policy dropped every flow of
+// one class) must yield a zero-valued statistic, never NaN, because NaN
+// compares false against everything and silently poisons ranked sorts.
+// xs is copied, never mutated. Callers holding an already-sorted sample
+// set should use PercentileSorted to skip the copy and re-sort.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		return 0
 	}
 	return PercentileSorted(sortedCopy(xs), p)
 }
 
 // PercentileSorted is Percentile over an already ascending-sorted sample
 // set, avoiding the defensive copy-and-sort. The input must be sorted;
-// behavior on unsorted input is undefined.
+// behavior on unsorted input is undefined. Like Percentile, empty input
+// yields 0, never NaN.
 func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		return math.NaN()
+		return 0
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -103,8 +103,8 @@ func TestPercentile(t *testing.T) {
 			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
 		}
 	}
-	if !math.IsNaN(Percentile(nil, 50)) {
-		t.Error("empty percentile should be NaN")
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0 (never NaN)", got)
 	}
 	if got := Percentile([]float64{7}, 99); got != 7 {
 		t.Errorf("singleton P99 = %v, want 7", got)
@@ -113,13 +113,20 @@ func TestPercentile(t *testing.T) {
 
 // TestPercentileEdgeCases pins the documented linear-interpolation
 // convention (rank = p/100·(n−1), interpolating between the two closest
-// order statistics — not nearest-rank).
+// order statistics — not nearest-rank) and the zero-on-empty contract:
+// an empty series must never produce NaN, because NaN poisons any
+// downstream ranked sort (every comparison is false).
 func TestPercentileEdgeCases(t *testing.T) {
-	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Percentile([]float64{}, 0)) {
-		t.Error("empty input must be NaN")
-	}
-	if !math.IsNaN(PercentileSorted(nil, 50)) {
-		t.Error("PercentileSorted of empty input must be NaN")
+	for _, p := range []float64{-5, 0, 50, 99, 100, 250} {
+		if got := Percentile(nil, p); got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Percentile(nil, %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{}, p); got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Percentile([], %v) = %v, want 0", p, got)
+		}
+		if got := PercentileSorted(nil, p); got != 0 || math.IsNaN(got) {
+			t.Errorf("empty PercentileSorted(nil, %v) = %v, want 0", p, got)
+		}
 	}
 	// Single element: every p returns it.
 	for _, p := range []float64{-5, 0, 37, 50, 100, 250} {
@@ -203,8 +210,35 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("median = %v, want 4.5", s.Median)
 	}
 	empty := Summarize(nil)
-	if empty.N != 0 || empty.Mean != 0 {
-		t.Error("empty summary should be zero")
+	if empty != (Summary{}) {
+		t.Errorf("empty summary should be the zero value, got %+v", empty)
+	}
+}
+
+// TestSummarizeEdgeCases: empty and single-sample series must produce a
+// fully zero-valued (empty) or NaN-free (singleton) Summary — every field
+// finite so downstream scorecard sorts stay total orders.
+func TestSummarizeEdgeCases(t *testing.T) {
+	checkFinite := func(name string, s Summary) {
+		t.Helper()
+		for field, v := range map[string]float64{
+			"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "Max": s.Max,
+			"P25": s.P25, "Median": s.Median, "P75": s.P75,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v, want finite", name, field, v)
+			}
+		}
+	}
+	checkFinite("empty", Summarize(nil))
+	checkFinite("empty-nonnil", Summarize([]float64{}))
+
+	one := Summarize([]float64{42})
+	checkFinite("singleton", one)
+	if one.N != 1 || one.Mean != 42 || one.Std != 0 ||
+		one.Min != 42 || one.Max != 42 ||
+		one.P25 != 42 || one.Median != 42 || one.P75 != 42 {
+		t.Errorf("singleton summary wrong: %+v", one)
 	}
 }
 

@@ -339,6 +339,19 @@ func (p *Port) Enqueue(q *pkt.Packet) {
 	p.tryTransmit()
 }
 
+// EvictTail removes and returns the newest waiting packet of priority prio,
+// or nil when that queue is empty. The packet currently being serialized is
+// never in the queue (nextPacket pops it before scheduling the transmit),
+// so eviction can never yank a frame off the wire. The caller — the switch
+// MMU's preemption path — owns the returned packet and its accounting.
+func (p *Port) EvictTail(prio int) *pkt.Packet {
+	q := p.queues[prio].popTail()
+	if q != nil {
+		p.qbytes[prio] -= q.Size
+	}
+	return q
+}
+
 // SendPFC queues a pause (XOFF) or resume (XON) frame for prio toward the
 // peer. Control frames preempt data scheduling.
 func (p *Port) SendPFC(prio int, pause bool) {

@@ -32,6 +32,20 @@ func (r *ring) pop() *pkt.Packet {
 	return p
 }
 
+// popTail removes and returns the most recently pushed packet, or nil when
+// empty. The MMU's preemptive eviction path (Occamy) uses it: the tail is
+// the packet admitted last, under the stalest threshold.
+func (r *ring) popTail() *pkt.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	idx := (r.head + r.n - 1) % len(r.buf)
+	p := r.buf[idx]
+	r.buf[idx] = nil
+	r.n--
+	return p
+}
+
 func (r *ring) peek() *pkt.Packet {
 	if r.n == 0 {
 		return nil

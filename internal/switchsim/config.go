@@ -117,6 +117,12 @@ type Stats struct {
 	LossyDropBytesIngress  uint64
 	LossyDropBytesEgress   uint64
 	LosslessViolationBytes uint64
+	// LossyEvictions/LossyEvictionBytes count already-admitted lossy
+	// packets a preemptive policy (Occamy) evicted from egress queue tails
+	// to admit a more deserving arrival. Eviction is a fourth kill site of
+	// the conservation ledger: the bytes were admitted, then dropped.
+	LossyEvictions     uint64
+	LossyEvictionBytes uint64
 	// ECNMarked counts CE marks applied.
 	ECNMarked uint64
 	// PauseFramesSent counts XOFF frames generated (the paper's Fig. 7(d)

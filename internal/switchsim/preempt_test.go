@@ -1,0 +1,167 @@
+package switchsim
+
+import (
+	"testing"
+
+	"l2bm/internal/core"
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+)
+
+// TestABMThresholdsFromEmptySwitch is the regression test for the ABM
+// cold-start bug: on an idle switch the drain-rate estimator has measured
+// nothing, so the naive μ̂ = drain/line quotient was 0/0 = NaN — which
+// slips past every `<= 0` guard (NaN compares false) and poisons the
+// int64 threshold conversion. Driving the real MMU, every threshold of
+// the empty switch must be finite and inside [0, TotalShared], and the
+// switch must then forward traffic normally.
+func TestABMThresholdsFromEmptySwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	pol := core.NewABM()
+	r := newRig(t, 3, cfg, pol, 25e9, sim.Microsecond)
+
+	for port := 0; port < 3; port++ {
+		for prio := 0; prio < pkt.NumPriorities; prio++ {
+			ing := pol.IngressThreshold(r.sw, port, prio)
+			eg := pol.EgressThreshold(r.sw, port, prio)
+			if ing < 0 || ing > cfg.TotalShared {
+				t.Errorf("empty-switch IngressThreshold(%d,%d) = %d, want in [0, %d]",
+					port, prio, ing, cfg.TotalShared)
+			}
+			if eg < 0 || eg > cfg.TotalShared {
+				t.Errorf("empty-switch EgressThreshold(%d,%d) = %d, want in [0, %d]",
+					port, prio, eg, cfg.TotalShared)
+			}
+			if eg == 0 {
+				t.Errorf("empty-switch EgressThreshold(%d,%d) = 0: cold-start fallback should leave room", port, prio)
+			}
+		}
+	}
+
+	// The cold-start thresholds must actually admit traffic.
+	r.send(0, 2, 5, pkt.PrioLossy, pkt.ClassLossy)
+	r.eng.RunAll()
+	if got := len(r.hosts[2].got); got != 5 {
+		t.Fatalf("host 2 received %d packets, want 5", got)
+	}
+	r.mmuDrained(t)
+}
+
+// TestEvictLossyTailAccounting drives the Evictor capability directly
+// mid-run: eviction must reverse the full admission accounting (ingress
+// counter, shared pool, egress counter, residency) and count packets and
+// bytes in the stats, and the run must still drain clean afterwards.
+func TestEvictLossyTailAccounting(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig(), core.NewOccamy(), 25e9, sim.Microsecond)
+	r.send(0, 2, 100, pkt.PrioLossy, pkt.ClassLossy)
+	r.send(1, 2, 100, pkt.PrioLossy, pkt.ClassLossy)
+
+	var freed int64
+	r.eng.Schedule(10*sim.Microsecond, func() {
+		qBefore := r.sw.EgressQueueBytes(2, pkt.PrioLossy)
+		sharedBefore := r.sw.SharedUsed()
+		if qBefore == 0 {
+			t.Fatal("expected a backlog at egress port 2 after 10us of 2:1 fan-in")
+		}
+		// Degenerate asks must be no-ops.
+		if got := r.sw.EvictLossyTail(2, pkt.PrioLossy, 0); got != 0 {
+			t.Errorf("EvictLossyTail(want=0) freed %d, want 0", got)
+		}
+		if got := r.sw.EvictLossyTail(2, pkt.PrioLossless, 4096); got != 0 {
+			t.Errorf("EvictLossyTail on a lossless priority freed %d, want 0", got)
+		}
+		freed = r.sw.EvictLossyTail(2, pkt.PrioLossy, 3000)
+		if freed < 3000 {
+			t.Errorf("EvictLossyTail freed %d bytes, want >= 3000", freed)
+		}
+		if got := r.sw.EgressQueueBytes(2, pkt.PrioLossy); got != qBefore-freed {
+			t.Errorf("egress counter = %d after eviction, want %d", got, qBefore-freed)
+		}
+		if got := r.sw.SharedUsed(); got > sharedBefore {
+			t.Errorf("SharedUsed grew across an eviction: %d -> %d", sharedBefore, got)
+		}
+	})
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	if st.LossyEvictions == 0 || st.LossyEvictionBytes != uint64(freed) {
+		t.Errorf("eviction stats = %d packets / %d bytes, want > 0 / %d",
+			st.LossyEvictions, st.LossyEvictionBytes, freed)
+	}
+	delivered := uint64(len(r.hosts[2].got))
+	if want := 200 - st.LossyDropsIngress - st.LossyDropsEgress - st.LossyEvictions; delivered != want {
+		t.Errorf("delivered %d, want %d (200 minus drops and evictions)", delivered, want)
+	}
+	if delivered != st.TxPackets {
+		t.Errorf("delivered %d != TxPackets %d", delivered, st.TxPackets)
+	}
+	r.mmuDrained(t)
+}
+
+// TestEvictLossyTailEmptyQueue: asking for bytes a queue does not hold
+// frees nothing and corrupts nothing.
+func TestEvictLossyTailEmptyQueue(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(), core.NewOccamy(), 25e9, sim.Microsecond)
+	if got := r.sw.EvictLossyTail(1, pkt.PrioLossy, 1<<20); got != 0 {
+		t.Errorf("EvictLossyTail on an empty switch freed %d, want 0", got)
+	}
+	r.mmuDrained(t)
+}
+
+// squeezeConfig is a pool small enough that a cross flow's admission
+// fails while the hot flows' egress queue sits over its DT threshold —
+// the situation Occamy's preemption exists for.
+func squeezeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TotalShared = 60_000
+	return cfg
+}
+
+// squeezeWorkload: two 2:1-overcommitted hot queues (hosts 0,1 -> 4 and
+// hosts 2,3 -> 5). Each hot queue sits over its falling DT threshold, so
+// when one flow's admission fails, the *other* hot queue is an eligible
+// preemption victim (the arriving packet's own target queue never is).
+func squeezeWorkload(r *rig) {
+	r.send(0, 4, 80, pkt.PrioLossy, pkt.ClassLossy)
+	r.send(1, 4, 80, pkt.PrioLossy, pkt.ClassLossy)
+	r.send(2, 5, 80, pkt.PrioLossy, pkt.ClassLossy)
+	r.send(3, 5, 80, pkt.PrioLossy, pkt.ClassLossy)
+}
+
+// TestOccamyPreemptsUnderPressure runs the end-to-end path: admission
+// failure -> Preempt -> tail eviction -> one retry. The ledger must stay
+// exact: every sent packet is delivered, dropped, or evicted.
+func TestOccamyPreemptsUnderPressure(t *testing.T) {
+	r := newRig(t, 6, squeezeConfig(), core.NewOccamy(), 25e9, sim.Microsecond)
+	squeezeWorkload(r)
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	if st.LossyEvictions == 0 {
+		t.Error("expected preemptive evictions under a squeezed pool, got none")
+	}
+	delivered := uint64(len(r.hosts[4].got) + len(r.hosts[5].got))
+	if want := 320 - st.LossyDropsIngress - st.LossyDropsEgress - st.LossyEvictions; delivered != want {
+		t.Errorf("delivered %d, want %d (320 minus drops and evictions)", delivered, want)
+	}
+	if delivered != st.TxPackets {
+		t.Errorf("delivered %d != TxPackets %d", delivered, st.TxPackets)
+	}
+	r.mmuDrained(t)
+}
+
+// TestNonPreemptivePolicyNeverEvicts pins the capability gate: under the
+// identical squeeze, a policy that does not implement PreemptivePolicy
+// must never trigger the eviction path.
+func TestNonPreemptivePolicyNeverEvicts(t *testing.T) {
+	r := newRig(t, 6, squeezeConfig(), core.NewDT2(), 25e9, sim.Microsecond)
+	squeezeWorkload(r)
+	r.eng.RunAll()
+
+	st := r.sw.Stats()
+	if st.LossyEvictions != 0 || st.LossyEvictionBytes != 0 {
+		t.Errorf("DT2 evicted %d packets / %d bytes, want 0 (no PreemptivePolicy capability)",
+			st.LossyEvictions, st.LossyEvictionBytes)
+	}
+	r.mmuDrained(t)
+}

@@ -26,6 +26,12 @@ type Switch struct {
 	ports  []*netdev.Port
 	route  Router
 
+	// preempt is the policy's optional preemption capability, type-asserted
+	// once at construction. Nil for every non-preemptive policy (DT, ABM,
+	// L2BM, ...), whose admission path is then a single branch-on-nil away
+	// from the pre-preemption code.
+	preempt core.PreemptivePolicy
+
 	mmu   mmuState
 	stats Stats
 	rng   *sim.Rand
@@ -93,13 +99,15 @@ func NewSwitch(eng *sim.Engine, name string, cfg Config, policy core.Policy) *Sw
 	if policy == nil {
 		panic("switchsim: policy must not be nil")
 	}
+	preempt, _ := policy.(core.PreemptivePolicy)
 	return &Switch{
-		eng:    eng,
-		name:   name,
-		cfg:    cfg,
-		policy: policy,
-		mmu:    mmuState{},
-		rng:    eng.Rand("switch/" + name + "/ecn"),
+		eng:     eng,
+		name:    name,
+		cfg:     cfg,
+		policy:  policy,
+		preempt: preempt,
+		mmu:     mmuState{},
+		rng:     eng.Rand("switch/" + name + "/ecn"),
 	}
 }
 
@@ -229,41 +237,48 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 		// Over the ingress threshold: lossy drops; lossless goes to
 		// headroom (PFC is already, or is about to be, asserted).
 		if p.Class == pkt.ClassLossy {
-			s.stats.LossyDropsIngress++
-			s.stats.LossyDropBytesIngress += uint64(p.Size)
-			if s.tracer != nil {
-				s.recordPacketEvent(trace.DropLossyIngress, in, prio, p)
+			if !s.preemptRetryIngress(p, in, out, size) {
+				s.stats.LossyDropsIngress++
+				s.stats.LossyDropBytesIngress += uint64(p.Size)
+				if s.tracer != nil {
+					s.recordPacketEvent(trace.DropLossyIngress, in, prio, p)
+				}
+				s.pool.Put(p) // sink: ingress drop
+				return
 			}
-			s.pool.Put(p) // sink: ingress drop
-			return
-		}
-		if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
-			// Headroom exhausted: the lossless guarantee is broken. Still
-			// run the PFC check — if the upstream is flooding because the
-			// pause frame was lost, the re-issue guard is the only way to
-			// stop it.
-			s.stats.LosslessViolations++
-			s.stats.LosslessViolationBytes += uint64(p.Size)
-			if s.tracer != nil {
-				s.recordPacketEvent(trace.LosslessViolation, in, prio, p)
+			// Preemption freed enough pool for the check to pass now;
+			// proceed as a normal shared-pool admission.
+		} else {
+			if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
+				// Headroom exhausted: the lossless guarantee is broken.
+				// Still run the PFC check — if the upstream is flooding
+				// because the pause frame was lost, the re-issue guard is
+				// the only way to stop it.
+				s.stats.LosslessViolations++
+				s.stats.LosslessViolationBytes += uint64(p.Size)
+				if s.tracer != nil {
+					s.recordPacketEvent(trace.LosslessViolation, in, prio, p)
+				}
+				s.checkPFC(in, prio, true)
+				s.pool.Put(p) // sink: lossless-violation discard
+				return
 			}
-			s.checkPFC(in, prio, true)
-			s.pool.Put(p) // sink: lossless-violation discard
-			return
+			inHeadroom = true
 		}
-		inHeadroom = true
 	}
 
 	if p.Class == pkt.ClassLossy {
 		egTh := s.policy.EgressThreshold(s, out, prio)
 		if s.mmu.eg[out][prio]+size > s.cfg.ReservedPerQueue+egTh {
-			s.stats.LossyDropsEgress++
-			s.stats.LossyDropBytesEgress += uint64(p.Size)
-			if s.tracer != nil {
-				s.recordPacketEvent(trace.DropLossyEgress, out, prio, p)
+			if !s.preemptRetryEgress(p, in, out, size) {
+				s.stats.LossyDropsEgress++
+				s.stats.LossyDropBytesEgress += uint64(p.Size)
+				if s.tracer != nil {
+					s.recordPacketEvent(trace.DropLossyEgress, out, prio, p)
+				}
+				s.pool.Put(p) // sink: egress drop
+				return
 			}
-			s.pool.Put(p) // sink: egress drop
-			return
 		}
 	}
 	// Lossless egress queues are no-drop: overload is pushed back to the
@@ -293,6 +308,68 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 	s.policy.OnEnqueue(s, p)
 	s.checkPFC(in, prio, true)
 	s.ports[out].Enqueue(p)
+}
+
+// preemptRetryIngress gives a preemptive policy one chance to evict
+// already-admitted lossy bytes when lossy packet p failed the ingress
+// threshold; it reports whether the re-evaluated check now admits p. With
+// no preemptive policy in force this is a single nil check.
+func (s *Switch) preemptRetryIngress(p *pkt.Packet, in, out int, size int64) bool {
+	if s.preempt == nil || !s.preempt.Preempt(s, s, p, in, out) {
+		return false
+	}
+	ingTh := s.policy.IngressThreshold(s, in, p.Priority)
+	return s.mmu.ing[in][p.Priority]+size <= s.cfg.ReservedPerQueue+ingTh
+}
+
+// preemptRetryEgress is preemptRetryIngress for the egress-queue check.
+func (s *Switch) preemptRetryEgress(p *pkt.Packet, in, out int, size int64) bool {
+	if s.preempt == nil || !s.preempt.Preempt(s, s, p, in, out) {
+		return false
+	}
+	egTh := s.policy.EgressThreshold(s, out, p.Priority)
+	return s.mmu.eg[out][p.Priority]+size <= s.cfg.ReservedPerQueue+egTh
+}
+
+var _ core.Evictor = (*Switch)(nil)
+
+// EvictLossyTail implements core.Evictor: pop packets off the TAIL of
+// lossy egress queue (port, prio) until at least want bytes are freed or
+// the queue empties, reversing the admission charges exactly (shared/
+// reserved split at the stamped ingress cell, egress counter, class pool,
+// congestion census, residency) and recording the bytes at the eviction
+// kill site of the conservation ledger. The tail packet is never the one
+// being serialized — the transmitter pops its packet before scheduling —
+// so eviction cannot corrupt an in-flight transmit.
+func (s *Switch) EvictLossyTail(port, prio int, want int64) int64 {
+	if want <= 0 || core.ClassOfPriority(prio) != pkt.ClassLossy {
+		return 0
+	}
+	var freed int64
+	for freed < want {
+		q := s.ports[port].EvictTail(prio)
+		if q == nil {
+			break
+		}
+		size := int64(q.Size)
+		// Lossy packets never sit in headroom, so the reversal is always
+		// the shared/reserved split (the mirror of admitData's else-branch).
+		before := sharedPart(s.mmu.ing[q.InPort][q.InPrio], s.cfg.ReservedPerQueue)
+		s.mmu.ing[q.InPort][q.InPrio] -= size
+		s.mmu.sharedUsed += sharedPart(s.mmu.ing[q.InPort][q.InPrio], s.cfg.ReservedPerQueue) - before
+		s.bumpEgress(q.OutPort, q.InPrio, -size)
+		s.mmu.resident -= size
+		s.stats.LossyEvictions++
+		s.stats.LossyEvictionBytes += uint64(q.Size)
+		if s.tracer != nil {
+			s.recordPacketEvent(trace.EvictLossy, port, prio, q)
+		}
+		s.policy.OnDequeue(s, q)
+		s.checkPFC(q.InPort, q.InPrio, false)
+		freed += size
+		s.pool.Put(q) // sink: preempted by the policy
+	}
+	return freed
 }
 
 // onDequeue releases a packet's buffer as its last bit leaves the egress

@@ -699,7 +699,8 @@ func (cl *Cluster) DataBytes() (tx, rx, dropped int64) {
 	}
 	for _, sw := range cl.AllSwitches() {
 		st := sw.Stats()
-		dropped += int64(st.LossyDropBytesIngress + st.LossyDropBytesEgress + st.LosslessViolationBytes)
+		dropped += int64(st.LossyDropBytesIngress + st.LossyDropBytesEgress +
+			st.LosslessViolationBytes + st.LossyEvictionBytes)
 		for i := 0; i < sw.NumPorts(); i++ {
 			ps := sw.Port(i).Stats()
 			dropped += int64(ps.CarrierDropDataBytes + ps.FaultDropDataBytes)
@@ -739,6 +740,8 @@ func SwitchStats(switches []*switchsim.Switch) switchsim.Stats {
 		agg.LossyDropBytesIngress += st.LossyDropBytesIngress
 		agg.LossyDropBytesEgress += st.LossyDropBytesEgress
 		agg.LosslessViolationBytes += st.LosslessViolationBytes
+		agg.LossyEvictions += st.LossyEvictions
+		agg.LossyEvictionBytes += st.LossyEvictionBytes
 		agg.LosslessHeadroom += st.LosslessHeadroom
 		agg.LosslessViolations += st.LosslessViolations
 		agg.ECNMarked += st.ECNMarked

@@ -138,6 +138,9 @@ const (
 	HeadroomEnter
 	// ECNMark: the egress queue marked the packet CE.
 	ECNMark
+	// EvictLossy: a preemptive policy (Occamy) evicted an already-admitted
+	// lossy packet from an egress queue tail to make room for an arrival.
+	EvictLossy
 )
 
 // String implements fmt.Stringer.
@@ -153,6 +156,8 @@ func (k PacketEventKind) String() string {
 		return "headroom"
 	case ECNMark:
 		return "ecn-mark"
+	case EvictLossy:
+		return "evict-lossy"
 	default:
 		return fmt.Sprintf("pkt-event(%d)", int(k))
 	}
