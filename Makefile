@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak speedup speedup-shards trace-demo clean
+.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak speedup speedup-shards trace-demo hybrid-demo hybrid-divergence clean
 
 all: check
 
@@ -39,7 +39,7 @@ bench-json:
 # (allocs/op is near-deterministic, unlike ns/op). Benchmarks without a
 # baseline entry are reported as "new (no baseline)" and skipped.
 bench-guard:
-	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$' -benchmem -benchtime=1x -run=^$$ ./... \
+	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$|BenchmarkHybridSteadyState' -benchmem -benchtime=1x -run=^$$ ./... \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
 
 # The policy arena: every registered buffer-management policy (the paper's
@@ -99,6 +99,25 @@ trace-demo:
 	@echo "== occupancy timelines (Fig. 8) =="
 	@ls traces/fig8/*-occupancy.csv
 	@head -5 $$(ls traces/fig8/*-occupancy.csv | head -1)
+
+# Hybrid-fidelity demo: the same Fig. 7 sweep on the pure packet engine and
+# on the fluid-fast-forward hybrid engine (internal/fluid). Tables agree
+# within the divergence bound (see hybrid-divergence); the timing trailers
+# show where the speedup comes from — steady-state spans are advanced
+# analytically, so the hybrid run simulates a fraction of the events.
+hybrid-demo:
+	$(GO) build -o /tmp/l2bmexp-hybrid ./cmd/l2bmexp
+	@echo "== fidelity=packet (every MTU simulated) =="
+	/tmp/l2bmexp-hybrid -exp fig7 -scale tiny -fidelity packet
+	@echo "== fidelity=hybrid (fluid fast-forward + packet bursts) =="
+	/tmp/l2bmexp-hybrid -exp fig7 -scale tiny -fidelity hybrid
+
+# The divergence-bound gate CI runs: hybrid vs packet on the Fig. 3/7/8 and
+# steady scenarios, epsilon-checked (p99 within 50%, drops within
+# max(10, 15%), flow accounting exact — see DESIGN.md §14), plus the
+# ≥10× events-equivalent/s claim on the steady window.
+hybrid-divergence:
+	$(GO) test ./internal/exp/ -run 'TestHybridDivergence|TestHybridSteadySpeedup|TestHybridDeterminism' -v -count=1
 
 clean:
 	$(GO) clean ./...

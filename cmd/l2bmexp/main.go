@@ -44,6 +44,13 @@
 // across N per-shard engines synchronized by lookahead-bounded epochs.
 // Results are byte-identical to the classic engine and to every other
 // legal shard count, so -shards changes only the timing trailer.
+//
+// -fidelity hybrid runs figure/table experiments on the hybrid-fidelity
+// engine (internal/fluid): steady-state spans advance analytically, bursts
+// and congestion run at full packet fidelity. Unlike -shards this changes
+// results — within the divergence bound DESIGN.md §14 states — in exchange
+// for order-of-magnitude speedups on steady-state-heavy windows (`make
+// hybrid-demo`).
 package main
 
 import (
@@ -76,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 	outPath := fs.String("out", "", "also append output to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
 	shards := fs.Int("shards", 0, "run each point on the sharded conservative-time engine with N shards (0 = classic sequential engine); results are byte-identical for any legal N")
+	fidelity := fs.String("fidelity", "", "execution engine for figure/table experiments: packet (every MTU simulated; the default) or hybrid (fluid fast-forward between bursts; results within the DESIGN.md §14 divergence bound)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
@@ -92,6 +100,8 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
 	}
@@ -133,7 +143,13 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-repro-out and -replay require -exp chaos")
 		}
 	}
+	if err := validateFidelity(*expName, *fidelity, *shards); err != nil {
+		return err
+	}
 	if *resume != "" {
+		if !explicit["exp"] {
+			return fmt.Errorf("-resume requires an explicit -exp (checkpoints are keyed per sweep; an implicit -exp all would silently mix them)")
+		}
 		if *expName == "chaos" {
 			return fmt.Errorf("-resume does not apply to -exp chaos (reproducer files are its persistence)")
 		}
@@ -183,7 +199,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := Options{
-		Workers: *parallel, Shards: *shards, Policies: policies,
+		Workers: *parallel, Shards: *shards, Fidelity: *fidelity, Policies: policies,
 		Resume: *resume, PointTimeout: *pointTimeout, KeepGoing: *keepGoing,
 		Seeds: *seeds, BaseSeed: *baseSeed, ReproDir: *reproOut, Replay: *replay,
 	}
@@ -215,6 +231,9 @@ type Options struct {
 	// Shards, when >= 1, runs every point on the sharded conservative-time
 	// engine with that many shards (0 = classic sequential engine).
 	Shards int
+	// Fidelity selects the execution engine for figure/table experiments
+	// ("" = packet; see exp.FidelityHybrid).
+	Fidelity string
 	// Policies restricts the arena to this subset of registered policies
 	// (nil = every registered policy, in registration order).
 	Policies []string
@@ -236,6 +255,37 @@ type Options struct {
 	BaseSeed int64
 	ReproDir string
 	Replay   string
+}
+
+// fidelityExperiments are the -exp values -fidelity applies to: the paper
+// figure/table experiments. The others either ignore the knob (faults and
+// arena inject fault plans, a standing fidelity trigger that pins the run
+// to packet mode) or have their own execution model (chaos), and a flag
+// that silently does nothing is a bug factory — reject it upfront.
+var fidelityExperiments = map[string]bool{
+	"fig3a": true, "fig3b": true, "fig7": true, "table2": true,
+	"fig8": true, "fig9": true, "fig10": true, "fig11": true,
+}
+
+// validateFidelity rejects -fidelity combinations before any work begins:
+// unknown values, experiments that would ignore the flag, and the sharded
+// engine (the hybrid controller needs the classic engine).
+func validateFidelity(expName, fidelity string, shards int) error {
+	switch fidelity {
+	case "":
+		return nil
+	case exp.FidelityPacket, exp.FidelityHybrid:
+	default:
+		return fmt.Errorf("-fidelity: unknown value %q (want %s or %s)",
+			fidelity, exp.FidelityPacket, exp.FidelityHybrid)
+	}
+	if !fidelityExperiments[expName] {
+		return fmt.Errorf("-fidelity applies only to the figure/table experiments (fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11); -exp %s ignores it", expName)
+	}
+	if fidelity == exp.FidelityHybrid && shards >= 1 {
+		return fmt.Errorf("-fidelity hybrid requires the classic engine (drop -shards %d)", shards)
+	}
+	return nil
 }
 
 // validateExp rejects unknown -exp values before any work begins.
@@ -311,6 +361,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 
 	harness, runners := experimentRunners(opts)
 	harness.Shards = opts.Shards
+	harness.Fidelity = opts.Fidelity
 	harness.CheckpointDir = opts.Resume
 	harness.PointTimeout = opts.PointTimeout
 	harness.KeepGoing = opts.KeepGoing

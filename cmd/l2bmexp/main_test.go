@@ -91,12 +91,20 @@ func TestCLIUpfrontValidation(t *testing.T) {
 		{"-exp", "arena", "-policies", "L2BM,,DT"}, // empty element
 		{"-exp", "fig7", "-policies", "L2BM"},      // -policies is arena-only
 		{"-exp", "chaos", "-seeds", "-1"},
-		{"-seeds", "5"},       // -seeds without -exp chaos
-		{"-base-seed", "7"},   // ditto
-		{"-repro-out", "x"},   // ditto
-		{"-replay", "x.json"}, // ditto
+		{"-seeds", "5"},                        // -seeds without -exp chaos
+		{"-base-seed", "7"},                    // ditto
+		{"-repro-out", "x"},                    // ditto
+		{"-replay", "x.json"},                  // ditto
+		{"-exp", "arena", "-replay", "x.json"}, // -replay is chaos-only
 		{"-exp", "chaos", "-replay", "nonexistent.json"},
-		{"-exp", "chaos", "-resume", "ckpt"}, // chaos has its own persistence
+		{"-exp", "chaos", "-resume", "ckpt"},                    // chaos has its own persistence
+		{"-resume", "ckpt"},                                     // -resume needs an explicit -exp
+		{"-exp", "fig7", "-fidelity", "analytic"},               // unknown fidelity
+		{"-exp", "faults", "-fidelity", "hybrid"},               // faults ignores it
+		{"-exp", "arena", "-fidelity", "hybrid"},                // ditto
+		{"-exp", "chaos", "-fidelity", "hybrid"},                // ditto
+		{"-exp", "all", "-fidelity", "hybrid"},                  // "all" includes faults/arena
+		{"-exp", "fig7", "-fidelity", "hybrid", "-shards", "2"}, // hybrid needs classic engine
 		{"-exp", "fig3a", "-resume", "ckpt", "-trace"},
 		{"-exp", "fig3a", "-point-timeout", "-1s"},
 		{"-exp", "fig3a", "-resume", blocker + "/sub"}, // unwritable
@@ -183,6 +191,42 @@ func TestCLIResume(t *testing.T) {
 	}
 	if second := render(); second != first {
 		t.Errorf("resumed run diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestCLIFidelity: -fidelity hybrid runs a figure experiment end to end
+// through the real CLI path, and the rejection messages carry a one-line
+// reason naming the fix.
+func TestCLIFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3a", "-scale", "tiny", "-fidelity", "hybrid"}, &buf); err != nil {
+		t.Fatalf("-fidelity hybrid on fig3a: %v", err)
+	}
+	if !strings.Contains(buf.String(), "running fig3a") {
+		t.Errorf("hybrid run produced no experiment output:\n%s", buf.String())
+	}
+
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "fig7", "-fidelity", "analytic"}, `unknown value "analytic"`},
+		{[]string{"-exp", "faults", "-fidelity", "hybrid"}, "ignores it"},
+		{[]string{"-exp", "fig7", "-fidelity", "hybrid", "-shards", "2"}, "classic engine"},
+		{[]string{"-resume", "ckpt"}, "explicit -exp"},
+	} {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil {
+			t.Errorf("args %v: want error, got success", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+		}
+		if out.Len() != 0 {
+			t.Errorf("args %v: validation failure still produced output:\n%s", tc.args, out.String())
+		}
 	}
 }
 

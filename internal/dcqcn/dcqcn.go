@@ -486,6 +486,11 @@ func (r *Receiver) HandleData(p *pkt.Packet) {
 	}
 }
 
+// Received returns the highest in-order byte offset delivered so far. Under
+// go-back-N delivery is strictly contiguous; in clean (loss-free) runs the
+// lossless class never reorders, so the value is contiguous there too.
+func (r *Receiver) Received() int64 { return r.recvNxt }
+
 // handleDataGBN is the strictly in-order receive path: out-of-sequence
 // packets are discarded and NACKed (rate-limited), in-order progress is
 // acknowledged cumulatively every AckInterval bytes and on FIN, and the flow

@@ -11,6 +11,8 @@
 package dctcp
 
 import (
+	"math"
+
 	"l2bm/internal/pkt"
 	"l2bm/internal/sim"
 	"l2bm/internal/transport"
@@ -119,6 +121,28 @@ func (s *Sender) Alpha() float64 { return s.alpha }
 
 // Done reports sender-side completion.
 func (s *Sender) Done() bool { return s.done }
+
+// Warm hands the sender an established congestion state before Start: the
+// window is set to cwnd bytes (floored at one MSS) and ssthresh is pulled
+// down to match, so growth continues in congestion avoidance rather than
+// slow start. The marked-fraction estimate is seeded with the DCTCP
+// sawtooth equilibrium α ≈ sqrt(2·MSS/cwnd) — a warmed sender with α = 0
+// would shrug off its first rounds of ECN marks and bully established
+// flows sharing the queue. The hybrid-fidelity driver uses this when
+// re-injecting a flow that was mid-transfer in the fluid layer — such a
+// flow's window opened long ago, and restarting it cold would understate
+// the queue pressure it exerts.
+func (s *Sender) Warm(cwnd float64) {
+	if cwnd < float64(s.cfg.MSS) {
+		cwnd = float64(s.cfg.MSS)
+	}
+	s.cwnd = cwnd
+	s.ssthresh = cwnd
+	s.alpha = math.Sqrt(2 * float64(s.cfg.MSS) / cwnd)
+	if s.alpha > 1 {
+		s.alpha = 1
+	}
+}
 
 // Start begins transmission.
 func (s *Sender) Start() {

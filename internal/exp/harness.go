@@ -33,6 +33,12 @@ type Harness struct {
 	// it). Results are byte-identical for any legal shard count, so tables
 	// and progress lines do not change — only wall clock does.
 	Shards int
+	// Fidelity, when non-empty, selects the execution engine for every
+	// point (specs carrying their own Fidelity keep it): FidelityPacket
+	// simulates every MTU, FidelityHybrid fast-forwards steady-state spans
+	// through the fluid layer. Unlike Shards, hybrid fidelity changes
+	// results — within the divergence bound DESIGN.md §14 states.
+	Fidelity string
 	// CheckpointDir, when non-empty, makes every grid crash-resumable:
 	// completed points append to <dir>/sweep-<hash>.jsonl (hash = content
 	// hash of the grid's specs) and a rerun of the same grid restores them
@@ -81,6 +87,13 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 		for i := range specs {
 			if specs[i].Shards == 0 {
 				specs[i].Shards = h.Shards
+			}
+		}
+	}
+	if h.Fidelity != "" {
+		for i := range specs {
+			if specs[i].Fidelity == "" {
+				specs[i].Fidelity = h.Fidelity
 			}
 		}
 	}

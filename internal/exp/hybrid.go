@@ -1,0 +1,617 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"l2bm/internal/audit"
+	"l2bm/internal/core"
+	"l2bm/internal/fluid"
+	"l2bm/internal/metrics"
+	"l2bm/internal/pkt"
+	"l2bm/internal/psim"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+	"l2bm/internal/trace"
+	"l2bm/internal/transport"
+	"l2bm/internal/workload"
+)
+
+// This file is the hybrid-fidelity driver (HybridSpec.Fidelity ==
+// FidelityHybrid): the run alternates between the fluid fast-forward layer
+// (internal/fluid) and full packet segments, stitched so that WHAT is
+// offered never changes — only how each interval's progress is computed.
+//
+//   - The complete flow launch schedule is extracted up front from the
+//     run's real workload generators under the run's real seed
+//     (fluid.Extract), so both engines see byte-identical arrivals and the
+//     FCT recorder observes exactly the flows a pure packet run would.
+//   - Fluid segments advance flows analytically until a fidelity trigger
+//     (incast burst within PreMargin, fan-in degree, occupancy guard band)
+//     fires; the triggering arrival is left for the packet segment.
+//   - Packet segments run a freshly built cluster on a fresh engine,
+//     injecting residual flows at their remaining sizes and scheduling the
+//     not-yet-consumed arrivals as they come due, until the quiescence
+//     predicate holds (no new pause frames, low resident bytes, no standing
+//     trigger, no imminent burst) for QuiesceDwell consecutive checks.
+//   - Hand-backs are residual-byte exact on the receive side: a flow leaves
+//     a packet segment with its receiver's contiguous delivered count
+//     (host.FlowProgress); frames still in flight at the cut (bounded by
+//     QuiesceResident) are re-served by the fluid layer, a deliberate
+//     epsilon-budgeted approximation.
+//
+// Accounting: switch/pause/drop statistics accumulate across packet
+// segments; fluid segments contribute no switch events by construction.
+// Occupancy sampling stays on the global k·OccupancySampleEvery grid across
+// segment boundaries — packet segments read real resident bytes, fluid
+// segments synthesize an estimate — so Result.TorOccupancy remains
+// plottable. The invariant auditor runs per packet segment (as conductor
+// barrier tasks); its exact drain-time checks run only when the run ends
+// inside a packet segment, since a quiescence cut legitimately leaves
+// frames in flight.
+
+// hybridResidual is one mid-transfer flow handed from a packet segment back
+// to the fluid layer.
+type hybridResidual struct {
+	flow      transport.Flow // pristine descriptor: full Size, true Start
+	remaining int64          // payload bytes still to deliver
+	incast    bool
+}
+
+// hybridRun carries the fidelity controller's cross-segment state.
+type hybridRun struct {
+	ctx     context.Context
+	spec    HybridSpec
+	topoCfg topo.Config
+	factory topo.PolicyFactory
+
+	window  sim.Time
+	horizon sim.Time
+	every   sim.Duration
+	params  fluid.Params
+
+	model *fluid.Model
+	sched *fluid.Schedule
+	rec   *metrics.FCTRecorder
+
+	cursor     int              // next unconsumed schedule index
+	residual   []hybridResidual // flows mid-transfer at the last cut
+	nextSample sim.Time         // next global occupancy-sample instant
+	torOcc     [][]metrics.Reading
+	occBuf     []int64
+
+	tracer *trace.Recorder // global, re-based; nil when tracing is off
+	res    *Result
+	segIdx int
+}
+
+// hybridWorkload mirrors the classic path's generator configuration exactly
+// (same host split, same config fields, same install order: rdma, tcp,
+// incast) so fluid.Extract reproduces its launch schedule.
+func hybridWorkload(spec HybridSpec, topoCfg topo.Config, window sim.Duration) fluid.Workload {
+	var rdmaHosts, tcpHosts, allHosts []int
+	perRack := topoCfg.ServersPerToR
+	for h := 0; h < topoCfg.ToRCount*topoCfg.ServersPerToR; h++ {
+		allHosts = append(allHosts, h)
+		if h%perRack < perRack/2 {
+			rdmaHosts = append(rdmaHosts, h)
+		} else {
+			tcpHosts = append(tcpHosts, h)
+		}
+	}
+	var forbid func(src, dst int) bool
+	if spec.InterRackOnly {
+		forbid = func(src, dst int) bool { return topoCfg.ToROf(src) == topoCfg.ToROf(dst) }
+	}
+
+	var wl fluid.Workload
+	if spec.RDMALoad > 0 {
+		wl.Poisson = append(wl.Poisson, workload.PoissonConfig{
+			Sources:    rdmaHosts,
+			Dests:      allHosts,
+			Load:       spec.RDMALoad,
+			HostRate:   topoCfg.ServerRate,
+			Sizes:      workload.WebSearchCDF(),
+			Priority:   pkt.PrioLossless,
+			Class:      pkt.ClassLossless,
+			Window:     window,
+			Forbid:     forbid,
+			StreamName: "rdma",
+			IDTag:      tagRDMA,
+		})
+	}
+	if spec.TCPLoad > 0 {
+		wl.Poisson = append(wl.Poisson, workload.PoissonConfig{
+			Sources:    tcpHosts,
+			Dests:      allHosts,
+			Load:       spec.TCPLoad,
+			HostRate:   topoCfg.ServerRate,
+			Sizes:      workload.WebSearchCDF(),
+			Priority:   pkt.PrioLossy,
+			Class:      pkt.ClassLossy,
+			Window:     window,
+			Forbid:     forbid,
+			StreamName: "tcp",
+			IDTag:      tagTCP,
+		})
+	}
+	if spec.Incast != nil {
+		fanout := spec.Incast.Fanout
+		if fanout >= len(allHosts) {
+			fanout = len(allHosts) - 1
+		}
+		wl.Incast = &workload.IncastConfig{
+			Hosts:        allHosts,
+			Fanout:       fanout,
+			RequestBytes: spec.Incast.RequestBytes,
+			QueryRate:    spec.Incast.QueryRate,
+			Window:       window,
+			Priority:     pkt.PrioLossless,
+			Class:        pkt.ClassLossless,
+			StreamName:   "incast",
+			IDTag:        tagIncast,
+		}
+	}
+	return wl
+}
+
+// runHybridFluid executes one data point under the hybrid-fidelity
+// controller. Callers guarantee spec.Shards == 0 and spec.Faults == nil.
+func runHybridFluid(ctx context.Context, spec HybridSpec) (*Result, error) {
+	policyName := spec.Policy
+	factory := spec.PolicyFactory
+	if factory == nil {
+		name := spec.Policy
+		factory = func() core.Policy { return NewPolicy(name) }
+	} else if policyName == "" {
+		policyName = factory().Name()
+	}
+
+	topoCfg := spec.Scale.Topo()
+	if spec.TopoOverride != nil {
+		spec.TopoOverride(&topoCfg)
+	}
+	window := spec.Scale.Window()
+	if spec.WindowOverride > 0 {
+		window = spec.WindowOverride
+	}
+	drain := spec.Scale.Drain()
+	if spec.DrainOverride > 0 {
+		drain = spec.DrainOverride
+	}
+	every := spec.OccupancySampleEvery
+	if every <= 0 {
+		every = 100 * sim.Microsecond
+	}
+
+	// Same seed formula as the classic path (common random numbers across
+	// policies AND across fidelities: the offered workload is identical).
+	seed := seedFor(spec.Name, spec.SeedSalt,
+		fmt.Sprintf("%v/%v/%v", spec.RDMALoad, spec.TCPLoad, spec.Scale))
+	sched, err := fluid.Extract(seed, hybridWorkload(spec, topoCfg, window))
+	if err != nil {
+		return nil, err
+	}
+
+	// Every scheduled flow is "started" from the recorder's point of view,
+	// exactly as the classic path's launch observers would report.
+	rec := metrics.NewFCTRecorder()
+	incastIDs := make(map[pkt.FlowID]bool)
+	for i := range sched.Flows {
+		fa := &sched.Flows[i]
+		rec.Started(&fa.Flow, topoCfg.IdealFCT(fa.Flow.Src, fa.Flow.Dst, fa.Flow.Size))
+		if fa.Incast {
+			incastIDs[fa.Flow.ID] = true
+		}
+	}
+
+	res := &Result{Spec: spec, Policy: policyName}
+	h := &hybridRun{
+		ctx:        ctx,
+		spec:       spec,
+		topoCfg:    topoCfg,
+		factory:    factory,
+		window:     sim.Time(window),
+		horizon:    sim.Time(window + drain),
+		every:      every,
+		params:     fluid.DefaultParams(),
+		model:      fluid.NewModel(topoCfg),
+		sched:      sched,
+		rec:        rec,
+		nextSample: sim.Time(every),
+		torOcc:     make([][]metrics.Reading, topoCfg.ToRCount),
+		res:        res,
+	}
+	if spec.Trace != nil {
+		h.tracer = trace.NewRecorder(spec.Trace.Capacity)
+	}
+
+	onFluid := func(c fluid.Completion) {
+		res.FluidFlows++
+		rec.Completed(c.ID, c.At)
+		if sched.Incast != nil {
+			sched.Incast.OnFlowComplete(c.ID, c.At)
+		}
+	}
+
+	t := sim.Time(0)
+	for t < h.horizon {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// --- fluid segment ---
+		fs := fluid.NewSim(h.model, h.params, sched.Flows[h.cursor:], t)
+		fs.OnComplete = onFluid
+		for _, r := range h.residual {
+			fs.Inject(r.flow, r.remaining, r.incast)
+		}
+		h.residual = h.residual[:0]
+		segStart := t
+		var reason fluid.CutReason
+		for {
+			target := h.horizon
+			if h.nextSample <= h.window && h.nextSample < target {
+				target = h.nextSample
+			}
+			t, reason = fs.Advance(target)
+			if reason != fluid.CutNone || t >= h.horizon {
+				break
+			}
+			if t == h.nextSample {
+				h.sampleFluid(fs)
+			}
+		}
+		h.cursor += fs.Consumed()
+		res.FluidSteps += fs.Steps
+		res.FluidTime += sim.Duration(t - segStart)
+		if reason == fluid.CutNone {
+			break // horizon reached analytically; leftover actives are truncated
+		}
+		// --- packet segment ---
+		t, err = h.packetSegment(t, fs.Active())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.EndTime = h.horizon
+	res.RDMASlowdowns = rec.Slowdowns(pkt.ClassLossless)
+	res.TCPSlowdowns = rec.Slowdowns(pkt.ClassLossy)
+	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
+	res.Incomplete = rec.IncompleteRecords()
+	res.TruncatedFlows = len(res.Incomplete)
+	if sched.Incast != nil {
+		for _, fr := range rec.Records(pkt.ClassLossless) {
+			if incastIDs[fr.Flow.ID] {
+				res.IncastSlowdowns = append(res.IncastSlowdowns, fr.Slowdown())
+			}
+		}
+		sort.Float64s(res.IncastSlowdowns)
+		res.QueryDelays = sched.Incast.CompletedResponseTimes()
+	}
+	res.TorOccupancy = h.torOcc
+	if h.tracer != nil {
+		res.Trace = trace.Merge(h.tracer)
+	}
+	return res, nil
+}
+
+// sampleFluid records one global occupancy sample tick from the fluid
+// layer's synthesized per-ToR estimates, then advances the sample cursor.
+func (h *hybridRun) sampleFluid(fs *fluid.Sim) {
+	h.occBuf = fs.TorOccupancies(h.occBuf)
+	for i, occ := range h.occBuf {
+		h.torOcc[i] = append(h.torOcc[i], metrics.Reading{At: h.nextSample, Value: occ})
+		if h.tracer != nil {
+			// Fluid has no reserved/shared split; publish the estimate as
+			// both readings so traced figures stay continuous.
+			h.tracer.RecordOcc(trace.OccSample{
+				At: h.nextSample, Switch: fmt.Sprintf("tor%d", i),
+				Resident: occ, SharedUsed: occ,
+			})
+		}
+	}
+	h.nextSample += sim.Time(h.every)
+}
+
+// burstImminent reports whether the next scheduled incast burst is too
+// close to hand control back to the fluid layer.
+func (h *hybridRun) burstImminent(now sim.Time) bool {
+	at, ok := h.sched.NextIncastAt(h.cursor)
+	if !ok {
+		return false
+	}
+	return at-now <= sim.Time(h.params.PreMargin+h.params.QuiesceStep)
+}
+
+// packetSegment runs full packet simulation from segStart until the
+// quiescence predicate holds (or the horizon), and returns the global end
+// instant. carried is the fluid layer's residual state; the segment starts
+// those flows at their remaining sizes at local time zero.
+func (h *hybridRun) packetSegment(segStart sim.Time, carried []*fluid.FlowState) (sim.Time, error) {
+	h.segIdx++
+	h.res.PacketSegments++
+	// Per-segment seed: packet-level tie-breaks inside a burst need their
+	// own stream, decorrelated from the extraction seed.
+	eng := sim.NewEngine(seedFor(h.spec.Name, h.spec.SeedSalt,
+		fmt.Sprintf("hybrid-seg/%d", h.segIdx)))
+
+	type liveFlow struct {
+		flow     transport.Flow // pristine descriptor
+		injected int64          // payload bytes this segment carries
+		incast   bool
+	}
+	live := make(map[pkt.FlowID]*liveFlow)
+
+	onComplete := func(id pkt.FlowID, at sim.Time) {
+		if _, ok := live[id]; !ok {
+			return
+		}
+		delete(live, id)
+		h.rec.Completed(id, segStart+at)
+		if h.sched.Incast != nil {
+			h.sched.Incast.OnFlowComplete(id, segStart+at)
+		}
+	}
+
+	cl, err := topo.Build(eng, h.topoCfg, h.factory, onComplete)
+	if err != nil {
+		return 0, err
+	}
+	if h.spec.Hooks != nil && h.spec.Hooks.PostBuild != nil {
+		h.spec.Hooks.PostBuild(cl)
+	}
+
+	// start launches one flow at segment-local time at, carrying injected
+	// payload bytes. The descriptor keeps its original ID (ECMP affinity)
+	// and class; the host re-stamps Start on launch. A positive warmCwnd
+	// hands lossy senders an established window (fluid residuals were
+	// mid-transfer: restarting them in slow start would understate the
+	// queue pressure they exert).
+	start := func(f transport.Flow, injected int64, incast bool, at sim.Time, warmCwnd float64) {
+		live[f.ID] = &liveFlow{flow: f, injected: injected, incast: incast}
+		inj := f
+		inj.Size = injected
+		if warmCwnd > 0 {
+			eng.ScheduleAt(at, func() { cl.Hosts[inj.Src].StartFlowWarm(&inj, warmCwnd) })
+		} else {
+			eng.ScheduleAt(at, func() { cl.StartFlow(&inj) })
+		}
+	}
+	for _, fs := range carried {
+		// Warm window for a mid-transfer lossy residual: its DCTCP
+		// steady-state window is rate × (RTT + the standing-queue delay the
+		// ECN threshold sustains at the access link). Omitting the queue
+		// term restarts the flow with an empty switch the real run never
+		// had — downstream flows then see none of the queueing delay the
+		// packet engine would have charged them. A residual cut early in
+		// its life has not built that queue yet (it is still in slow
+		// start, window ≈ initial window + bytes acked), so cap by served
+		// bytes.
+		rtt := 2 * h.topoCfg.BasePathDelay(fs.Flow.Src, fs.Flow.Dst)
+		queueDelay := float64(h.topoCfg.Switch.ECNLossyThreshold) * 8 / float64(h.topoCfg.ServerRate)
+		warm := fs.Rate() * (rtt.Seconds() + queueDelay) / 8
+		if ss := float64(10*pkt.MTUPayload) + float64(fs.Flow.Size-fs.RemainingPayload()); ss < warm {
+			warm = ss
+		}
+		start(fs.Flow, fs.RemainingPayload(), fs.Incast, 0, warm)
+	}
+
+	// Occupancy sampling continues on the global grid: a self-rescheduling
+	// tick reads real resident bytes. Ticks beyond the cut die with the
+	// engine, and h.nextSample only advances when a tick actually runs, so
+	// the fluid side resumes exactly where packet sampling stopped.
+	if h.nextSample <= h.window {
+		var tick func()
+		tick = func() {
+			for i, tor := range cl.ToRs {
+				occ := tor.Occupancy()
+				h.torOcc[i] = append(h.torOcc[i],
+					metrics.Reading{At: h.nextSample, Value: occ})
+			}
+			h.nextSample += sim.Time(h.every)
+			if h.nextSample <= h.window {
+				eng.Schedule(h.every, tick)
+			}
+		}
+		eng.ScheduleAt(h.nextSample-segStart, tick)
+	}
+
+	// Flight recorder: a per-segment recorder armed exactly like the
+	// classic path, re-based into the global recorder at the cut.
+	var segTracer *trace.Recorder
+	if h.spec.Trace != nil {
+		segTracer = trace.NewRecorder(h.spec.Trace.Capacity)
+		tEvery := h.spec.Trace.SampleEvery
+		if tEvery <= 0 {
+			tEvery = h.every
+		}
+		ts := trace.NewSampler(eng, segTracer, tEvery)
+		for _, sw := range cl.AllSwitches() {
+			sw := sw
+			sw.SetTracer(segTracer)
+			ts.AddSwitch(sw)
+			if l, ok := sw.Policy().(*core.L2BM); ok {
+				name := sw.Name()
+				var scratch []core.QueueSample
+				ts.AddProbe(func(now sim.Time, rec *trace.Recorder) {
+					scratch = l.PeekSamplesAppend(scratch[:0], sw)
+					for _, qs := range scratch {
+						rec.RecordWeight(trace.WeightSample{
+							At: now, Switch: name, Port: qs.Port, Prio: qs.Prio,
+							Tau: qs.Tau, Weight: qs.Weight, Threshold: qs.Threshold,
+						})
+					}
+				})
+			}
+		}
+		if segStart < h.window {
+			ts.Start(sim.Duration(h.window - segStart))
+		}
+	}
+
+	// Single-engine conductor so the auditor runs as a barrier task, like
+	// the sharded path — the segment loop already runs in bounded slices.
+	cond := psim.New([]*sim.Engine{eng}, nil, 0)
+	defer cond.Close()
+	var aud *audit.Auditor
+	if h.spec.Audit != nil {
+		aud = newAuditor(h.spec, cl)
+		cond.AddTask(aud.Every(), func(now sim.Time) { aud.CheckOnce(now) })
+	}
+	if h.ctx.Done() != nil {
+		cond.SetInterrupt(interruptPollEvents, func() bool { return h.ctx.Err() != nil })
+	}
+
+	maxLiveDegree := func() int {
+		up := make(map[int]int)
+		down := make(map[int]int)
+		d := 0
+		for _, lf := range live {
+			up[lf.flow.Src]++
+			down[lf.flow.Dst]++
+			if up[lf.flow.Src] > d {
+				d = up[lf.flow.Src]
+			}
+			if down[lf.flow.Dst] > d {
+				d = down[lf.flow.Dst]
+			}
+		}
+		return d
+	}
+
+	localHorizon := h.horizon - segStart
+	step := sim.Time(h.params.QuiesceStep)
+	minSeg := sim.Time(h.params.MinSegment)
+	var prevPause, prevECN, prevDrops uint64
+	quiet := 0
+	localNow := sim.Time(0)
+	for localNow < localHorizon {
+		next := localNow + step
+		if next > localHorizon {
+			next = localHorizon
+		}
+		// Schedule every arrival due in this slice; the cursor only moves
+		// for arrivals the slice will actually execute.
+		for h.cursor < len(h.sched.Flows) {
+			fa := &h.sched.Flows[h.cursor]
+			local := fa.Flow.Start - segStart
+			if local > next {
+				break
+			}
+			start(fa.Flow, fa.Flow.Size, fa.Incast, local, 0)
+			h.cursor++
+		}
+		cond.Run(next)
+		localNow = next
+		if err := h.ctx.Err(); err != nil {
+			return 0, err
+		}
+		// Quiescence: no pause frames, no ECN marks, no drops this slice
+		// (congestion feedback means rates are NOT fluid-like yet), bounded
+		// resident bytes, no standing fan-in, no imminent burst.
+		stats := topo.SwitchStats(cl.AllSwitches())
+		drops := stats.LossyDropsIngress + stats.LossyDropsEgress
+		throttled := 0
+		minCwnd := h.params.RecoveredFrac * float64(h.topoCfg.Switch.ECNLossyThreshold)
+		for _, hs := range cl.Hosts {
+			throttled += hs.ThrottledRDMASenders(h.params.RecoveredFrac)
+			throttled += hs.ThrottledTCPSenders(minCwnd)
+		}
+		calm := stats.PauseFramesSent == prevPause &&
+			stats.ECNMarked == prevECN &&
+			drops == prevDrops &&
+			cl.ResidentBytes() <= h.params.QuiesceResident &&
+			maxLiveDegree() < h.params.DegreeTrigger &&
+			throttled == 0 &&
+			!h.burstImminent(segStart+localNow)
+		prevPause, prevECN, prevDrops = stats.PauseFramesSent, stats.ECNMarked, drops
+		if calm {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if localNow >= minSeg && quiet >= h.params.QuiesceDwell && localNow < localHorizon {
+			break
+		}
+	}
+	segEnd := segStart + localNow
+
+	// Harvest residuals: receiver-side contiguous progress bounds what the
+	// fluid layer still owes. Sorted by ID so fluid re-injection order (and
+	// with it the whole run) is deterministic despite map iteration.
+	for id, lf := range live {
+		remaining := lf.injected
+		if delivered, ok := cl.Hosts[lf.flow.Dst].FlowProgress(id); ok {
+			remaining = lf.injected - delivered
+		}
+		if remaining < 1 {
+			remaining = 1
+		}
+		h.residual = append(h.residual, hybridResidual{
+			flow: lf.flow, remaining: remaining, incast: lf.incast,
+		})
+	}
+	sort.Slice(h.residual, func(i, j int) bool {
+		return h.residual[i].flow.ID < h.residual[j].flow.ID
+	})
+
+	// Accumulate the segment's switch statistics into the run result.
+	all := topo.SwitchStats(cl.AllSwitches())
+	h.res.PauseFrames += all.PauseFramesSent
+	h.res.LossyDrops += all.LossyDropsIngress + all.LossyDropsEgress
+	h.res.LossyEvictions += all.LossyEvictions
+	h.res.LosslessViolations += all.LosslessViolations
+	h.res.ECNMarked += all.ECNMarked
+	h.res.PFCReissues += all.PFCReissues
+	h.res.ToRPauseFrames += topo.SwitchStats(cl.ToRs).PauseFramesSent
+	h.res.AggPauseFrames += topo.SwitchStats(cl.Aggs).PauseFramesSent
+	h.res.CorePauseFrames += topo.SwitchStats(cl.Cores).PauseFramesSent
+	h.res.LosslessGaps += cl.LosslessGaps()
+	h.res.Events += eng.Events()
+	h.res.RecoveryBytes += cl.RecoveryBytes()
+	nacks, tmo := cl.RDMARecoveryStats()
+	h.res.RDMANACKs += nacks
+	h.res.RDMATimeouts += tmo
+	if cl.Pool != nil {
+		h.res.PoolGets += cl.Pool.Stats().Gets
+		if segEnd >= h.horizon {
+			// Only the final segment's parked frames are "live at run end";
+			// a quiescence cut's in-flight frames are re-served as fluid.
+			h.res.PoolLive += cl.Pool.Live()
+		}
+	}
+	for _, sw := range cl.AllSwitches() {
+		if err := sw.CheckInvariants(); err != nil {
+			h.res.AuditErrors = append(h.res.AuditErrors, err.Error())
+		}
+	}
+	if aud != nil {
+		if segEnd >= h.horizon {
+			aud.Final()
+		}
+		h.res.AuditErrors = append(h.res.AuditErrors, aud.Violations()...)
+		h.res.AuditChecks += aud.Checks()
+	}
+
+	if segTracer != nil {
+		for _, s := range segTracer.OccSamples() {
+			s.At += segStart
+			h.tracer.RecordOcc(s)
+		}
+		for _, e := range segTracer.PFCEvents() {
+			e.At += segStart
+			h.tracer.RecordPFC(e)
+		}
+		for _, s := range segTracer.WeightSamples() {
+			s.At += segStart
+			h.tracer.RecordWeight(s)
+		}
+		for _, e := range segTracer.PacketEvents() {
+			e.At += segStart
+			h.tracer.RecordPacketEvent(e)
+		}
+	}
+	return segEnd, nil
+}

@@ -64,6 +64,15 @@ type HybridSpec struct {
 	// also match the classic path. Fault runs differ from classic only in
 	// detector/watchdog scheduling (barrier tasks vs engine events).
 	Shards int
+	// Fidelity selects the execution engine: "" or FidelityPacket runs
+	// every event through the packet engine; FidelityHybrid runs the fluid
+	// fast-forward controller (internal/fluid), which advances flows
+	// analytically between fidelity triggers and drops to full packet
+	// simulation around incast bursts, fan-in convergence and buffer
+	// pressure. Hybrid fidelity requires the classic engine (Shards must be
+	// 0); a fault plan forces packet fidelity for the whole run (fault
+	// injection is a standing trigger that never clears).
+	Fidelity string
 	// Faults, when non-nil, arms the fault-injection subsystem: the plan's
 	// events fire during the run, DCQCN switches to go-back-N recovery,
 	// and the deadlock detector plus no-progress watchdog observe the
@@ -86,6 +95,14 @@ type HybridSpec struct {
 	// Hooks, when non-nil, exposes test-only interception points.
 	Hooks *RunHooks
 }
+
+// Fidelity values for HybridSpec.Fidelity.
+const (
+	// FidelityPacket simulates every MTU of every flow (the default).
+	FidelityPacket = "packet"
+	// FidelityHybrid alternates fluid fast-forward with packet bursts.
+	FidelityHybrid = "hybrid"
+)
 
 // AuditSpec configures the in-run invariant auditor.
 type AuditSpec struct {
@@ -188,6 +205,18 @@ type Result struct {
 	// Incomplete lists flows that started but never finished (normally
 	// empty; under faults it pinpoints lost transfers).
 	Incomplete []*metrics.FlowRecord
+	// TruncatedFlows counts flows the horizon cut short: started inside the
+	// window but still unfinished at window + drain. Always equals
+	// len(Incomplete); surfaced as a counter so sweep tables and the
+	// sharded-vs-classic equivalence tests can compare it without carrying
+	// the full records.
+	TruncatedFlows int
+
+	// Hybrid-fidelity accounting, all zero on pure packet runs.
+	FluidFlows     int          // flows completed analytically in fluid segments
+	FluidSteps     uint64       // fluid events (arrivals + completions) processed
+	FluidTime      sim.Duration // simulated time covered by fluid segments
+	PacketSegments int          // packet bursts the fidelity controller ran
 
 	// AuditErrors lists invariant violations: the end-of-run CheckInvariants
 	// sweep over every switch always runs, and when Spec.Audit is set the
@@ -294,6 +323,22 @@ func RunHybrid(spec HybridSpec) (*Result, error) {
 func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	switch spec.Fidelity {
+	case "", FidelityPacket:
+	case FidelityHybrid:
+		if spec.Shards >= 1 {
+			return nil, fmt.Errorf("exp: hybrid fidelity requires the classic engine (got Shards=%d)", spec.Shards)
+		}
+		if spec.Faults == nil {
+			return runHybridFluid(ctx, spec)
+		}
+		// A fault plan is a standing fidelity trigger: the controller would
+		// never leave packet mode, so the run falls through to the classic
+		// path unchanged.
+	default:
+		return nil, fmt.Errorf("exp: unknown fidelity %q (want %q or %q)",
+			spec.Fidelity, FidelityPacket, FidelityHybrid)
 	}
 	if spec.Shards >= 1 {
 		return runHybridSharded(ctx, spec)
@@ -554,6 +599,7 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	}
 	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
 	res.Incomplete = rec.IncompleteRecords()
+	res.TruncatedFlows = len(res.Incomplete)
 
 	if incastGen != nil {
 		for _, fr := range rec.Records(pkt.ClassLossless) {

@@ -369,6 +369,7 @@ func runHybridSharded(ctx context.Context, spec HybridSpec) (*Result, error) {
 	}
 	res.FlowsStarted, res.FlowsCompleted = rec.Counts()
 	res.Incomplete = rec.IncompleteRecords()
+	res.TruncatedFlows = len(res.Incomplete)
 
 	if spec.Incast != nil {
 		allIncast := make(map[pkt.FlowID]bool)

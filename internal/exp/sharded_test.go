@@ -222,3 +222,42 @@ func TestShardedMatchesClassicClean(t *testing.T) {
 		t.Errorf("executed events: classic %d vs sharded(1) %d", classic.Events, sharded.Events)
 	}
 }
+
+// TestTruncatedFlowsAcrossShards: flows still in flight at window + drain
+// are surfaced as Result.TruncatedFlows, and the classic and sharded paths
+// must agree exactly for every legal shard count — truncation accounting is
+// part of the result, not an engine artifact. The spec's short drain
+// guarantees mid-transfer elephants are actually cut (the regression this
+// pins: the classic path used to absorb them silently into in-flight
+// bytes).
+func TestTruncatedFlowsAcrossShards(t *testing.T) {
+	spec := shardSpec(0)
+	spec.DrainOverride = 500 * sim.Microsecond
+	classic, err := RunHybrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.TruncatedFlows == 0 {
+		t.Fatalf("spec did not truncate any flows (started %d, completed %d) — drain too long for the regression to bite",
+			classic.FlowsStarted, classic.FlowsCompleted)
+	}
+	if got, want := classic.TruncatedFlows, classic.FlowsStarted-classic.FlowsCompleted; got != want {
+		t.Errorf("classic TruncatedFlows = %d, want started−completed = %d", got, want)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		s := spec
+		s.Shards = shards
+		res, err := RunHybrid(s)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.TruncatedFlows != classic.TruncatedFlows {
+			t.Errorf("shards=%d: TruncatedFlows = %d, classic = %d",
+				shards, res.TruncatedFlows, classic.TruncatedFlows)
+		}
+		if res.FlowsStarted != classic.FlowsStarted || res.FlowsCompleted != classic.FlowsCompleted {
+			t.Errorf("shards=%d: flow counts (%d started, %d completed) diverged from classic (%d, %d)",
+				shards, res.FlowsStarted, res.FlowsCompleted, classic.FlowsStarted, classic.FlowsCompleted)
+		}
+	}
+}

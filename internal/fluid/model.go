@@ -1,0 +1,286 @@
+package fluid
+
+import (
+	"fmt"
+
+	"l2bm/internal/pkt"
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+	"l2bm/internal/transport"
+)
+
+// Model is the capacity graph the fluid layer serves flows over: every
+// directed link of the Clos as an individual capacity, so two flows hashed
+// onto the same ToR–agg link contend exactly as their packets would.
+//
+// Link index space (H hosts, T ToRs, A aggs, C cores, app = aggs per pod):
+//
+//	hostUp[h]          = h                          host → ToR, ServerRate
+//	hostDown[h]        = H + h                      ToR → host, ServerRate
+//	torUp[t][a]        = 2H + t·app + a             ToR → agg,  FabricRate
+//	aggToRDown[t][a]   = 2H + T·app + t·app + a     agg → ToR,  FabricRate
+//	aggUp[g][c]        = 2H + 2T·app + g·C + c      agg → core, FabricRate
+//	coreDown[g][c]     = 2H + 2T·app + A·C + g·C+c  core → agg, FabricRate
+//
+// Each link's egress queue lives on a switch (or the host NIC, which has no
+// shared buffer): owner maps links to the switch index space
+// [0,T) ToRs, [T,T+A) aggs, [T+A,T+A+C) cores, -1 for host NICs. The
+// occupancy synthesizer charges per-flow residency and standing congested
+// queues to owners.
+type Model struct {
+	Cfg topo.Config
+
+	nHosts, nToRs, nAggs, nCores int
+	aggsPerPod, torsPerPod       int
+	nLinks                       int
+
+	caps  []float64 // bits/s
+	owner []int
+}
+
+// NumSwitches returns the size of the switch index space (ToRs, then aggs,
+// then cores).
+func (m *Model) NumSwitches() int { return m.nToRs + m.nAggs + m.nCores }
+
+// NumToRs returns the rack-switch count (switch indices [0, NumToRs)).
+func (m *Model) NumToRs() int { return m.nToRs }
+
+// NewModel builds the capacity graph for cfg.
+func NewModel(cfg topo.Config) *Model {
+	m := &Model{
+		Cfg:        cfg,
+		nHosts:     cfg.ToRCount * cfg.ServersPerToR,
+		nToRs:      cfg.ToRCount,
+		nAggs:      cfg.AggCount,
+		nCores:     cfg.CoreCount,
+		aggsPerPod: cfg.AggCount / cfg.Pods,
+		torsPerPod: cfg.ToRCount / cfg.Pods,
+	}
+	m.nLinks = 2*m.nHosts + 2*m.nToRs*m.aggsPerPod + 2*m.nAggs*m.nCores
+	m.caps = make([]float64, m.nLinks)
+	m.owner = make([]int, m.nLinks)
+	for l := range m.owner {
+		m.owner[l] = -1
+	}
+	for h := 0; h < m.nHosts; h++ {
+		m.caps[h] = float64(cfg.ServerRate)          // hostUp: NIC egress
+		m.caps[m.nHosts+h] = float64(cfg.ServerRate) // hostDown
+		m.owner[m.nHosts+h] = h / cfg.ServersPerToR  // ToR's host-facing queue
+	}
+	torUp0 := 2 * m.nHosts
+	aggDown0 := torUp0 + m.nToRs*m.aggsPerPod
+	aggUp0 := aggDown0 + m.nToRs*m.aggsPerPod
+	coreDown0 := aggUp0 + m.nAggs*m.nCores
+	for t := 0; t < m.nToRs; t++ {
+		pod := t / m.torsPerPod
+		for a := 0; a < m.aggsPerPod; a++ {
+			m.caps[torUp0+t*m.aggsPerPod+a] = float64(cfg.FabricRate)
+			m.owner[torUp0+t*m.aggsPerPod+a] = t
+			m.caps[aggDown0+t*m.aggsPerPod+a] = float64(cfg.FabricRate)
+			m.owner[aggDown0+t*m.aggsPerPod+a] = m.nToRs + pod*m.aggsPerPod + a
+		}
+	}
+	for g := 0; g < m.nAggs; g++ {
+		for c := 0; c < m.nCores; c++ {
+			m.caps[aggUp0+g*m.nCores+c] = float64(cfg.FabricRate)
+			m.owner[aggUp0+g*m.nCores+c] = m.nToRs + g
+			m.caps[coreDown0+g*m.nCores+c] = float64(cfg.FabricRate)
+			m.owner[coreDown0+g*m.nCores+c] = m.nToRs + m.nAggs + c
+		}
+	}
+	return m
+}
+
+// AppendLinks appends the link indices of flow f's deterministic ECMP path
+// from src to dst (2, 4 or 6 links) and returns the extended slice.
+func (m *Model) AppendLinks(links []int, f pkt.FlowID, src, dst int) []int {
+	p := m.Cfg.PathOf(f, src, dst)
+	torUp0 := 2 * m.nHosts
+	aggDown0 := torUp0 + m.nToRs*m.aggsPerPod
+	aggUp0 := aggDown0 + m.nToRs*m.aggsPerPod
+	coreDown0 := aggUp0 + m.nAggs*m.nCores
+
+	links = append(links, src) // hostUp
+	switch p.Hops {
+	case 4:
+		links = append(links, torUp0+p.SrcToR*m.aggsPerPod+p.UpAgg)
+		links = append(links, aggDown0+p.DstToR*m.aggsPerPod+p.DownAgg)
+	case 6:
+		srcPod := p.SrcToR / m.torsPerPod
+		dstPod := p.DstToR / m.torsPerPod
+		upAggG := srcPod*m.aggsPerPod + p.UpAgg
+		downAggG := dstPod*m.aggsPerPod + p.DownAgg
+		links = append(links, torUp0+p.SrcToR*m.aggsPerPod+p.UpAgg)
+		links = append(links, aggUp0+upAggG*m.nCores+p.Core)
+		links = append(links, coreDown0+downAggG*m.nCores+p.Core)
+		links = append(links, aggDown0+p.DstToR*m.aggsPerPod+p.DownAgg)
+	}
+	links = append(links, m.nHosts+dst) // hostDown
+	return links
+}
+
+// FlowState is one in-progress transfer in the fluid layer.
+type FlowState struct {
+	// Flow is the pristine descriptor; Start is the flow's true global
+	// start instant (never re-stamped).
+	Flow transport.Flow
+	// RemainingWire is the unserved wire bytes (payload + framing).
+	RemainingWire float64
+	// Incast marks query-responder flows (query bookkeeping + burst
+	// triggers treat them specially).
+	Incast bool
+	// ExtraLatency is added to the recorded completion instant: the
+	// base-path tail plus, for flows that start in fluid mode as lossy
+	// transfers, the analytic slow-start charge.
+	ExtraLatency sim.Duration
+
+	links [6]int
+	nLink int
+	rate  float64 // bits/s, valid after Solve
+}
+
+// Rate returns the flow's last solved max-min rate in bits/s. The driver
+// converts it to a bandwidth-delay product when warm-starting the packet
+// sender at a fluid→packet hand-off.
+func (fs *FlowState) Rate() float64 { return fs.rate }
+
+// RemainingPayload converts the unserved wire bytes back into payload bytes
+// for hand-off into a packet segment, clamped to [1, Flow.Size]: a flow the
+// fluid layer still holds always has at least one byte left to deliver.
+func (fs *FlowState) RemainingPayload() int64 {
+	p := int64(fs.RemainingWire * float64(pkt.MTUPayload) / float64(pkt.MTUBytes))
+	if p < 1 {
+		p = 1
+	}
+	if p > fs.Flow.Size {
+		p = fs.Flow.Size
+	}
+	return p
+}
+
+// Solver state reused across Solve calls to avoid per-event allocation.
+type solveScratch struct {
+	capLeft []float64
+	cnt     []int
+	sat     []bool
+	used    []int
+}
+
+func newSolveScratch(nLinks int) *solveScratch {
+	return &solveScratch{
+		capLeft: make([]float64, nLinks),
+		cnt:     make([]int, nLinks),
+		sat:     make([]bool, nLinks),
+	}
+}
+
+// Solve assigns max-min fair rates to flows by progressive filling: find
+// the link with the smallest fair share, freeze its flows at that share,
+// subtract, repeat. Marks each bottleneck link saturated in scratch.sat
+// (consumed by the occupancy synthesizer).
+func (m *Model) solve(flows []*FlowState, s *solveScratch) {
+	// The previous solve's restore pass left cnt at each link's crossing
+	// count (for the occupancy readers); zero them before rebuilding, or the
+	// cnt==0 guard below never admits a link into `used` and every flow
+	// falls through to the line-rate fallback.
+	for _, l := range s.used {
+		s.cnt[l] = 0
+	}
+	s.used = s.used[:0]
+	for _, f := range flows {
+		f.rate = 0
+		for _, l := range f.links[:f.nLink] {
+			if s.cnt[l] == 0 {
+				s.used = append(s.used, l)
+				s.capLeft[l] = m.caps[l]
+				s.sat[l] = false
+			}
+			s.cnt[l]++
+		}
+	}
+	unfixed := len(flows)
+	for unfixed > 0 {
+		best := -1.0
+		bl := -1
+		for _, l := range s.used {
+			if s.cnt[l] == 0 {
+				continue
+			}
+			fair := s.capLeft[l] / float64(s.cnt[l])
+			if fair < 0 {
+				fair = 0
+			}
+			if bl == -1 || fair < best {
+				best, bl = fair, l
+			}
+		}
+		if bl == -1 {
+			// Unreachable: every flow crosses its hostUp link. Freeze the
+			// stragglers at line rate rather than loop forever.
+			for _, f := range flows {
+				if f.rate == 0 {
+					f.rate = float64(m.Cfg.ServerRate)
+					unfixed--
+				}
+			}
+			break
+		}
+		s.sat[bl] = true
+		for _, f := range flows {
+			if f.rate != 0 {
+				continue
+			}
+			crosses := false
+			for _, l := range f.links[:f.nLink] {
+				if l == bl {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = best
+			for _, l := range f.links[:f.nLink] {
+				s.capLeft[l] -= best
+				s.cnt[l]--
+			}
+			unfixed--
+		}
+	}
+	// Restore per-link active counts for the occupancy/trigger readers
+	// (solve consumed them while freezing).
+	for _, f := range flows {
+		for _, l := range f.links[:f.nLink] {
+			s.cnt[l]++
+		}
+	}
+}
+
+// SlowStartExtra is the analytic additive delay of DCTCP slow start: from
+// an initial window of 10 MSS the sender ships one cwnd per RTT, idling
+// rtt − TxTime(cwnd) between rounds, until the window covers the
+// bandwidth-delay product or the flow is done. A rate abstraction misses
+// exactly these idle gaps, so fluid-completed lossy flows are charged them
+// explicitly.
+func SlowStartExtra(size int64, rtt sim.Duration, rate int64) sim.Duration {
+	cw := int64(10 * pkt.MTUPayload)
+	sent := int64(0)
+	var extra sim.Duration
+	for sent+cw < size {
+		gap := rtt - sim.TxTime(int(cw), rate)
+		if gap <= 0 {
+			break
+		}
+		extra += gap
+		sent += cw
+		cw *= 2
+	}
+	return extra
+}
+
+func (m *Model) checkHost(h int) {
+	if h < 0 || h >= m.nHosts {
+		panic(fmt.Sprintf("fluid: host %d out of range [0,%d)", h, m.nHosts))
+	}
+}

@@ -118,6 +118,27 @@ func (h *Host) StartFlow(f *transport.Flow) {
 	}
 }
 
+// StartFlowWarm is StartFlow for residual flows handed back from the fluid
+// fast-forward layer: lossy (DCTCP) senders begin with an established
+// congestion window of cwndBytes instead of the cold initial window.
+// Lossless (DCQCN) senders need no warming — they start at line rate and
+// only slow down on congestion feedback — so the hint is ignored for them.
+func (h *Host) StartFlowWarm(f *transport.Flow, cwndBytes float64) {
+	if f.Class != pkt.ClassLossy || cwndBytes <= 0 {
+		h.StartFlow(f)
+		return
+	}
+	if f.Src != h.id {
+		panic(fmt.Sprintf("host %d asked to start flow owned by host %d", h.id, f.Src))
+	}
+	f.Start = h.eng.Now()
+	h.FlowsStarted++
+	s := dctcp.NewSender(h, h.dctcpCfg, f, nil)
+	s.Warm(cwndBytes) // before Start, so the first burst ships the full window
+	h.tcpTx[f.ID] = s
+	s.Start()
+}
+
 // HandleArrival implements netdev.Node: demultiplex to the right endpoint,
 // then recycle the frame. The host is the delivery sink for every packet
 // kind, so the one-owner contract for endpoint handlers is: read the packet,
@@ -219,11 +240,59 @@ func (h *Host) RDMARecoveryStats() (nacks, timeouts uint64) {
 	return nacks, timeouts
 }
 
+// ThrottledRDMASenders counts in-progress DCQCN senders on this host whose
+// current rate is below frac of line rate — senders still recovering from a
+// congestion cut. The hybrid-fidelity driver refuses to hand a segment back
+// to the fluid layer while any exist: the fluid max-min solve would serve
+// those flows at full fair share, forgetting the throttle the packet world
+// is still paying off.
+func (h *Host) ThrottledRDMASenders(frac float64) int {
+	n := 0
+	limit := frac * float64(h.dcqcnCfg.LineRate)
+	for _, s := range h.rdmaTx {
+		if !s.Done() && s.Rate() < limit {
+			n++
+		}
+	}
+	return n
+}
+
+// ThrottledTCPSenders counts in-progress DCTCP senders on this host whose
+// congestion window is below minCwnd bytes. Companion to
+// ThrottledRDMASenders for the hybrid driver's quiescence gate: a solo
+// DCTCP flow's steady-state window is BDP plus the ECN-threshold standing
+// queue, so a sender far below that (young slow-start flows, post-drop
+// recovery) would be served too fast by the fluid layer's line-rate share.
+func (h *Host) ThrottledTCPSenders(minCwnd float64) int {
+	n := 0
+	for _, s := range h.tcpTx {
+		if !s.Done() && s.Cwnd() < minCwnd {
+			n++
+		}
+	}
+	return n
+}
+
 // TCPSender returns this host's DCTCP sender for flow id, if any (tests).
 func (h *Host) TCPSender(id pkt.FlowID) *dctcp.Sender { return h.tcpTx[id] }
 
 // RDMASender returns this host's DCQCN sender for flow id, if any (tests).
 func (h *Host) RDMASender(id pkt.FlowID) *dcqcn.Sender { return h.rdmaTx[id] }
+
+// FlowProgress reports the contiguous bytes delivered to this host for flow
+// id, from whichever receiver (lossless or lossy) owns it. ok is false when
+// no packet of the flow has reached this host yet. The hybrid-fidelity
+// driver uses this at a packet-segment cut to carry residual flow state back
+// into the fluid layer.
+func (h *Host) FlowProgress(id pkt.FlowID) (delivered int64, ok bool) {
+	if r, found := h.rdmaRx[id]; found {
+		return r.Received(), true
+	}
+	if r, found := h.tcpRx[id]; found {
+		return r.Received(), true
+	}
+	return 0, false
+}
 
 // --- transport.Env implementation ------------------------------------------
 

@@ -169,6 +169,32 @@ func (c *Conductor) Close() {
 	c.start = nil
 }
 
+// EpochBound is the conservative epoch-bound arithmetic, factored out so it
+// can be unit-tested and reused by drivers that step engines in
+// barrier-sized slices (the hybrid-fidelity packet segments): the horizon,
+// lowered to the earliest due barrier task (the task must observe a state
+// with no events in flight at its instant), and — when a lookahead applies
+// and an event is pending at minEvent — lowered to minEvent + lookahead − 1.
+// With T the global minimum next-event time, every cross-shard frame sent
+// during such an epoch arrives at ≥ T+L > T+L−1, so bounding at T+L−1 keeps
+// all deliveries in every shard's future (engines execute events at exactly
+// the bound, hence the −1). Pass lookahead ≤ 0 or haveEvent == false to
+// skip the lookahead clamp (single-shard mode, or an idle fabric where
+// jumping straight to the next task or the horizon is safe: no pending
+// event anywhere means the mailboxes are empty too).
+func EpochBound(horizon, nextTask, minEvent sim.Time, haveTask, haveEvent bool, lookahead sim.Duration) sim.Time {
+	bound := horizon
+	if haveTask && nextTask < bound {
+		bound = nextTask
+	}
+	if haveEvent && lookahead > 0 {
+		if eb := minEvent + sim.Time(lookahead) - 1; eb < bound {
+			bound = eb
+		}
+	}
+	return bound
+}
+
 // Run executes the simulation up to and including horizon: repeated barrier
 // epochs of engine execution, mailbox drains and due barrier tasks. On
 // return every shard clock reads horizon and no event at or before horizon
@@ -179,35 +205,28 @@ func (c *Conductor) Run(horizon sim.Time) {
 		if c.intr != nil && c.intr() {
 			return
 		}
-		bound := horizon
 
-		// Earliest due barrier task bounds the epoch: the task must observe
-		// a state with no events in flight at its instant.
+		var nextTask sim.Time
+		haveTask := false
 		for _, t := range c.tasks {
-			if t.next <= bound {
-				bound = t.next
+			if !haveTask || t.next < nextTask {
+				haveTask, nextTask = true, t.next
 			}
 		}
 
-		// Lookahead bound: with T the global minimum next-event time, every
-		// cross-shard frame sent this epoch arrives at ≥ T+L > T+L−1, so
-		// bounding at T+L−1 keeps all deliveries in every shard's future.
+		var minT sim.Time
+		haveEvent := false
+		la := sim.Duration(0)
 		if len(c.engines) > 1 {
-			haveEvent := false
-			var minT sim.Time
+			la = c.lookahead
 			for _, e := range c.engines {
 				if t, ok := e.NextEventTime(); ok && (!haveEvent || t < minT) {
 					haveEvent, minT = true, t
 				}
 			}
-			if haveEvent {
-				if eb := minT + sim.Time(c.lookahead) - 1; eb < bound {
-					bound = eb
-				}
-			}
-			// With no pending event anywhere the mailboxes are empty too, so
-			// jumping straight to the next task or the horizon is safe.
 		}
+
+		bound := EpochBound(horizon, nextTask, minT, haveTask, haveEvent, la)
 
 		c.runEpoch(bound)
 		c.stats.Epochs++

@@ -604,6 +604,44 @@ func (cl *Cluster) installRouting() {
 	}
 }
 
+// PathChoice records the healthy-fabric ECMP routing decisions for one
+// flow — the same hash choices installRouting's fast path makes — so
+// analytic layers (the fluid fast-forward model) can reproduce per-flow
+// paths, and therefore per-link hash collisions, without forwarding a
+// single packet.
+type PathChoice struct {
+	// Hops is 2 intra-rack, 4 intra-pod, 6 inter-pod.
+	Hops           int
+	SrcToR, DstToR int
+	// UpAgg is the pod-local index of the aggregation switch the source ToR
+	// hashes the flow onto (meaningful when Hops ≥ 4).
+	UpAgg int
+	// Core is the core-switch index (meaningful when Hops == 6).
+	Core int
+	// DownAgg is the pod-local index of the aggregation switch the flow
+	// descends through in the destination pod: the core's hash choice when
+	// Hops == 6, UpAgg itself when Hops == 4.
+	DownAgg int
+}
+
+// PathOf returns the deterministic healthy-fabric path of flow f from src
+// to dst. Matches the routers installed by installRouting whenever no
+// fabric link is down.
+func (c *Config) PathOf(f pkt.FlowID, src, dst int) PathChoice {
+	p := PathChoice{Hops: c.Hops(src, dst), SrcToR: c.ToROf(src), DstToR: c.ToROf(dst)}
+	if p.Hops == 2 {
+		return p
+	}
+	aggsPerPod := c.AggCount / c.Pods
+	p.UpAgg = ecmpHash(f, 0x746f72, aggsPerPod)
+	p.DownAgg = p.UpAgg
+	if p.Hops == 6 {
+		p.Core = ecmpHash(f, 0x616767, c.CoreCount)
+		p.DownAgg = ecmpHash(f, 0x636f7265, aggsPerPod)
+	}
+	return p
+}
+
 // NumHosts returns the server count.
 func (cl *Cluster) NumHosts() int { return len(cl.Hosts) }
 
@@ -611,16 +649,36 @@ func (cl *Cluster) NumHosts() int { return len(cl.Hosts) }
 func (cl *Cluster) StartFlow(f *transport.Flow) { cl.Hosts[f.Src].StartFlow(f) }
 
 // ToROf returns the index of the rack switch serving host h.
-func (cl *Cluster) ToROf(h int) int { return h / cl.Cfg.ServersPerToR }
+func (cl *Cluster) ToROf(h int) int { return cl.Cfg.ToROf(h) }
+
+// Hops returns the number of links a packet traverses from src to dst.
+func (cl *Cluster) Hops(src, dst int) int { return cl.Cfg.Hops(src, dst) }
+
+// BasePathDelay returns the empty-network latency of a single MTU packet
+// from src to dst.
+func (cl *Cluster) BasePathDelay(src, dst int) sim.Duration { return cl.Cfg.BasePathDelay(src, dst) }
+
+// IdealFCT returns the empty-network completion time of a size-byte flow
+// from src to dst.
+func (cl *Cluster) IdealFCT(src, dst int, size int64) sim.Duration {
+	return cl.Cfg.IdealFCT(src, dst, size)
+}
+
+// The path-geometry helpers live on Config — not only on a built Cluster —
+// so analytic consumers (the fluid fast-forward layer, workload planners)
+// can price paths without wiring switches and ports.
+
+// ToROf returns the index of the rack switch serving host h.
+func (c *Config) ToROf(h int) int { return h / c.ServersPerToR }
 
 // Hops returns the number of links a packet traverses from src to dst
 // (2 within a rack, 4 within a pod, 6 across pods).
-func (cl *Cluster) Hops(src, dst int) int {
-	torsPerPod := cl.Cfg.ToRCount / cl.Cfg.Pods
+func (c *Config) Hops(src, dst int) int {
+	torsPerPod := c.ToRCount / c.Pods
 	switch {
-	case cl.ToROf(src) == cl.ToROf(dst):
+	case c.ToROf(src) == c.ToROf(dst):
 		return 2
-	case cl.ToROf(src)/torsPerPod == cl.ToROf(dst)/torsPerPod:
+	case c.ToROf(src)/torsPerPod == c.ToROf(dst)/torsPerPod:
 		return 4
 	default:
 		return 6
@@ -630,26 +688,30 @@ func (cl *Cluster) Hops(src, dst int) int {
 // BasePathDelay returns the empty-network latency of a single MTU packet
 // from src to dst: propagation plus store-and-forward serialization at each
 // hop.
-func (cl *Cluster) BasePathDelay(src, dst int) sim.Duration {
-	cfg := cl.Cfg
-	mtuServer := sim.TxTime(pkt.MTUBytes, cfg.ServerRate)
-	mtuFabric := sim.TxTime(pkt.MTUBytes, cfg.FabricRate)
-	switch cl.Hops(src, dst) {
+func (c *Config) BasePathDelay(src, dst int) sim.Duration {
+	mtuServer := sim.TxTime(pkt.MTUBytes, c.ServerRate)
+	mtuFabric := sim.TxTime(pkt.MTUBytes, c.FabricRate)
+	switch c.Hops(src, dst) {
 	case 2:
-		return 2*cfg.ServerDelay + 2*mtuServer
+		return 2*c.ServerDelay + 2*mtuServer
 	case 4:
-		return 2*cfg.ServerDelay + 2*cfg.TorAggDelay + mtuServer + 3*mtuFabric
+		return 2*c.ServerDelay + 2*c.TorAggDelay + mtuServer + 3*mtuFabric
 	default:
-		return 2*cfg.ServerDelay + 2*cfg.TorAggDelay + 2*cfg.AggCoreDelay + mtuServer + 5*mtuFabric
+		return 2*c.ServerDelay + 2*c.TorAggDelay + 2*c.AggCoreDelay + mtuServer + 5*mtuFabric
 	}
+}
+
+// WireBytes returns the on-the-wire size of a size-byte payload: the payload
+// plus per-MTU framing overhead.
+func WireBytes(size int64) int64 {
+	return size + (size+int64(pkt.MTUPayload)-1)/int64(pkt.MTUPayload)*int64(pkt.HeaderBytes)
 }
 
 // IdealFCT returns the empty-network completion time of a size-byte flow
 // from src to dst: pipeline the payload at the (server-link) bottleneck and
 // add the base path latency of the last packet.
-func (cl *Cluster) IdealFCT(src, dst int, size int64) sim.Duration {
-	wire := size + (size+int64(pkt.MTUPayload)-1)/int64(pkt.MTUPayload)*int64(pkt.HeaderBytes)
-	return sim.TxTime(int(wire), cl.Cfg.ServerRate) + cl.BasePathDelay(src, dst) - sim.TxTime(pkt.MTUBytes, cl.Cfg.ServerRate)
+func (c *Config) IdealFCT(src, dst int, size int64) sim.Duration {
+	return sim.TxTime(int(WireBytes(size)), c.ServerRate) + c.BasePathDelay(src, dst) - sim.TxTime(pkt.MTUBytes, c.ServerRate)
 }
 
 // LosslessGaps sums sequence gaps across all hosts (zero unless the
