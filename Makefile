@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak speedup speedup-shards trace-demo hybrid-demo hybrid-divergence clean
+.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak scale speedup speedup-wheel speedup-shards trace-demo hybrid-demo hybrid-divergence clean
 
 all: check
 
@@ -39,7 +39,7 @@ bench-json:
 # (allocs/op is near-deterministic, unlike ns/op). Benchmarks without a
 # baseline entry are reported as "new (no baseline)" and skipped.
 bench-guard:
-	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$|BenchmarkHybridSteadyState' -benchmem -benchtime=1x -run=^$$ ./... \
+	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$|BenchmarkHybridSteadyState|BenchmarkBuildHyperscale' -benchmem -benchtime=1x -run=^$$ ./... \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
 
 # The policy arena: every registered buffer-management policy (the paper's
@@ -64,6 +64,27 @@ chaos:
 
 chaos-soak:
 	$(GO) run ./cmd/l2bmexp -exp chaos -seeds 200 -repro-out repros
+
+# Hyperscale smoke: build the 10,240-host pod Clos and run the short mixed
+# window with the invariant auditor armed (audit violations exit nonzero),
+# then check the two scheduler backends render byte-identical tables on the
+# 1k-host point. CI runs the same smoke under an RSS bound and adds the
+# 100k-host point.
+scale:
+	$(GO) build -o /tmp/l2bmexp-scale ./cmd/l2bmexp
+	/tmp/l2bmexp-scale -exp scale -scale small
+	@echo "== wheel vs heap determinism (scale tables must be byte-identical) =="
+	@/tmp/l2bmexp-scale -exp scale -scale tiny -sched wheel | grep -vE "finished in|\(mem:" > /tmp/l2bm-scale-wheel.txt
+	@/tmp/l2bmexp-scale -exp scale -scale tiny -sched heap  | grep -vE "finished in|\(mem:" > /tmp/l2bm-scale-heap.txt
+	diff /tmp/l2bm-scale-wheel.txt /tmp/l2bm-scale-heap.txt && echo "byte-identical"
+
+# The timer wheel's throughput claim, gated machine-independently: both
+# backends are measured in the same run and the wheel must clear >=1.5x
+# heap events/s at 100k and 1M pending events (DESIGN.md §15.1).
+# -benchtime is in iterations so both backends dispatch identical work.
+speedup-wheel:
+	$(GO) test ./internal/sim/ -run=^$$ -bench=BenchmarkWheelVsHeap -benchmem -benchtime=200000x \
+		| $(GO) run ./cmd/benchguard -speedup 'wheel-100k>=1.5x heap-100k, wheel-1M>=1.5x heap-1M'
 
 # Wall-clock speedup of the parallel scheduler: the same Fig. 7 grid
 # (4 policies x 8 loads), sequential vs all cores. On a >=4-core machine

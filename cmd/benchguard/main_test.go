@@ -66,7 +66,7 @@ func TestGuardPassesWithinTolerance(t *testing.T) {
 		{Name: "BenchmarkAdmit", AllocsPerOp: 6}, // limit = 4*1.25+2 = 7
 		{Name: "BenchmarkNew", AllocsPerOp: 999}, // absent from baseline: skipped
 	}
-	if err := guard(benches, base, 1.25, 2, &bytes.Buffer{}); err != nil {
+	if err := guard(benches, base, guardOpts{AllocRatio: 1.25, AllocSlack: 2}, &bytes.Buffer{}); err != nil {
 		t.Fatalf("guard failed within tolerance: %v", err)
 	}
 }
@@ -81,7 +81,7 @@ func TestGuardReportsNewBenchmarks(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "BenchmarkShardedRun/shards-4", AllocsPerOp: 1e9},
 	}
-	if err := guard(benches, base, 1.25, 2, &out); err != nil {
+	if err := guard(benches, base, guardOpts{AllocRatio: 1.25, AllocSlack: 2}, &out); err != nil {
 		t.Fatalf("guard failed on a baseline-less benchmark: %v", err)
 	}
 	want := "BenchmarkShardedRun/shards-4: new (no baseline), skipping"
@@ -93,7 +93,7 @@ func TestGuardReportsNewBenchmarks(t *testing.T) {
 func TestGuardFailsOnRegression(t *testing.T) {
 	base := writeBaseline(t, 4)
 	benches := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 8}} // > 7
-	err := guard(benches, base, 1.25, 2, &bytes.Buffer{})
+	err := guard(benches, base, guardOpts{AllocRatio: 1.25, AllocSlack: 2}, &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("guard passed an allocs/op regression")
 	}
@@ -123,5 +123,100 @@ func TestRunWritesSnapshot(t *testing.T) {
 func TestRunRequiresAnAction(t *testing.T) {
 	if err := run(nil, strings.NewReader(sample), &bytes.Buffer{}); err == nil {
 		t.Fatal("run with no flags should fail")
+	}
+}
+
+// writeFullBaseline stores ns/op and events/s alongside allocs so the
+// wall-clock guards have something to compare against.
+func writeFullBaseline(t *testing.T) string {
+	t.Helper()
+	snap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkAdmit", AllocsPerOp: 4, NsPerOp: 100, EventsPerSec: 1e6},
+	}}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGuardNsAndEventsRatios(t *testing.T) {
+	base := writeFullBaseline(t)
+	opts := guardOpts{AllocRatio: 1.25, AllocSlack: 2, NsRatio: 3, EventsRatio: 3}
+
+	ok := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 4, NsPerOp: 250, EventsPerSec: 5e5}}
+	if err := guard(ok, base, opts, &bytes.Buffer{}); err != nil {
+		t.Fatalf("guard failed within ns/events tolerance: %v", err)
+	}
+
+	slowNs := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 4, NsPerOp: 301, EventsPerSec: 1e6}}
+	err := guard(slowNs, base, opts, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("guard missed the ns/op regression: %v", err)
+	}
+
+	slowEv := []Benchmark{{Name: "BenchmarkAdmit", AllocsPerOp: 4, NsPerOp: 100, EventsPerSec: 3e5}}
+	err = guard(slowEv, base, opts, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "events/s") {
+		t.Fatalf("guard missed the events/s regression: %v", err)
+	}
+
+	// With the ratios disabled (zero), the same rows pass: wall-clock
+	// guarding is opt-in.
+	off := guardOpts{AllocRatio: 1.25, AllocSlack: 2}
+	if err := guard(slowEv, base, off, &bytes.Buffer{}); err != nil {
+		t.Fatalf("disabled ratios still failed: %v", err)
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkWheelVsHeap/heap-100k", EventsPerSec: 2e6},
+		{Name: "BenchmarkWheelVsHeap/wheel-100k", EventsPerSec: 4e6},
+	}
+	if err := checkSpeedups(benches, "wheel-100k>=1.5x heap-100k", &bytes.Buffer{}); err != nil {
+		t.Fatalf("2x speedup failed a 1.5x gate: %v", err)
+	}
+	err := checkSpeedups(benches, "wheel-100k>=2.5x heap-100k", &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "want >= 2.50x") {
+		t.Fatalf("2x speedup passed a 2.5x gate: %v", err)
+	}
+	// Multiple clauses: the second one fails.
+	err = checkSpeedups(benches,
+		"wheel-100k>=1.5x heap-100k, heap-100k>=1.1x wheel-100k", &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("inverted clause passed")
+	}
+	if err := checkSpeedups(benches, "nope>=1.5x heap-100k", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown operand passed")
+	}
+	if err := checkSpeedups(benches, "garbage", &bytes.Buffer{}); err == nil {
+		t.Fatal("unparseable clause passed")
+	}
+	twins := []Benchmark{
+		{Name: "BenchmarkA/run", EventsPerSec: 1},
+		{Name: "BenchmarkB/run", EventsPerSec: 2},
+		{Name: "BenchmarkC/other", EventsPerSec: 3},
+	}
+	if err := checkSpeedups(twins, "run>=1.0x other", &bytes.Buffer{}); err == nil {
+		t.Fatal("ambiguous operand (matches two sub-names) passed")
+	}
+}
+
+func TestParseCapturesCustomMetrics(t *testing.T) {
+	const line = "BenchmarkBuildHyperscale/10k-8  3  1234 ns/op  2899 bytes/host  100 B/op  5 allocs/op\n"
+	benches, err := parse(strings.NewReader(line), &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(benches))
+	}
+	if got := benches[0].Metrics["bytes/host"]; got != 2899 {
+		t.Errorf("bytes/host = %v, want 2899 (metrics: %v)", got, benches[0].Metrics)
 	}
 }

@@ -51,6 +51,16 @@
 // results — within the divergence bound DESIGN.md §14 states — in exchange
 // for order-of-magnitude speedups on steady-state-heavy windows (`make
 // hybrid-demo`).
+//
+// -sched selects the event-scheduler backend: wheel (the default
+// hierarchical timer wheel) or heap (the plain 4-ary heap it replaced).
+// Both dispatch identically ordered events, so results are byte-identical;
+// only the timing trailer changes (DESIGN.md §15).
+//
+// -exp scale is the hyperscale smoke (not part of -exp all): it builds a
+// pod-structured Clos of 1k (-scale tiny), 10k (small) or 100k (full)
+// hosts via topo.HyperscaleConfig and runs a short mixed window through
+// the same harness, so -shards, -fidelity and -sched apply unchanged.
 package main
 
 import (
@@ -78,12 +88,13 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("l2bmexp", flag.ContinueOnError)
-	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|arena|all|chaos")
+	expName := fs.String("exp", "all", "experiment: fig3a|fig3b|fig7|table2|fig8|fig9|fig10|fig11|faults|arena|scale|all|chaos")
 	scaleName := fs.String("scale", "small", "simulation scale: tiny|small|full")
 	outPath := fs.String("out", "", "also append output to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent grid points (0 = GOMAXPROCS, 1 = sequential)")
 	shards := fs.Int("shards", 0, "run each point on the sharded conservative-time engine with N shards (0 = classic sequential engine); results are byte-identical for any legal N")
 	fidelity := fs.String("fidelity", "", "execution engine for figure/table experiments: packet (every MTU simulated; the default) or hybrid (fluid fast-forward between bursts; results within the DESIGN.md §14 divergence bound)")
+	sched := fs.String("sched", "", "event-scheduler backend: wheel (hierarchical timer wheel; the default) or heap (plain 4-ary heap); results are byte-identical either way")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
@@ -146,6 +157,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := validateFidelity(*expName, *fidelity, *shards); err != nil {
 		return err
 	}
+	if err := validateSched(*sched); err != nil {
+		return err
+	}
 	if *resume != "" {
 		if !explicit["exp"] {
 			return fmt.Errorf("-resume requires an explicit -exp (checkpoints are keyed per sweep; an implicit -exp all would silently mix them)")
@@ -199,7 +213,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := Options{
-		Workers: *parallel, Shards: *shards, Fidelity: *fidelity, Policies: policies,
+		Workers: *parallel, Shards: *shards, Fidelity: *fidelity, Sched: *sched, Policies: policies,
 		Resume: *resume, PointTimeout: *pointTimeout, KeepGoing: *keepGoing,
 		Seeds: *seeds, BaseSeed: *baseSeed, ReproDir: *reproOut, Replay: *replay,
 	}
@@ -234,6 +248,9 @@ type Options struct {
 	// Fidelity selects the execution engine for figure/table experiments
 	// ("" = packet; see exp.FidelityHybrid).
 	Fidelity string
+	// Sched selects the event-scheduler backend ("" = wheel; see
+	// exp.SchedWheel/SchedHeap). Results are byte-identical either way.
+	Sched string
 	// Policies restricts the arena to this subset of registered policies
 	// (nil = every registered policy, in registration order).
 	Policies []string
@@ -265,6 +282,19 @@ type Options struct {
 var fidelityExperiments = map[string]bool{
 	"fig3a": true, "fig3b": true, "fig7": true, "table2": true,
 	"fig8": true, "fig9": true, "fig10": true, "fig11": true,
+	"scale": true,
+}
+
+// validateSched rejects unknown -sched values before any work begins. Both
+// backends dispatch identically ordered events, so the flag never changes
+// results — only the timing trailer.
+func validateSched(sched string) error {
+	switch sched {
+	case "", exp.SchedWheel, exp.SchedHeap:
+		return nil
+	default:
+		return fmt.Errorf("-sched: unknown value %q (want %s or %s)", sched, exp.SchedWheel, exp.SchedHeap)
+	}
 }
 
 // validateFidelity rejects -fidelity combinations before any work begins:
@@ -298,7 +328,13 @@ func validateExp(name string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown experiment %q (have %s all chaos)", name, strings.Join(experimentOrder, " "))
+	for _, n := range extraExperiments {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (have %s %s all chaos)",
+		name, strings.Join(experimentOrder, " "), strings.Join(extraExperiments, " "))
 }
 
 // parsePolicies validates the -policies selection against the policy
@@ -362,6 +398,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	harness, runners := experimentRunners(opts)
 	harness.Shards = opts.Shards
 	harness.Fidelity = opts.Fidelity
+	harness.Sched = opts.Sched
 	harness.CheckpointDir = opts.Resume
 	harness.PointTimeout = opts.PointTimeout
 	harness.KeepGoing = opts.KeepGoing

@@ -15,10 +15,14 @@ import (
 func parseScale(s string) (exp.Scale, error) { return exp.ParseScale(s) }
 
 // experimentOrder is the paper-figure run order (-exp all) and the
-// vocabulary upfront flag validation checks against. The chaos soak is
-// deliberately not part of "all": it is a robustness harness, not a paper
-// artifact.
+// vocabulary upfront flag validation checks against. The chaos soak and
+// the hyperscale scale smoke are deliberately not part of "all": they are
+// engineering harnesses, not paper artifacts (and "scale" at -scale full
+// builds a 100k-host fabric).
 var experimentOrder = []string{"fig3a", "fig3b", "fig7", "table2", "fig8", "fig9", "fig10", "fig11", "faults", "arena"}
+
+// extraExperiments are runnable by name but excluded from -exp all.
+var extraExperiments = []string{"scale"}
 
 // runChaos executes the -exp chaos soak (or, with -replay, re-runs a saved
 // reproducer). Findings are a nonzero exit: the soak is a CI gate.
@@ -108,6 +112,10 @@ func experimentRunners(opts Options) (*exp.Harness, map[string]func(exp.Scale, i
 		},
 		"arena": func(s exp.Scale, w io.Writer) error {
 			_, err := h.RunArena(s, opts.Policies, w)
+			return err
+		},
+		"scale": func(s exp.Scale, w io.Writer) error {
+			_, err := h.RunScale(s, w)
 			return err
 		},
 	}

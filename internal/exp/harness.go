@@ -39,6 +39,10 @@ type Harness struct {
 	// through the fluid layer. Unlike Shards, hybrid fidelity changes
 	// results — within the divergence bound DESIGN.md §14 states.
 	Fidelity string
+	// Sched, when non-empty, selects the scheduler backend for every point
+	// (specs carrying their own Sched keep it): SchedWheel or SchedHeap.
+	// Like Shards, the backend never changes results — only wall clock.
+	Sched string
 	// CheckpointDir, when non-empty, makes every grid crash-resumable:
 	// completed points append to <dir>/sweep-<hash>.jsonl (hash = content
 	// hash of the grid's specs) and a rerun of the same grid restores them
@@ -94,6 +98,13 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 		for i := range specs {
 			if specs[i].Fidelity == "" {
 				specs[i].Fidelity = h.Fidelity
+			}
+		}
+	}
+	if h.Sched != "" {
+		for i := range specs {
+			if specs[i].Sched == "" {
+				specs[i].Sched = h.Sched
 			}
 		}
 	}

@@ -334,8 +334,11 @@ func (h *hybridRun) packetSegment(segStart sim.Time, carried []*fluid.FlowState)
 	h.res.PacketSegments++
 	// Per-segment seed: packet-level tie-breaks inside a burst need their
 	// own stream, decorrelated from the extraction seed.
-	eng := sim.NewEngine(seedFor(h.spec.Name, h.spec.SeedSalt,
+	eng, err := newEngineFor(h.spec.Sched, &h.topoCfg, seedFor(h.spec.Name, h.spec.SeedSalt,
 		fmt.Sprintf("hybrid-seg/%d", h.segIdx)))
+	if err != nil {
+		return 0, err
+	}
 
 	type liveFlow struct {
 		flow     transport.Flow // pristine descriptor

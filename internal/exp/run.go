@@ -73,6 +73,11 @@ type HybridSpec struct {
 	// 0); a fault plan forces packet fidelity for the whole run (fault
 	// injection is a standing trigger that never clears).
 	Fidelity string
+	// Sched selects the scheduler backend: "" or SchedWheel runs the
+	// hierarchical timer wheel, SchedHeap the plain 4-ary heap. Both
+	// dispatch identically ordered events, so results are byte-identical;
+	// the wheel is simply faster once the pending-event population grows.
+	Sched string
 	// Faults, when non-nil, arms the fault-injection subsystem: the plan's
 	// events fire during the run, DCQCN switches to go-back-N recovery,
 	// and the deadlock detector plus no-progress watchdog observe the
@@ -103,6 +108,31 @@ const (
 	// FidelityHybrid alternates fluid fast-forward with packet bursts.
 	FidelityHybrid = "hybrid"
 )
+
+// Sched values for HybridSpec.Sched.
+const (
+	// SchedWheel runs event scheduling on the hierarchical timer wheel,
+	// tick-sized from the fabric's minimum propagation delay (the default:
+	// byte-identical to the heap, faster at scale).
+	SchedWheel = "wheel"
+	// SchedHeap selects the plain 4-ary heap scheduler.
+	SchedHeap = "heap"
+)
+
+// newEngineFor builds the scheduler backend a spec asked for. The wheel and
+// heap dispatch every event in the identical (at, seq | arrival-key) order,
+// so Sched — like Shards — is an execution strategy, not a workload
+// parameter: results are byte-identical either way.
+func newEngineFor(sched string, topoCfg *topo.Config, seed int64) (*sim.Engine, error) {
+	switch sched {
+	case "", SchedWheel:
+		return sim.NewEngineWheel(seed, sim.WheelGranularityFor(topoCfg.MinPropDelay())), nil
+	case SchedHeap:
+		return sim.NewEngine(seed), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown sched %q (want %q or %q)", sched, SchedWheel, SchedHeap)
+	}
+}
 
 // AuditSpec configures the in-run invariant auditor.
 type AuditSpec struct {
@@ -357,7 +387,6 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	// only in MMU decisions (common random numbers).
 	seed := seedFor(spec.Name, spec.SeedSalt,
 		fmt.Sprintf("%v/%v/%v", spec.RDMALoad, spec.TCPLoad, spec.Scale))
-	eng := sim.NewEngine(seed)
 	rec := metrics.NewFCTRecorder()
 
 	var incastGen *workload.Incast
@@ -382,6 +411,10 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 			topoCfg.DCQCN = dcqcn.DefaultConfig(topoCfg.ServerRate)
 		}
 		topoCfg.DCQCN.GoBackN = true
+	}
+	eng, err := newEngineFor(spec.Sched, &topoCfg, seed)
+	if err != nil {
+		return nil, err
 	}
 	cl, err := topo.Build(eng, topoCfg, factory, onComplete)
 	if err != nil {

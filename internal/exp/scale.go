@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"l2bm/internal/sim"
+	"l2bm/internal/topo"
+)
+
+// HyperscaleFor maps the CLI scale to a hyperscale fabric preset: the smoke
+// experiment reuses the familiar tiny/small/full axis but swaps the paper's
+// 128-server testbed for pod-structured Clos fabrics of 1k, 10k and 100k
+// hosts (topo.Hyperscale1k/10k/100k).
+func HyperscaleFor(scale Scale) topo.HyperscaleConfig {
+	switch scale {
+	case ScaleTiny:
+		return topo.Hyperscale1k()
+	case ScaleSmall:
+		return topo.Hyperscale10k()
+	default:
+		return topo.Hyperscale100k()
+	}
+}
+
+// scaleWindow sizes the traffic window so the smoke stays tractable as the
+// fabric grows: total offered work scales with host count, so the window
+// shrinks as the fabric widens.
+func scaleWindow(scale Scale) sim.Duration {
+	switch scale {
+	case ScaleTiny:
+		return 500 * sim.Microsecond
+	case ScaleSmall:
+		return 200 * sim.Microsecond
+	default:
+		return 100 * sim.Microsecond
+	}
+}
+
+// scaleLoad keeps per-host offered load low enough that the 100k-host point
+// finishes in CI time while still exercising every tier of the fabric.
+func scaleLoad(scale Scale) float64 {
+	switch scale {
+	case ScaleTiny:
+		return 0.10
+	case ScaleSmall:
+		return 0.05
+	default:
+		return 0.02
+	}
+}
+
+// ScaleResult carries the hyperscale smoke run plus the fabric's static
+// dimensions (for the rendered table and programmatic consumers).
+type ScaleResult struct {
+	Hyper  topo.HyperscaleConfig
+	Config topo.Config
+	Run    *Result
+}
+
+// RunScale is the hyperscale smoke experiment (-exp scale): it builds the
+// pod-structured Clos fabric the scale selects (1k/10k/100k hosts), offers a
+// short mixed RDMA+TCP window under L2BM with the invariant auditor armed
+// (violations exit nonzero — this is the CI smoke), and renders fabric
+// dimensions, delivery counters and integrity in one deterministic table
+// pair. It runs
+// through the same harness as every figure, so -shards, -fidelity hybrid and
+// -sched apply unchanged; the point of the experiment is that the numbers do
+// NOT change when those execution strategies do.
+func (h *Harness) RunScale(scale Scale, w io.Writer) (*ScaleResult, error) {
+	hyper := HyperscaleFor(scale)
+	cfg, err := hyper.Config()
+	if err != nil {
+		return nil, err
+	}
+	load := scaleLoad(scale)
+	spec := HybridSpec{
+		Name:           fmt.Sprintf("scale-%s", scale),
+		Policy:         "L2BM",
+		Scale:          scale,
+		TCPLoad:        load,
+		RDMALoad:       load,
+		InterRackOnly:  true,
+		WindowOverride: scaleWindow(scale),
+		TopoOverride:   func(c *topo.Config) { *c = cfg },
+		// The smoke always runs under the global invariant auditor: at
+		// hyperscale an MMU accounting leak is invisible in aggregate
+		// counters, so sweeps are the only way to catch one. Auditing is
+		// observer-free, so the determinism diffs are unaffected.
+		Audit: &AuditSpec{},
+	}
+	results, err := h.runAll([]HybridSpec{spec}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+
+	tab := NewTable(fmt.Sprintf("Scale smoke: %d-host hyperscale Clos (%d pods x %d ToRs x %d servers, %g:1 oversub)",
+		cfg.Hosts(), hyper.Pods, hyper.ToRsPerPod, hyper.ServersPerToR, hyper.Oversubscription),
+		"hosts", "tors", "aggs", "cores", "flows_done", "trunc", "lossy_drops", "pauses")
+	tab.AddRow(
+		fmt.Sprintf("%d", cfg.Hosts()),
+		fmt.Sprintf("%d", cfg.ToRCount),
+		fmt.Sprintf("%d", cfg.AggCount),
+		fmt.Sprintf("%d", cfg.CoreCount),
+		fmt.Sprintf("%d", res.FlowsCompleted),
+		fmt.Sprintf("%d", res.TruncatedFlows),
+		fmt.Sprintf("%d", res.LossyDrops),
+		fmt.Sprintf("%d", res.PauseFrames))
+	if err := tab.Fprint(w); err != nil {
+		return nil, err
+	}
+	integ := newIntegrityTable("Scale smoke integrity: lossless gaps / violations / MMU audits")
+	addIntegrityRow(integ, fmt.Sprintf("L2BM@%s", scale), res)
+	if err := integ.Fprint(w); err != nil {
+		return nil, err
+	}
+	// The smoke is a CI gate: an unhealthy fabric must exit nonzero, not
+	// just render a nonzero cell in the integrity table.
+	if res.AuditChecks == 0 {
+		return nil, fmt.Errorf("scale smoke: auditor armed but ran zero sweeps")
+	}
+	if n := len(res.AuditErrors); n > 0 {
+		return nil, fmt.Errorf("scale smoke: %d audit violation(s), first: %s", n, res.AuditErrors[0])
+	}
+	if res.LosslessViolations > 0 {
+		return nil, fmt.Errorf("scale smoke: %d lossless violation(s)", res.LosslessViolations)
+	}
+	return &ScaleResult{Hyper: hyper, Config: cfg, Run: res}, nil
+}
+
+// RunScale runs the hyperscale smoke on the default harness.
+func RunScale(scale Scale, w io.Writer) (*ScaleResult, error) {
+	return defaultHarness().RunScale(scale, w)
+}

@@ -75,7 +75,10 @@ func runHybridSharded(ctx context.Context, spec HybridSpec) (*Result, error) {
 	}
 	engines := make([]*sim.Engine, shards)
 	for i := range engines {
-		engines[i] = sim.NewEngine(seed)
+		engines[i], err = newEngineFor(spec.Sched, &topoCfg, seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Per-shard observability: one FCT recorder and one incast replica per

@@ -27,9 +27,14 @@ type Host struct {
 	nic  *netdev.Port
 	pool *pkt.Pool
 
-	dctcpCfg dctcp.Config
-	dcqcnCfg dcqcn.Config
+	// tc is the immutable transport descriptor, shared by every host of the
+	// fabric (NewShared): a 100k-host build stores the DCTCP/DCQCN knobs
+	// once, not once per server.
+	tc *TransportConfig
 
+	// The endpoint maps are nil until first use: at hyperscale most hosts
+	// in a smoke window never source or sink a flow, so idle servers carry
+	// no map buckets at all.
 	tcpTx  map[pkt.FlowID]*dctcp.Sender
 	tcpRx  map[pkt.FlowID]*dctcp.Receiver
 	rdmaTx map[pkt.FlowID]*dcqcn.Sender
@@ -59,19 +64,30 @@ var (
 	_ transport.Env = (*Host)(nil)
 )
 
-// New builds a host with the given transport configurations. Attach the NIC
-// with SetNIC after wiring the link.
+// TransportConfig bundles the transport knobs every host of a fabric
+// shares. It is an immutable flyweight descriptor: build one per fabric and
+// hand the same pointer to every NewShared call; never mutate it after the
+// first host is built on it.
+type TransportConfig struct {
+	DCTCP dctcp.Config
+	DCQCN dcqcn.Config
+}
+
+// New builds a host with private copies of the transport configurations.
+// Attach the NIC with SetNIC after wiring the link.
 func New(eng *sim.Engine, id int, name string, dctcpCfg dctcp.Config, dcqcnCfg dcqcn.Config) *Host {
+	return NewShared(eng, id, name, &TransportConfig{DCTCP: dctcpCfg, DCQCN: dcqcnCfg})
+}
+
+// NewShared builds a host on a shared immutable transport descriptor. The
+// endpoint maps are allocated lazily on first flow, so an idle host costs
+// only its counters.
+func NewShared(eng *sim.Engine, id int, name string, tc *TransportConfig) *Host {
 	return &Host{
-		eng:      eng,
-		id:       id,
-		name:     name,
-		dctcpCfg: dctcpCfg,
-		dcqcnCfg: dcqcnCfg,
-		tcpTx:    make(map[pkt.FlowID]*dctcp.Sender),
-		tcpRx:    make(map[pkt.FlowID]*dctcp.Receiver),
-		rdmaTx:   make(map[pkt.FlowID]*dcqcn.Sender),
-		rdmaRx:   make(map[pkt.FlowID]*dcqcn.Receiver),
+		eng:  eng,
+		id:   id,
+		name: name,
+		tc:   tc,
 	}
 }
 
@@ -106,11 +122,17 @@ func (h *Host) StartFlow(f *transport.Flow) {
 	h.FlowsStarted++
 	switch f.Class {
 	case pkt.ClassLossless:
-		s := dcqcn.NewSender(h, h.dcqcnCfg, f, nil)
+		s := dcqcn.NewSender(h, h.tc.DCQCN, f, nil)
+		if h.rdmaTx == nil {
+			h.rdmaTx = make(map[pkt.FlowID]*dcqcn.Sender)
+		}
 		h.rdmaTx[f.ID] = s
 		s.Start()
 	case pkt.ClassLossy:
-		s := dctcp.NewSender(h, h.dctcpCfg, f, nil)
+		s := dctcp.NewSender(h, h.tc.DCTCP, f, nil)
+		if h.tcpTx == nil {
+			h.tcpTx = make(map[pkt.FlowID]*dctcp.Sender)
+		}
 		h.tcpTx[f.ID] = s
 		s.Start()
 	default:
@@ -133,8 +155,11 @@ func (h *Host) StartFlowWarm(f *transport.Flow, cwndBytes float64) {
 	}
 	f.Start = h.eng.Now()
 	h.FlowsStarted++
-	s := dctcp.NewSender(h, h.dctcpCfg, f, nil)
+	s := dctcp.NewSender(h, h.tc.DCTCP, f, nil)
 	s.Warm(cwndBytes) // before Start, so the first burst ships the full window
+	if h.tcpTx == nil {
+		h.tcpTx = make(map[pkt.FlowID]*dctcp.Sender)
+	}
 	h.tcpTx[f.ID] = s
 	s.Start()
 }
@@ -180,9 +205,12 @@ func (h *Host) handleData(p *pkt.Packet) {
 		r, ok := h.rdmaRx[p.Flow]
 		if !ok {
 			id := p.Flow
-			r = dcqcn.NewReceiver(h, h.dcqcnCfg, id, h.id, p.Src, func(at sim.Time) {
+			r = dcqcn.NewReceiver(h, h.tc.DCQCN, id, h.id, p.Src, func(at sim.Time) {
 				h.complete(id, at)
 			})
+			if h.rdmaRx == nil {
+				h.rdmaRx = make(map[pkt.FlowID]*dcqcn.Receiver)
+			}
 			h.rdmaRx[id] = r
 		}
 		r.HandleData(p)
@@ -193,6 +221,9 @@ func (h *Host) handleData(p *pkt.Packet) {
 			r = dctcp.NewReceiver(h, id, h.id, p.Src, func(at sim.Time) {
 				h.complete(id, at)
 			})
+			if h.tcpRx == nil {
+				h.tcpRx = make(map[pkt.FlowID]*dctcp.Receiver)
+			}
 			h.tcpRx[id] = r
 		}
 		r.HandleData(p)
@@ -248,7 +279,7 @@ func (h *Host) RDMARecoveryStats() (nacks, timeouts uint64) {
 // is still paying off.
 func (h *Host) ThrottledRDMASenders(frac float64) int {
 	n := 0
-	limit := frac * float64(h.dcqcnCfg.LineRate)
+	limit := frac * float64(h.tc.DCQCN.LineRate)
 	for _, s := range h.rdmaTx {
 		if !s.Done() && s.Rate() < limit {
 			n++

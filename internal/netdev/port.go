@@ -65,8 +65,11 @@ type Port struct {
 	eng   *sim.Engine
 	owner Node
 	peer  *Port
-	rate  int64
-	prop  sim.Duration
+	// class is the link's immutable speed descriptor. The topology layer
+	// builds ONE LinkClass per tier (host↔ToR, ToR↔agg, agg↔core) and
+	// shares it across every cable of that tier (ConnectClass), so a
+	// 100k-host fabric stores each (rate, delay) pair once, not per port.
+	class *LinkClass
 
 	// ID is the port's index within its owner (set by the owner).
 	ID int
@@ -144,6 +147,15 @@ type Port struct {
 	RxFault FaultHook
 }
 
+// LinkClass is the immutable speed descriptor of a cable: line rate in
+// bits/s and one-way propagation delay. Cables of the same tier share one
+// descriptor (flyweight) — never mutate a LinkClass after wiring a link
+// on it.
+type LinkClass struct {
+	Rate int64
+	Prop sim.Duration
+}
+
 // Connect wires a full-duplex link between nodes a and b with the given line
 // rate (bits/s) and one-way propagation delay, returning the port on each
 // side. Both directions share rate and delay, like a real cable.
@@ -153,24 +165,31 @@ func Connect(eng *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Por
 
 // ConnectOn wires a full-duplex link whose two sides live on different
 // engines (shards): a's port schedules its local events (serialization,
-// receive processing) on engA, b's on engB. When the engines differ, each
-// direction gets a cross-shard Outbox — transmissions enqueue there and
-// the epoch conductor delivers them on the peer's engine at the next
-// barrier, which is sound because the link's propagation delay is at least
-// the conductor's lookahead. Cross-engine ports MUST also be given arrival
-// keys (SetArrivalKey) before traffic flows; same-engine wiring degrades
-// to exactly Connect.
+// receive processing) on engA, b's on engB. The link gets a private
+// LinkClass; bulk wiring should share one per tier via ConnectClass.
 func ConnectOn(engA, engB *sim.Engine, a, b Node, rateBps int64, prop sim.Duration) (*Port, *Port) {
-	if rateBps <= 0 {
+	return ConnectClass(engA, engB, a, b, &LinkClass{Rate: rateBps, Prop: prop})
+}
+
+// ConnectClass is ConnectOn with an explicit shared link descriptor: every
+// cable of a tier points at the same immutable LinkClass. When the engines
+// differ, each direction gets a cross-shard Outbox — transmissions enqueue
+// there and the epoch conductor delivers them on the peer's engine at the
+// next barrier, which is sound because the link's propagation delay is at
+// least the conductor's lookahead. Cross-engine ports MUST also be given
+// arrival keys (SetArrivalKey) before traffic flows; same-engine wiring
+// degrades to exactly Connect.
+func ConnectClass(engA, engB *sim.Engine, a, b Node, class *LinkClass) (*Port, *Port) {
+	if class == nil || class.Rate <= 0 {
 		panic("netdev: link rate must be positive")
 	}
-	pa := &Port{eng: engA, owner: a, rate: rateBps, prop: prop}
-	pb := &Port{eng: engB, owner: b, rate: rateBps, prop: prop}
+	pa := &Port{eng: engA, owner: a, class: class}
+	pb := &Port{eng: engB, owner: b, class: class}
 	pa.peer, pb.peer = pb, pa
 	pa.bindHandlers()
 	pb.bindHandlers()
 	if engA != engB {
-		if prop <= 0 {
+		if class.Prop <= 0 {
 			panic("netdev: cross-engine links need positive propagation delay (the conservative lookahead)")
 		}
 		pa.outbox = &Outbox{src: pa, dst: pb}
@@ -223,10 +242,10 @@ func (p *Port) Owner() Node { return p.owner }
 func (p *Port) Peer() *Port { return p.peer }
 
 // Rate returns the line rate in bits per second.
-func (p *Port) Rate() int64 { return p.rate }
+func (p *Port) Rate() int64 { return p.class.Rate }
 
 // PropDelay returns the one-way propagation delay of the link.
-func (p *Port) PropDelay() sim.Duration { return p.prop }
+func (p *Port) PropDelay() sim.Duration { return p.class.Prop }
 
 // Stats returns a snapshot of the port counters.
 func (p *Port) Stats() PortStats { return p.stats }
@@ -319,13 +338,13 @@ func (p *Port) DrainRate(prio int) int64 {
 	}
 	n := p.backloggedPriorities()
 	if n == 0 || (p.queues[prio].len() > 0 && n == 1) {
-		return p.rate
+		return p.class.Rate
 	}
 	if p.queues[prio].len() == 0 {
 		// Joining packet would add one more competitor.
 		n++
 	}
-	return p.rate / int64(n)
+	return p.class.Rate / int64(n)
 }
 
 // Enqueue places a data/ACK/CNP packet on its priority queue and starts the
@@ -377,7 +396,7 @@ func (p *Port) tryTransmit() {
 		return
 	}
 	p.busy = true
-	txDone := sim.TxTime(q.Size, p.rate)
+	txDone := sim.TxTime(q.Size, p.class.Rate)
 	p.eng.ScheduleArg(txDone, p.onTxDone, q)
 }
 
@@ -487,13 +506,13 @@ func (p *Port) finishTransmit(q *pkt.Packet) {
 		}
 		p.txSeq++
 		p.pool.Export(q) // ownership moves to the mailbox, then the peer's pool
-		p.outbox.add(p.eng.Now()+p.prop, sim.ArrivalKeyBit|p.key<<43|p.txSeq, q)
+		p.outbox.add(p.eng.Now()+p.class.Prop, sim.ArrivalKeyBit|p.key<<43|p.txSeq, q)
 	case p.key != 0:
 		p.txSeq++
-		p.eng.ScheduleArrivalAt(p.eng.Now()+p.prop, p.peer.onArrive, q,
+		p.eng.ScheduleArrivalAt(p.eng.Now()+p.class.Prop, p.peer.onArrive, q,
 			sim.ArrivalKeyBit|p.key<<43|p.txSeq)
 	default:
-		p.eng.ScheduleArg(p.prop, p.peer.onArrive, q)
+		p.eng.ScheduleArg(p.class.Prop, p.peer.onArrive, q)
 	}
 	p.busy = false
 	p.tryTransmit()

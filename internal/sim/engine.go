@@ -27,6 +27,11 @@ type event struct {
 	fn  Callback
 	afn ArgCallback
 	arg any
+
+	// idx is the record's slot in Engine.all, stamped once at allocation.
+	// Wheel buckets reference events by this index instead of by pointer so
+	// the bucket arrays stay pointer-free (see wheelEntry).
+	idx uint32
 }
 
 // live reports whether the event still has a body to run (not cancelled,
@@ -104,12 +109,45 @@ type Engine struct {
 	intrFn    func() bool
 	intrEvery uint64
 	intrCount uint64
+
+	// w, when non-nil, is the hierarchical timer-wheel backend (see
+	// wheel.go): far-future events park in O(1) buckets and are flushed
+	// into the heap a tick at a time, so the heap stays cache-resident no
+	// matter how many events are pending. Dispatch always happens from the
+	// heap in (at, seq) order, so results are byte-identical either way.
+	w *wheel
+
+	// all registers every event record ever allocated (wheel backend only).
+	// Records are pooled and never released, so the registry both keeps
+	// bucket-resident events reachable and lets buckets refer to them by
+	// uint32 index instead of by pointer.
+	all []*event
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose master
-// random source is seeded with seed.
+// random source is seeded with seed. Events are queued on the exact 4-ary
+// heap; NewEngineWheel selects the timer-wheel backend instead.
 func NewEngine(seed int64) *Engine {
 	return &Engine{rng: NewSource(seed)}
+}
+
+// NewEngineWheel returns an engine backed by the hierarchical timer wheel:
+// same API, same byte-identical dispatch order, O(1) scheduling instead of
+// O(log n) once hundreds of thousands of events are pending. granularity is
+// the wheel's tick width (rounded down to a power of two of picoseconds);
+// size it from the fabric with WheelGranularityFor, or pass <= 0 for
+// DefaultWheelGranularity.
+func NewEngineWheel(seed int64, granularity Duration) *Engine {
+	return &Engine{rng: NewSource(seed), w: newWheel(granularity)}
+}
+
+// WheelGranularity returns the wheel tick width, or 0 when the engine runs
+// on the plain heap.
+func (e *Engine) WheelGranularity() Duration {
+	if e.w == nil {
+		return 0
+	}
+	return e.w.granularity()
 }
 
 // Now returns the current simulated time.
@@ -119,10 +157,17 @@ func (e *Engine) Now() Time { return e.now }
 // not counted).
 func (e *Engine) Events() uint64 { return e.fired }
 
-// Pending returns the number of events still queued, including cancelled
-// events whose slots have not been reclaimed yet (compaction bounds those
-// at roughly the live count plus a constant).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still queued — heap and wheel
+// buckets combined — including cancelled events whose slots have not been
+// reclaimed yet (compaction bounds those at roughly the live count plus a
+// constant).
+func (e *Engine) Pending() int {
+	n := len(e.queue)
+	if e.w != nil {
+		n += e.w.count
+	}
+	return n
+}
 
 // NextEventTime returns the timestamp of the earliest live event still
 // queued, or (0, false) when no live event is pending. Cancelled records
@@ -133,21 +178,35 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // compute each barrier window, and it doubles as an idle probe for
 // harnesses ("is anything left before the horizon?").
 func (e *Engine) NextEventTime() (Time, bool) {
-	for len(e.queue) > 0 {
-		head := e.queue[0]
-		if head.live() {
-			return head.at, true
+	for {
+		for len(e.queue) > 0 {
+			head := e.queue[0]
+			if head.live() {
+				return head.at, true
+			}
+			// Dead head: reclaim it exactly like Run would have.
+			e.pop()
+			e.recycleDead(head)
 		}
-		// Dead head: reclaim it exactly like Run would have.
-		e.pop()
-		if e.cancelled > 0 {
-			e.cancelled--
+		// Heap dry: flush the wheel's next bucket into the heap. The flush
+		// only re-homes events (order is restored by the heap), so peeking
+		// stays observer-free.
+		if e.w == nil || !e.w.advance(e) {
+			return 0, false
 		}
-		head.clear()
-		head.gen++
-		e.free = append(e.free, head)
 	}
-	return 0, false
+}
+
+// recycleDead reclaims a cancelled event record discovered outside the
+// normal dispatch path (heap-head drain, wheel flush): uncount it, clear
+// it, invalidate stale EventRefs, and return it to the free list.
+func (e *Engine) recycleDead(ev *event) {
+	if e.cancelled > 0 {
+		e.cancelled--
+	}
+	ev.clear()
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Cancelled returns the number of cancelled events still occupying heap
@@ -171,7 +230,7 @@ func (e *Engine) ScheduleAt(at Time, fn Callback) EventRef {
 	}
 	ev := e.alloc(at)
 	ev.fn = fn
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -192,7 +251,7 @@ func (e *Engine) ScheduleArgAt(at Time, fn ArgCallback, arg any) EventRef {
 	ev := e.alloc(at)
 	ev.afn = fn
 	ev.arg = arg
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -227,8 +286,19 @@ func (e *Engine) ScheduleArrivalAt(at Time, fn ArgCallback, arg any, key uint64)
 	ev.seq = key // override the stamped sequence with the wiring-derived key
 	ev.afn = fn
 	ev.arg = arg
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{eng: e, ev: ev, gen: ev.gen}
+}
+
+// enqueue routes a stamped event to the active backend: straight onto the
+// heap, or through the wheel's tick router (which itself falls back to the
+// heap for past-or-current ticks, keeping the heap the exact total order).
+func (e *Engine) enqueue(ev *event) {
+	if e.w != nil {
+		e.w.insert(e, ev)
+		return
+	}
+	e.push(ev)
 }
 
 // alloc pops a recycled event record (or heap-allocates one) and stamps the
@@ -247,6 +317,10 @@ func (e *Engine) alloc(at Time) *event {
 		ev.clear()
 	} else {
 		ev = &event{}
+		if e.w != nil {
+			ev.idx = uint32(len(e.all))
+			e.all = append(e.all, ev)
+		}
 	}
 	ev.at = at
 	ev.seq = e.seq
@@ -282,7 +356,16 @@ func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
 // (== until when the horizon was reached, even if no event fired there).
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			// Heap dry: pull the wheel's next bucket in. All wheel events
+			// sit at strictly later ticks than anything the heap held, so
+			// the flushed bucket's head is the global minimum.
+			if e.w == nil || !e.w.advance(e) {
+				break
+			}
+			continue
+		}
 		next := e.queue[0]
 		if next.at > until {
 			e.now = until
@@ -309,7 +392,13 @@ func (e *Engine) Run(until Time) Time {
 // time horizon. It returns the time of the last event.
 func (e *Engine) RunAll() Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			if e.w == nil || !e.w.advance(e) {
+				break
+			}
+			continue
+		}
 		next := e.queue[0]
 		e.pop()
 		e.dispatch(next)
@@ -421,16 +510,24 @@ const compactThreshold = 64
 // pass). This bounds Pending() at ~2× the live event count for rearm-heavy
 // users that cancel far-future timers much faster than those timers pop.
 func (e *Engine) maybeCompact() {
-	if e.cancelled < compactThreshold || 2*e.cancelled < len(e.queue) {
+	total := len(e.queue)
+	if e.w != nil {
+		total += e.w.count
+	}
+	if e.cancelled < compactThreshold || 2*e.cancelled < total {
 		return
 	}
 	e.compact()
 }
 
-// compact removes cancelled entries from the heap and re-heapifies. Live
-// events keep firing in exactly the same order: dispatch order is the total
-// order (at, seq), which is independent of heap layout.
+// compact removes cancelled entries from the heap (and, on the wheel
+// backend, from every bucket) and re-heapifies. Live events keep firing in
+// exactly the same order: dispatch order is the total order (at, seq),
+// which is independent of heap layout and bucket residency.
 func (e *Engine) compact() {
+	if e.w != nil {
+		e.w.sweep(e)
+	}
 	old := e.queue
 	q := old[:0]
 	for _, ev := range old {

@@ -1,0 +1,362 @@
+package sim
+
+import "math/bits"
+
+// This file implements the hierarchical timer-wheel backend for Engine
+// (selected with NewEngineWheel; NewEngine keeps the plain 4-ary heap).
+//
+// The wheel is an overflow structure in front of the exact heap, never a
+// replacement for it: every event is dispatched FROM the heap, in the heap's
+// total (at, seq | arrival-key) order. Time is quantised into ticks of
+// 2^shift picoseconds, and the engine maintains one invariant:
+//
+//	events with tick(at) <  floor  live in the heap (exactly ordered),
+//	events with tick(at) >= floor  live in wheel buckets (unsorted).
+//
+// Ticks are strict buckets of time, so every heap event's timestamp is
+// strictly below every wheel event's timestamp — the heap head is always
+// the global minimum. When the heap runs dry, advance() flushes the next
+// occupied bucket (one tick's worth of events) into the heap in one go and
+// moves floor past it; because a bucket is emptied *entirely* before any of
+// its events can run, same-instant ties are re-ordered by the heap exactly
+// as the pure-heap engine would have, and results stay byte-identical for
+// every experiment, fault plan, and shard count.
+//
+// Why it is fast: the heap only ever holds the current tick or two (a
+// handful of events), so push/pop touch a cache-resident micro-heap instead
+// of sifting through hundreds of thousands of pointers. Inserts are O(1)
+// appends into a level picked by block equality against floor:
+//
+//	level 0: same 256-tick block as floor, one slot per tick
+//	level 1: same 65536-tick block, one slot per 256 ticks
+//	level 2: same 2^24-tick block, one slot per 65536 ticks
+//	far:     beyond floor's 2^24-tick block (unsorted, lazily rebased)
+//
+// Block equality (rather than distance) sidesteps slot wraparound entirely:
+// a slot can only ever hold ticks from a single block, so cascading a
+// level-k slot moves floor to the start of that block and re-places its
+// events one level down without ambiguity.
+
+const (
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
+
+// DefaultWheelGranularity is the tick width used when NewEngineWheel is
+// given a non-positive granularity: ~16 ns (2^14 ps, already a power of
+// two) spreads microsecond-scale fabric events over ~64 ticks per
+// propagation delay, keeping the near-heap tiny.
+const DefaultWheelGranularity = Duration(1) << 14 * Picosecond
+
+// WheelGranularityFor sizes the wheel tick from a fabric's minimum
+// propagation delay: 1/64th of the shortest hop (rounded down to a power of
+// two by the engine) spreads the in-flight events of even a single hop over
+// many buckets. A non-positive delay falls back to DefaultWheelGranularity.
+func WheelGranularityFor(minPropDelay Duration) Duration {
+	if minPropDelay <= 0 {
+		return DefaultWheelGranularity
+	}
+	g := minPropDelay / 64
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// wheelEntry pairs a bucketed event with its precomputed tick so cascades
+// and rebases route entries without touching the (cache-cold) event struct.
+// The event rides as its registry index (Engine.all), not a pointer: bucket
+// arrays are then pointer-free, so appends skip the write barrier and the
+// GC never scans the (potentially many-megabyte) wheel — the single biggest
+// win at 1M pending events. Pooled event records live forever in the
+// registry, so an index can never dangle.
+type wheelEntry struct {
+	t   uint64
+	idx uint32
+}
+
+type wheel struct {
+	shift uint   // tick width = 2^shift picoseconds
+	floor uint64 // first tick that may still live in a bucket
+	count int    // events resident in buckets (live + cancelled)
+
+	l0, l1, l2 [wheelSlots][]wheelEntry
+	b0, b1, b2 [wheelWords]uint64 // slot-occupancy bitmaps
+	far        []wheelEntry
+	// farBlock is the level-2 block far has been filtered against: far
+	// holds no entries inside it. advance refilters when floor's block
+	// moves (an l0 flush of a block's last tick can cross any boundary).
+	farBlock uint64
+}
+
+func newWheel(granularity Duration) *wheel {
+	if granularity <= 0 {
+		granularity = DefaultWheelGranularity
+	}
+	// Round down to a power of two so tick extraction is a shift.
+	return &wheel{shift: uint(bits.Len64(uint64(granularity)) - 1)}
+}
+
+// Granularity returns the wheel's tick width in simulated time.
+func (w *wheel) granularity() Duration { return Duration(1) << w.shift }
+
+func (w *wheel) tick(at Time) uint64 { return uint64(at) >> w.shift }
+
+// insert routes a freshly scheduled event: past-or-current ticks go to the
+// exact heap, future ticks into the bucket picked by block equality.
+func (w *wheel) insert(e *Engine, ev *event) {
+	t := w.tick(ev.at)
+	if t < w.floor {
+		e.push(ev)
+		return
+	}
+	w.place(wheelEntry{t, ev.idx})
+	w.count++
+}
+
+// place files an event with tick >= floor into its bucket. Callers
+// redistributing a cascaded slot rely on place never appending to w.far for
+// events inside floor's level-2 block — true by construction, since the far
+// branch is exactly the "outside the level-2 block" case.
+func (w *wheel) place(en wheelEntry) {
+	t := en.t
+	switch {
+	case t>>wheelBits == w.floor>>wheelBits:
+		i := t & wheelMask
+		w.l0[i] = append(w.l0[i], en)
+		w.b0[i>>6] |= 1 << (i & 63)
+	case t>>(2*wheelBits) == w.floor>>(2*wheelBits):
+		i := (t >> wheelBits) & wheelMask
+		w.l1[i] = append(w.l1[i], en)
+		w.b1[i>>6] |= 1 << (i & 63)
+	case t>>(3*wheelBits) == w.floor>>(3*wheelBits):
+		i := (t >> (2 * wheelBits)) & wheelMask
+		w.l2[i] = append(w.l2[i], en)
+		w.b2[i>>6] |= 1 << (i & 63)
+	default:
+		w.far = append(w.far, en)
+	}
+}
+
+// scanBits returns the lowest set bit index across the bitmap words.
+func scanBits(b *[wheelWords]uint64) (uint64, bool) {
+	for wi, word := range b {
+		if word != 0 {
+			return uint64(wi*64 + bits.TrailingZeros64(word)), true
+		}
+	}
+	return 0, false
+}
+
+// advance is called when the heap is empty: it flushes buckets (cascading
+// higher levels down as needed) until at least one live event lands in the
+// heap, and reports whether it did. Cancelled events discovered on the way
+// are recycled without ever touching the heap.
+func (w *wheel) advance(e *Engine) bool {
+	for w.count > 0 {
+		// An l0 flush of a block's last tick advances floor across a block
+		// boundary without cascading: events filed for the new block at a
+		// higher level (or in far) would then lose races against newer,
+		// later inserts that go straight to level 0. Merge every slot that
+		// covers floor's current blocks down first, so the l0 scan below
+		// always sees the true minimum.
+		if w.syncCovering(e) {
+			return true
+		}
+		// Level 0: one tick per slot — flush it straight into the heap.
+		if i, ok := scanBits(&w.b0); ok {
+			slot := w.l0[i]
+			w.l0[i] = slot[:0]
+			w.b0[i>>6] &^= 1 << (i & 63)
+			w.count -= len(slot)
+			tick := (w.floor>>wheelBits)<<wheelBits | i
+			w.floor = tick + 1
+			pushed := false
+			for _, en := range slot {
+				ev := e.all[en.idx]
+				if ev.live() {
+					e.push(ev)
+					pushed = true
+				} else {
+					e.recycleDead(ev)
+				}
+			}
+			if pushed {
+				return true
+			}
+			continue
+		}
+		// Level 1: slot covers one level-0 block; move floor to its start
+		// and re-place its events one level down.
+		if i, ok := scanBits(&w.b1); ok {
+			w.cascade(e, &w.l1[i], &w.b1, i,
+				((w.floor>>(2*wheelBits))<<wheelBits|i)<<wheelBits)
+			continue
+		}
+		// Level 2: slot covers one level-1 block.
+		if i, ok := scanBits(&w.b2); ok {
+			w.cascade(e, &w.l2[i], &w.b2, i,
+				((w.floor>>(3*wheelBits))<<wheelBits|i)<<(2*wheelBits))
+			continue
+		}
+		// Far overflow: rebase floor to the earliest far event's level-2
+		// block, then re-place everything that entered the block. Events in
+		// later blocks stay put, touched at most once per block they span.
+		if !w.rebase(e) {
+			return false
+		}
+	}
+	return false
+}
+
+// syncCovering merges down the higher-level slots (and far entries) that
+// cover floor's current blocks: the level-1 slot for floor's level-0 block,
+// the level-2 slot for floor's level-1 block, and far entries inside
+// floor's level-2 block. floor does not move — these events were filed
+// before floor reached their block and now belong at a lower level (or, as
+// a safety that cannot arise by construction, in the heap when their tick
+// already dropped below floor). Reports whether a live event reached the
+// heap, in which case the caller must return it before flushing anything.
+func (w *wheel) syncCovering(e *Engine) bool {
+	pushed := false
+	if fb := w.floor >> (3 * wheelBits); fb != w.farBlock {
+		w.farBlock = fb
+		if len(w.far) > 0 {
+			keep := w.far[:0]
+			for _, en := range w.far {
+				if en.t>>(3*wheelBits) == fb {
+					pushed = w.mergeDown(e, en) || pushed
+				} else {
+					keep = append(keep, en)
+				}
+			}
+			w.far = keep
+		}
+	}
+	if i := (w.floor >> (2 * wheelBits)) & wheelMask; w.b2[i>>6]&(1<<(i&63)) != 0 {
+		s := w.l2[i]
+		w.l2[i] = s[:0]
+		w.b2[i>>6] &^= 1 << (i & 63)
+		for _, en := range s {
+			pushed = w.mergeDown(e, en) || pushed
+		}
+	}
+	if i := (w.floor >> wheelBits) & wheelMask; w.b1[i>>6]&(1<<(i&63)) != 0 {
+		s := w.l1[i]
+		w.l1[i] = s[:0]
+		w.b1[i>>6] &^= 1 << (i & 63)
+		for _, en := range s {
+			pushed = w.mergeDown(e, en) || pushed
+		}
+	}
+	return pushed
+}
+
+// mergeDown re-files one covering-slot entry: back into the bucket its tick
+// now selects, or into the heap when floor already passed it. Reports
+// whether a live event was pushed to the heap.
+func (w *wheel) mergeDown(e *Engine, en wheelEntry) bool {
+	if en.t >= w.floor {
+		w.place(en)
+		return false
+	}
+	w.count--
+	ev := e.all[en.idx]
+	if ev.live() {
+		e.push(ev)
+		return true
+	}
+	e.recycleDead(ev)
+	return false
+}
+
+// cascade empties one higher-level slot: floor jumps to blockStart (every
+// resident tick is >= blockStart, so the heap/bucket invariant holds), and
+// the slot's events re-place into lower levels.
+func (w *wheel) cascade(e *Engine, slot *[]wheelEntry, bitmap *[wheelWords]uint64, i, blockStart uint64) {
+	s := *slot
+	*slot = s[:0]
+	bitmap[i>>6] &^= 1 << (i & 63)
+	w.floor = blockStart
+	for _, en := range s {
+		w.place(en)
+	}
+}
+
+// rebase advances floor to the earliest far event's level-2 block and
+// re-places the events that fall inside it. Reports false when there is
+// nothing in far (the wheel is truly empty at this point).
+func (w *wheel) rebase(e *Engine) bool {
+	if len(w.far) == 0 {
+		return false
+	}
+	min := w.far[0].t
+	for _, en := range w.far[1:] {
+		if en.t < min {
+			min = en.t
+		}
+	}
+	if b := min >> (3 * wheelBits); b > w.floor>>(3*wheelBits) {
+		w.floor = b << (3 * wheelBits)
+	}
+	w.farBlock = w.floor >> (3 * wheelBits)
+	keep := w.far[:0]
+	for _, en := range w.far {
+		if en.t>>(3*wheelBits) == w.farBlock {
+			w.place(en) // cannot re-append to far: same level-2 block
+			continue
+		}
+		keep = append(keep, en)
+	}
+	w.far = keep
+	return true
+}
+
+// sweep drops cancelled events from every bucket (the wheel half of
+// Engine.compact), so rearm-heavy users that cancel far-future timers keep
+// Pending() proportional to the live count. The engine resets its
+// cancelled counter after compaction, so sweep recycles without touching it.
+func (w *wheel) sweep(e *Engine) {
+	sweepLevel := func(slots *[wheelSlots][]wheelEntry, bitmap *[wheelWords]uint64) {
+		for i := range slots {
+			s := slots[i]
+			if len(s) == 0 {
+				continue
+			}
+			keep := s[:0]
+			for _, en := range s {
+				ev := e.all[en.idx]
+				if ev.live() {
+					keep = append(keep, en)
+					continue
+				}
+				w.count--
+				ev.clear()
+				ev.gen++
+				e.free = append(e.free, ev)
+			}
+			slots[i] = keep
+			if len(keep) == 0 {
+				bitmap[i>>6] &^= 1 << (i & 63)
+			}
+		}
+	}
+	sweepLevel(&w.l0, &w.b0)
+	sweepLevel(&w.l1, &w.b1)
+	sweepLevel(&w.l2, &w.b2)
+	keep := w.far[:0]
+	for _, en := range w.far {
+		ev := e.all[en.idx]
+		if ev.live() {
+			keep = append(keep, en)
+			continue
+		}
+		w.count--
+		ev.clear()
+		ev.gen++
+		e.free = append(e.free, ev)
+	}
+	w.far = keep
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wheelTestGranularities covers the interesting tick widths: 1 ps (every
+// event gets its own tick), a fabric-sized tick, and a tick so coarse that
+// whole runs share one bucket (the wheel degenerates to the heap).
+var wheelTestGranularities = []Duration{1, 8 * Nanosecond, DefaultWheelGranularity, Millisecond}
+
+// record is one observed dispatch for order comparison.
+type record struct {
+	id int
+	at Time
+}
+
+// driveRandomWorkload runs an identical randomized schedule/cancel/rearm
+// mix on the given engine and returns the exact dispatch order. The mix
+// deliberately spans every wheel level: sub-tick delays, level-0/1/2 block
+// distances, and far-overflow timers beyond the 2^24-tick block, plus keyed
+// arrivals, zero-delay storms, and horizon-bounded Run calls.
+func driveRandomWorkload(e *Engine, seed int64) []record {
+	rng := rand.New(rand.NewSource(seed))
+	var got []record
+	id := 0
+	var refs []EventRef
+
+	schedule := func(depth int) {}
+	schedule = func(depth int) {
+		id++
+		myID := id
+		var delay Duration
+		switch rng.Intn(6) {
+		case 0:
+			delay = 0 // same-instant tie-breaks
+		case 1:
+			delay = Duration(rng.Int63n(int64(100 * Nanosecond)))
+		case 2:
+			delay = Duration(rng.Int63n(int64(10 * Microsecond)))
+		case 3:
+			delay = Duration(rng.Int63n(int64(5 * Millisecond)))
+		case 4:
+			delay = Duration(rng.Int63n(int64(800 * Millisecond)))
+		default:
+			delay = Duration(rng.Int63n(int64(30 * Second))) // far overflow
+		}
+		if rng.Intn(4) == 0 {
+			key := ArrivalKeyBit | uint64(myID)<<20 | uint64(rng.Intn(1000))
+			e.ScheduleArrivalAt(e.Now()+delay, func(arg any) {
+				got = append(got, record{arg.(int), e.Now()})
+				if depth < 3 && rng.Intn(3) > 0 {
+					schedule(depth + 1)
+				}
+			}, myID, key)
+			return
+		}
+		ref := e.Schedule(delay, func() {
+			got = append(got, record{myID, e.Now()})
+			if depth < 3 && rng.Intn(3) > 0 {
+				schedule(depth + 1)
+			}
+		})
+		if rng.Intn(5) == 0 {
+			refs = append(refs, ref)
+		}
+	}
+
+	for i := 0; i < 400; i++ {
+		schedule(0)
+	}
+	// Cancel a random subset before anything runs.
+	for _, ref := range refs {
+		if rng.Intn(2) == 0 {
+			r := ref
+			r.Cancel()
+		}
+	}
+	refs = refs[:0]
+
+	// Interleave horizon-bounded runs, peeks, and more scheduling.
+	horizon := Time(0)
+	for round := 0; round < 12; round++ {
+		horizon += Duration(rng.Int63n(int64(2 * Second)))
+		e.Run(horizon)
+		if at, ok := e.NextEventTime(); ok && at < horizon {
+			panic("NextEventTime returned a past event")
+		}
+		for i := 0; i < 40; i++ {
+			schedule(0)
+		}
+		for _, ref := range refs {
+			if rng.Intn(2) == 0 {
+				r := ref
+				r.Cancel()
+			}
+		}
+		refs = refs[:0]
+	}
+	e.RunAll()
+	return got
+}
+
+// TestWheelByteIdenticalToHeap is the scheduler's core contract: for the
+// same workload, the wheel backend dispatches exactly the same events at
+// exactly the same times in exactly the same order as the heap, at every
+// granularity.
+func TestWheelByteIdenticalToHeap(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		want := driveRandomWorkload(NewEngine(99), seed)
+		for _, g := range wheelTestGranularities {
+			e := NewEngineWheel(99, g)
+			got := driveRandomWorkload(e, seed)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d gran %v: dispatched %d events, heap dispatched %d",
+					seed, g, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d gran %v: dispatch %d = %+v, heap dispatched %+v",
+						seed, g, i, got[i], want[i])
+				}
+			}
+			checkFreeListClean(t, e, "after wheel workload")
+			if n := e.Pending(); n != 0 {
+				t.Fatalf("seed %d gran %v: %d events pending after RunAll", seed, g, n)
+			}
+		}
+	}
+}
+
+// TestWheelCountersMatchHeap checks the observable accounting (events
+// fired, final clock) agrees between backends.
+func TestWheelCountersMatchHeap(t *testing.T) {
+	h := NewEngine(3)
+	driveRandomWorkload(h, 11)
+	w := NewEngineWheel(3, 0)
+	driveRandomWorkload(w, 11)
+	if h.Events() != w.Events() {
+		t.Fatalf("fired: heap %d, wheel %d", h.Events(), w.Events())
+	}
+	if h.Now() != w.Now() {
+		t.Fatalf("final clock: heap %v, wheel %v", h.Now(), w.Now())
+	}
+}
+
+// TestWheelNextEventTime exercises the conservative-time peek across bucket
+// boundaries: the answer must match the heap's even when the next live
+// event is parked levels away, and peeking must not disturb dispatch.
+func TestWheelNextEventTime(t *testing.T) {
+	e := NewEngineWheel(5, 8*Nanosecond)
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	var fired []Time
+	note := func() { fired = append(fired, e.Now()) }
+	far := e.Schedule(20*Second, note)
+	e.Schedule(3*Millisecond, note)
+	near := e.Schedule(10*Microsecond, note)
+	if at, ok := e.NextEventTime(); !ok || at != Time(10*Microsecond) {
+		t.Fatalf("peek = %v,%v, want 10µs", at, ok)
+	}
+	near.Cancel()
+	if at, ok := e.NextEventTime(); !ok || at != Time(3*Millisecond) {
+		t.Fatalf("peek after cancel = %v,%v, want 3ms", at, ok)
+	}
+	far.Cancel()
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != Time(3*Millisecond) {
+		t.Fatalf("fired = %v, want exactly [3ms]", fired)
+	}
+	if at, ok := e.NextEventTime(); ok {
+		t.Fatalf("drained engine reported next event at %v", at)
+	}
+}
+
+// TestWheelFarRebase plants events many level-2 blocks apart so every
+// dispatch crosses the far-overflow rebase path, and checks order.
+func TestWheelFarRebase(t *testing.T) {
+	e := NewEngineWheel(1, 1) // 1 ps ticks: 2^24 ticks is only ~17 µs
+	var got []Time
+	// Schedule in reverse so the far list is maximally unsorted.
+	for i := 20; i >= 1; i-- {
+		e.Schedule(Duration(i)*100*Microsecond, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	if len(got) != 20 {
+		t.Fatalf("fired %d events, want 20", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	checkFreeListClean(t, e, "after far rebase")
+}
+
+// TestWheelCompactionSweepsBuckets cancels far-future timers much faster
+// than they would pop (the DCQCN rearm pattern) and checks compaction keeps
+// Pending() bounded by the live count, with clean recycled records.
+func TestWheelCompactionSweepsBuckets(t *testing.T) {
+	e := NewEngineWheel(17, 0)
+	live := 0
+	e.Schedule(0, func() { live++ })
+	for i := 0; i < 100_000; i++ {
+		ref := e.ScheduleArg(Second+Duration(i)*Microsecond, func(any) { live++ }, nil)
+		ref.Cancel()
+	}
+	if n := e.Pending(); n > 2*compactThreshold+8 {
+		t.Fatalf("Pending() = %d after rearm storm, want compaction to bound it", n)
+	}
+	checkFreeListClean(t, e, "after bucket sweep")
+	e.RunAll()
+	if live != 1 {
+		t.Fatalf("fired %d live events, want 1", live)
+	}
+}
+
+// TestWheelRunHorizon checks Run(until) parks exactly at the horizon with
+// events still in wheel buckets, and resumes across calls.
+func TestWheelRunHorizon(t *testing.T) {
+	e := NewEngineWheel(2, 0)
+	var fired []Time
+	for _, d := range []Duration{Microsecond, Millisecond, Second} {
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	if now := e.Run(Time(50 * Microsecond)); now != Time(50*Microsecond) {
+		t.Fatalf("Run returned %v, want horizon", now)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired %d events before 50µs, want 1", len(fired))
+	}
+	e.RunAll()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after RunAll", e.Pending())
+	}
+}
+
+// TestWheelGranularityReporting pins the constructor's rounding contract.
+func TestWheelGranularityReporting(t *testing.T) {
+	if g := NewEngine(1).WheelGranularity(); g != 0 {
+		t.Fatalf("heap engine WheelGranularity = %v, want 0", g)
+	}
+	if g := NewEngineWheel(1, 0).WheelGranularity(); g != DefaultWheelGranularity {
+		t.Fatalf("default granularity = %v, want %v", g, DefaultWheelGranularity)
+	}
+	if g := NewEngineWheel(1, 1000).WheelGranularity(); g != 512 {
+		t.Fatalf("granularity 1000 rounded to %v, want 512 (power of two)", g)
+	}
+	if g := NewEngineWheel(1, Microsecond/64).WheelGranularity(); g != 8192 {
+		t.Fatalf("fabric-sized granularity rounded to %v, want 8192 ps", g)
+	}
+	if g := WheelGranularityFor(Microsecond); g != Microsecond/64 {
+		t.Fatalf("WheelGranularityFor(1µs) = %v, want %v", g, Microsecond/64)
+	}
+	if g := WheelGranularityFor(0); g != DefaultWheelGranularity {
+		t.Fatalf("WheelGranularityFor(0) = %v, want default", g)
+	}
+}
+
+// TestWheelBlockRolloverOrder pins the covering-slot merge: flushing the
+// last tick of a block moves floor into the next block, where earlier
+// events may already be filed one level up (or in far). A fresh insert for
+// the new block then lands straight in level 0 — and must NOT be
+// dispatched before the older, earlier event still parked higher. One case
+// per boundary: level-0 block (l1 covering slot), level-1 block (l2
+// covering slot), and level-2 block (far filter).
+func TestWheelBlockRolloverOrder(t *testing.T) {
+	cases := []struct {
+		name                string
+		tickB, tickA, tickC uint64 // B fires first and schedules C; A must beat C
+	}{
+		{"l1-covering", 0xFF, 0x105, 0x108},
+		{"l2-covering", 0xFFFF, 0x10500, 0x10800},
+		{"far-filter", 0xFFFFFF, 0x1000500, 0x1000800},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(e *Engine) []Time {
+				var got []Time
+				note := func() { got = append(got, e.Now()) }
+				// B sits at the last tick of its block; firing it rolls
+				// floor into A's block while A is still filed above.
+				e.ScheduleAt(Time(tc.tickB), func() {
+					note()
+					e.ScheduleAt(Time(tc.tickC), note)
+				})
+				e.ScheduleAt(Time(tc.tickA), note)
+				e.RunAll()
+				return got
+			}
+			want := run(NewEngine(7))
+			got := run(NewEngineWheel(7, 1)) // 1 ps ticks: tick == timestamp
+			if len(got) != 3 || len(want) != 3 {
+				t.Fatalf("fired wheel=%v heap=%v, want 3 events each", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dispatch %d: wheel fired at %v, heap at %v (wheel order %v)",
+						i, got[i], want[i], got)
+				}
+			}
+			if got[1] != Time(tc.tickA) {
+				t.Fatalf("second dispatch at %v, want the parked event at %v", got[1], Time(tc.tickA))
+			}
+		})
+	}
+}

@@ -28,10 +28,11 @@ func (s *Switch) CheckInvariants() error {
 	var congested [pkt.NumPriorities]int
 
 	for port := range s.ports {
+		pm := &s.mmu.ports[port]
 		for prio := 0; prio < pkt.NumPriorities; prio++ {
-			ing := s.mmu.ing[port][prio]
-			eg := s.mmu.eg[port][prio]
-			hr := s.mmu.hr[port][prio]
+			ing := pm.ing[prio]
+			eg := pm.eg[prio]
+			hr := pm.hr[prio]
 			if ing < 0 || eg < 0 || hr < 0 {
 				return fmt.Errorf("switch %s: negative counter at (%d,%d): ing=%d eg=%d hr=%d",
 					s.name, port, prio, ing, eg, hr)
@@ -48,7 +49,7 @@ func (s *Switch) CheckInvariants() error {
 			if eg > s.cfg.CongestionMark {
 				congested[prio]++
 			}
-			if s.mmu.paused[port][prio] && core.ClassOfPriority(prio) != pkt.ClassLossless {
+			if pm.pausedOn(prio) && core.ClassOfPriority(prio) != pkt.ClassLossless {
 				return fmt.Errorf("switch %s: non-lossless queue (%d,%d) is PFC-paused",
 					s.name, port, prio)
 			}
@@ -119,17 +120,18 @@ func (s *Switch) CheckDrained() error {
 		}
 	}
 	for port := range s.ports {
+		pm := &s.mmu.ports[port]
 		for prio := 0; prio < pkt.NumPriorities; prio++ {
-			if v := s.mmu.ing[port][prio]; v != 0 {
+			if v := pm.ing[prio]; v != 0 {
 				return fmt.Errorf("switch %s: ingress (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
 			}
-			if v := s.mmu.eg[port][prio]; v != 0 {
+			if v := pm.eg[prio]; v != 0 {
 				return fmt.Errorf("switch %s: egress (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
 			}
-			if v := s.mmu.hr[port][prio]; v != 0 {
+			if v := pm.hr[prio]; v != 0 {
 				return fmt.Errorf("switch %s: headroom (%d,%d)=%d after drain, want 0", s.name, port, prio, v)
 			}
-			if s.mmu.paused[port][prio] {
+			if pm.pausedOn(prio) {
 				return fmt.Errorf("switch %s: ingress (%d,%d) still PFC-paused after drain", s.name, port, prio)
 			}
 		}

@@ -77,11 +77,11 @@ func TestInvariantsDetectCorruption(t *testing.T) {
 	}
 	r.sw.mmu.congested[pkt.PrioLossy]--
 
-	r.sw.mmu.paused[0][pkt.PrioLossy] = true
+	r.sw.mmu.ports[0].setPaused(pkt.PrioLossy, true)
 	if err := r.sw.CheckInvariants(); err == nil {
 		t.Error("auditor missed lossy pause state")
 	}
-	r.sw.mmu.paused[0][pkt.PrioLossy] = false
+	r.sw.mmu.ports[0].setPaused(pkt.PrioLossy, false)
 
 	if err := r.sw.CheckInvariants(); err != nil {
 		t.Errorf("restored switch still flagged: %v", err)
@@ -102,8 +102,8 @@ func TestCheckDrainedDetectsLeaks(t *testing.T) {
 
 	// A balanced leak: bump both sides of the accounting so CheckInvariants
 	// passes but bytes are still "resident" after drain.
-	r.sw.mmu.ing[0][pkt.PrioLossy] += pkt.MTUBytes
-	r.sw.mmu.eg[2][pkt.PrioLossy] += pkt.MTUBytes
+	r.sw.mmu.ports[0].ing[pkt.PrioLossy] += pkt.MTUBytes
+	r.sw.mmu.ports[2].eg[pkt.PrioLossy] += pkt.MTUBytes
 	r.sw.mmu.poolUsed[pkt.ClassLossy] += pkt.MTUBytes
 	r.sw.mmu.resident += pkt.MTUBytes
 	if err := r.sw.CheckInvariants(); err != nil {
@@ -112,20 +112,20 @@ func TestCheckDrainedDetectsLeaks(t *testing.T) {
 	if err := r.sw.CheckDrained(); err == nil {
 		t.Error("drained auditor missed a balanced byte leak")
 	}
-	r.sw.mmu.ing[0][pkt.PrioLossy] -= pkt.MTUBytes
-	r.sw.mmu.eg[2][pkt.PrioLossy] -= pkt.MTUBytes
+	r.sw.mmu.ports[0].ing[pkt.PrioLossy] -= pkt.MTUBytes
+	r.sw.mmu.ports[2].eg[pkt.PrioLossy] -= pkt.MTUBytes
 	r.sw.mmu.poolUsed[pkt.ClassLossy] -= pkt.MTUBytes
 	r.sw.mmu.resident -= pkt.MTUBytes
 
 	// A wedged pause: lossless so the invariant check stays quiet.
-	r.sw.mmu.paused[0][pkt.PrioLossless] = true
+	r.sw.mmu.ports[0].setPaused(pkt.PrioLossless, true)
 	if err := r.sw.CheckInvariants(); err != nil {
 		t.Fatalf("lossless pause should pass the invariant check, got: %v", err)
 	}
 	if err := r.sw.CheckDrained(); err == nil {
 		t.Error("drained auditor missed a wedged PFC pause")
 	}
-	r.sw.mmu.paused[0][pkt.PrioLossless] = false
+	r.sw.mmu.ports[0].setPaused(pkt.PrioLossless, false)
 
 	if err := r.sw.CheckDrained(); err != nil {
 		t.Errorf("restored switch still flagged: %v", err)

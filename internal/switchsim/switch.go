@@ -19,9 +19,13 @@ type Router func(p *pkt.Packet, inPort int) int
 // their egress port's priority queue; the MMU releases their buffer when the
 // egress port finishes serializing them.
 type Switch struct {
-	eng    *sim.Engine
-	name   string
-	cfg    Config
+	eng  *sim.Engine
+	name string
+	// cfg is an immutable descriptor. At hyperscale the topology layer
+	// builds ONE Config per switch role (ToR/agg/core) and shares the
+	// pointer across every switch of that role (NewSwitchShared), so
+	// per-switch state is the counters, not the configuration.
+	cfg    *Config
 	policy core.Policy
 	ports  []*netdev.Port
 	route  Router
@@ -51,16 +55,41 @@ type Switch struct {
 
 var _ netdev.Node = (*Switch)(nil)
 
-// mmuState holds the virtual counters of the ingress and egress pools,
-// indexed [port][priority] (slices grow as ports are added — the admission
-// path is the simulator's hottest loop, so no maps here).
-type mmuState struct {
-	// ing and eg are the per-(port,priority) ingress- and egress-pool
-	// counters Q_in and Q_out (bytes, normal path: reserved then shared).
-	ing [][pkt.NumPriorities]int64
-	eg  [][pkt.NumPriorities]int64
+// portMMU packs every per-(port,priority) counter into one contiguous
+// record: the admission path touches ing/eg/hr/paused for the same port
+// back to back, so one cache-friendly struct replaces five parallel slices
+// (and the paused booleans collapse to a single bitmask byte).
+type portMMU struct {
+	// ing and eg are the ingress- and egress-pool counters Q_in and Q_out
+	// per priority (bytes, normal path: reserved then shared).
+	ing [pkt.NumPriorities]int64
+	eg  [pkt.NumPriorities]int64
 	// hr is headroom usage per lossless ingress queue.
-	hr [][pkt.NumPriorities]int64
+	hr [pkt.NumPriorities]int64
+	// pauseSentAt records when the most recent XOFF for a paused ingress
+	// queue was emitted, for the lost-pause re-issue guard.
+	pauseSentAt [pkt.NumPriorities]sim.Time
+	// paused is a per-priority bitmask of ingress queues we have XOFF'd
+	// upstream (bit i = priority i; NumPriorities <= 8 fits a byte).
+	paused uint8
+}
+
+func (pm *portMMU) pausedOn(prio int) bool { return pm.paused&(1<<uint(prio)) != 0 }
+
+func (pm *portMMU) setPaused(prio int, on bool) {
+	if on {
+		pm.paused |= 1 << uint(prio)
+	} else {
+		pm.paused &^= 1 << uint(prio)
+	}
+}
+
+// mmuState holds the virtual counters of the ingress and egress pools,
+// indexed [port][priority] (the slice grows as ports are added — the
+// admission path is the simulator's hottest loop, so no maps here).
+type mmuState struct {
+	// ports is the per-port counter table.
+	ports []portMMU
 	// sharedUsed is Q(t): bytes charged to the shared service pool
 	// (ingress-side accounting beyond each queue's reserve).
 	sharedUsed int64
@@ -69,30 +98,30 @@ type mmuState struct {
 	// congested counts egress queues over the congestion mark, per
 	// priority (for ABM).
 	congested [pkt.NumPriorities]int
-	// paused records ingress queues we have XOFF'd upstream.
-	paused [][pkt.NumPriorities]bool
-	// pauseSentAt records when the most recent XOFF for a paused ingress
-	// queue was emitted, for the lost-pause re-issue guard.
-	pauseSentAt [][pkt.NumPriorities]sim.Time
 	// resident is the total bytes resident in the switch (reserved +
 	// shared + headroom), the occupancy the paper plots.
 	resident int64
 }
 
-// ensurePorts grows the per-port tables to cover port index n-1.
+// ensurePorts grows the per-port table to cover port index n-1.
 func (m *mmuState) ensurePorts(n int) {
-	for len(m.ing) < n {
-		m.ing = append(m.ing, [pkt.NumPriorities]int64{})
-		m.eg = append(m.eg, [pkt.NumPriorities]int64{})
-		m.hr = append(m.hr, [pkt.NumPriorities]int64{})
-		m.paused = append(m.paused, [pkt.NumPriorities]bool{})
-		m.pauseSentAt = append(m.pauseSentAt, [pkt.NumPriorities]sim.Time{})
+	for len(m.ports) < n {
+		m.ports = append(m.ports, portMMU{})
 	}
 }
 
-// NewSwitch builds a switch with no ports. Attach ports with AddPort after
-// wiring links via netdev.Connect.
+// NewSwitch builds a switch with no ports, taking a private copy of cfg.
+// Attach ports with AddPort after wiring links via netdev.Connect.
 func NewSwitch(eng *sim.Engine, name string, cfg Config, policy core.Policy) *Switch {
+	return NewSwitchShared(eng, name, &cfg, policy)
+}
+
+// NewSwitchShared builds a switch sharing an immutable configuration
+// descriptor: every switch of a role (ToR/agg/core) points at one Config,
+// so a 100k-host fabric pays for the descriptor once per role rather than
+// once per switch. The caller must not mutate cfg after the first switch
+// is built on it.
+func NewSwitchShared(eng *sim.Engine, name string, cfg *Config, policy core.Policy) *Switch {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -118,7 +147,7 @@ func (s *Switch) Name() string { return s.name }
 func (s *Switch) Policy() core.Policy { return s.policy }
 
 // Config returns the switch configuration.
-func (s *Switch) Config() Config { return s.cfg }
+func (s *Switch) Config() Config { return *s.cfg }
 
 // Stats returns a snapshot of the switch counters. Pause/resume frame
 // counts are gathered from the ports at call time.
@@ -233,7 +262,8 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 
 	inHeadroom := false
 	ingTh := s.policy.IngressThreshold(s, in, prio)
-	if s.mmu.ing[in][prio]+size > s.cfg.ReservedPerQueue+ingTh {
+	inMMU := &s.mmu.ports[in]
+	if inMMU.ing[prio]+size > s.cfg.ReservedPerQueue+ingTh {
 		// Over the ingress threshold: lossy drops; lossless goes to
 		// headroom (PFC is already, or is about to be, asserted).
 		if p.Class == pkt.ClassLossy {
@@ -249,7 +279,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 			// Preemption freed enough pool for the check to pass now;
 			// proceed as a normal shared-pool admission.
 		} else {
-			if s.mmu.hr[in][prio]+size > s.cfg.HeadroomPerQueue {
+			if inMMU.hr[prio]+size > s.cfg.HeadroomPerQueue {
 				// Headroom exhausted: the lossless guarantee is broken.
 				// Still run the PFC check — if the upstream is flooding
 				// because the pause frame was lost, the re-issue guard is
@@ -269,7 +299,7 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 
 	if p.Class == pkt.ClassLossy {
 		egTh := s.policy.EgressThreshold(s, out, prio)
-		if s.mmu.eg[out][prio]+size > s.cfg.ReservedPerQueue+egTh {
+		if s.mmu.ports[out].eg[prio]+size > s.cfg.ReservedPerQueue+egTh {
 			if !s.preemptRetryEgress(p, in, out, size) {
 				s.stats.LossyDropsEgress++
 				s.stats.LossyDropBytesEgress += uint64(p.Size)
@@ -288,15 +318,15 @@ func (s *Switch) admitData(p *pkt.Packet, in, out int) {
 	p.InPort, p.InPrio, p.OutPort = in, prio, out
 	p.InHeadroom = inHeadroom
 	if inHeadroom {
-		s.mmu.hr[in][prio] += size
+		inMMU.hr[prio] += size
 		s.stats.LosslessHeadroom++
 		if s.tracer != nil {
 			s.recordPacketEvent(trace.HeadroomEnter, in, prio, p)
 		}
 	} else {
-		before := sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue)
-		s.mmu.ing[in][prio] += size
-		s.mmu.sharedUsed += sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue) - before
+		before := sharedPart(inMMU.ing[prio], s.cfg.ReservedPerQueue)
+		inMMU.ing[prio] += size
+		s.mmu.sharedUsed += sharedPart(inMMU.ing[prio], s.cfg.ReservedPerQueue) - before
 	}
 	s.bumpEgress(out, prio, size)
 	s.mmu.resident += size
@@ -319,7 +349,7 @@ func (s *Switch) preemptRetryIngress(p *pkt.Packet, in, out int, size int64) boo
 		return false
 	}
 	ingTh := s.policy.IngressThreshold(s, in, p.Priority)
-	return s.mmu.ing[in][p.Priority]+size <= s.cfg.ReservedPerQueue+ingTh
+	return s.mmu.ports[in].ing[p.Priority]+size <= s.cfg.ReservedPerQueue+ingTh
 }
 
 // preemptRetryEgress is preemptRetryIngress for the egress-queue check.
@@ -328,7 +358,7 @@ func (s *Switch) preemptRetryEgress(p *pkt.Packet, in, out int, size int64) bool
 		return false
 	}
 	egTh := s.policy.EgressThreshold(s, out, p.Priority)
-	return s.mmu.eg[out][p.Priority]+size <= s.cfg.ReservedPerQueue+egTh
+	return s.mmu.ports[out].eg[p.Priority]+size <= s.cfg.ReservedPerQueue+egTh
 }
 
 var _ core.Evictor = (*Switch)(nil)
@@ -354,9 +384,10 @@ func (s *Switch) EvictLossyTail(port, prio int, want int64) int64 {
 		size := int64(q.Size)
 		// Lossy packets never sit in headroom, so the reversal is always
 		// the shared/reserved split (the mirror of admitData's else-branch).
-		before := sharedPart(s.mmu.ing[q.InPort][q.InPrio], s.cfg.ReservedPerQueue)
-		s.mmu.ing[q.InPort][q.InPrio] -= size
-		s.mmu.sharedUsed += sharedPart(s.mmu.ing[q.InPort][q.InPrio], s.cfg.ReservedPerQueue) - before
+		inMMU := &s.mmu.ports[q.InPort]
+		before := sharedPart(inMMU.ing[q.InPrio], s.cfg.ReservedPerQueue)
+		inMMU.ing[q.InPrio] -= size
+		s.mmu.sharedUsed += sharedPart(inMMU.ing[q.InPrio], s.cfg.ReservedPerQueue) - before
 		s.bumpEgress(q.OutPort, q.InPrio, -size)
 		s.mmu.resident -= size
 		s.stats.LossyEvictions++
@@ -381,13 +412,14 @@ func (s *Switch) onDequeue(p *pkt.Packet) {
 	size := int64(p.Size)
 	in, prio := p.InPort, p.InPrio
 
+	inMMU := &s.mmu.ports[in]
 	if p.InHeadroom {
-		s.mmu.hr[in][prio] -= size
+		inMMU.hr[prio] -= size
 		p.InHeadroom = false
 	} else {
-		before := sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue)
-		s.mmu.ing[in][prio] -= size
-		s.mmu.sharedUsed += sharedPart(s.mmu.ing[in][prio], s.cfg.ReservedPerQueue) - before
+		before := sharedPart(inMMU.ing[prio], s.cfg.ReservedPerQueue)
+		inMMU.ing[prio] -= size
+		s.mmu.sharedUsed += sharedPart(inMMU.ing[prio], s.cfg.ReservedPerQueue) - before
 	}
 	// Decrement the same (port, priority) cell the admission path charged:
 	// the stamped p.OutPort/p.InPrio, never the mutable p.Priority (a
@@ -404,9 +436,9 @@ func (s *Switch) onDequeue(p *pkt.Packet) {
 // bumpEgress adjusts the egress counter, its class pool and the congestion
 // census by delta bytes.
 func (s *Switch) bumpEgress(out, prio int, delta int64) {
-	before := s.mmu.eg[out][prio]
+	before := s.mmu.ports[out].eg[prio]
 	after := before + delta
-	s.mmu.eg[out][prio] = after
+	s.mmu.ports[out].eg[prio] = after
 	s.mmu.poolUsed[core.ClassOfPriority(prio)] += delta
 	mark := s.cfg.CongestionMark
 	switch {
@@ -426,11 +458,12 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 		return
 	}
 	th := s.cfg.ReservedPerQueue + s.policy.IngressThreshold(s, in, prio)
-	occ := s.mmu.ing[in][prio] + s.mmu.hr[in][prio]
-	if !s.mmu.paused[in][prio] {
+	inMMU := &s.mmu.ports[in]
+	occ := inMMU.ing[prio] + inMMU.hr[prio]
+	if !inMMU.pausedOn(prio) {
 		if occ >= th {
-			s.mmu.paused[in][prio] = true
-			s.mmu.pauseSentAt[in][prio] = s.eng.Now()
+			inMMU.setPaused(prio, true)
+			inMMU.pauseSentAt[prio] = s.eng.Now()
 			if s.tracer != nil {
 				s.recordPFC(trace.PFCAssert, in, prio)
 			}
@@ -443,7 +476,7 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 		release = 0
 	}
 	if occ <= release {
-		s.mmu.paused[in][prio] = false
+		inMMU.setPaused(prio, false)
 		if s.tracer != nil {
 			s.recordPFC(trace.PFCRelease, in, prio)
 		}
@@ -458,8 +491,8 @@ func (s *Switch) checkPFC(in, prio int, arrival bool) {
 	// headroom burns. On a healthy fabric arrivals cease inside the guard
 	// window and this path never fires, keeping the paper's pause-frame
 	// counts untouched.
-	if arrival && s.eng.Now() >= s.mmu.pauseSentAt[in][prio]+s.pfcGuard(in) {
-		s.mmu.pauseSentAt[in][prio] = s.eng.Now()
+	if arrival && s.eng.Now() >= inMMU.pauseSentAt[prio]+s.pfcGuard(in) {
+		inMMU.pauseSentAt[prio] = s.eng.Now()
 		s.stats.PFCReissues++
 		if s.tracer != nil {
 			s.recordPFC(trace.PFCReissue, in, prio)
@@ -498,7 +531,7 @@ func (s *Switch) pfcGuard(in int) sim.Duration {
 // maybeMarkECN applies egress-queue ECN marking: DCTCP step marking on
 // lossy queues, DCQCN RED-style marking on lossless queues.
 func (s *Switch) maybeMarkECN(p *pkt.Packet, out, prio int) {
-	backlog := s.mmu.eg[out][prio]
+	backlog := s.mmu.ports[out].eg[prio]
 	switch p.Class {
 	case pkt.ClassLossy:
 		if s.cfg.ECNLossyThreshold > 0 && backlog > s.cfg.ECNLossyThreshold {
@@ -559,12 +592,12 @@ func (s *Switch) EgressPoolUsed(c pkt.Class) int64 { return s.mmu.poolUsed[int(c
 
 // IngressQueueBytes implements core.StateView.
 func (s *Switch) IngressQueueBytes(port, prio int) int64 {
-	return s.mmu.ing[port][prio]
+	return s.mmu.ports[port].ing[prio]
 }
 
 // EgressQueueBytes implements core.StateView.
 func (s *Switch) EgressQueueBytes(port, prio int) int64 {
-	return s.mmu.eg[port][prio]
+	return s.mmu.ports[port].eg[prio]
 }
 
 // EgressDrainRate implements core.StateView.

@@ -96,27 +96,66 @@ func TinyConfig() Config {
 
 // Validate reports configuration errors, including the silent-garbage class:
 // negative propagation delays and malformed switch MMU parameters would
-// otherwise survive into thresholds as nonsense values.
+// otherwise survive into thresholds as nonsense values. Every check names
+// the single offending field in a one-line message, so a bad pod count
+// fails here instead of surfacing as a wiring panic deep in Build.
 func (c *Config) Validate() error {
 	switch {
 	case c.Pods <= 0:
 		return fmt.Errorf("topo: Pods = %d, want > 0", c.Pods)
-	case c.ToRCount <= 0 || c.ToRCount%c.Pods != 0:
-		return fmt.Errorf("topo: ToRCount %d not positive and divisible by Pods %d", c.ToRCount, c.Pods)
-	case c.AggCount <= 0 || c.AggCount%c.Pods != 0:
-		return fmt.Errorf("topo: AggCount %d not positive and divisible by Pods %d", c.AggCount, c.Pods)
-	case c.CoreCount <= 0 || c.ServersPerToR <= 0:
-		return fmt.Errorf("topo: switch/server counts must be positive")
-	case c.ServerRate <= 0 || c.FabricRate <= 0:
-		return fmt.Errorf("topo: link rates must be positive")
-	case c.ServerDelay < 0 || c.TorAggDelay < 0 || c.AggCoreDelay < 0:
-		return fmt.Errorf("topo: propagation delays must be >= 0 (got %v/%v/%v)",
-			c.ServerDelay, c.TorAggDelay, c.AggCoreDelay)
+	case c.ToRCount <= 0:
+		return fmt.Errorf("topo: ToRCount = %d, want > 0", c.ToRCount)
+	case c.ToRCount%c.Pods != 0:
+		return fmt.Errorf("topo: ToRCount = %d does not divide evenly across Pods = %d", c.ToRCount, c.Pods)
+	case c.AggCount <= 0:
+		return fmt.Errorf("topo: AggCount = %d, want > 0", c.AggCount)
+	case c.AggCount%c.Pods != 0:
+		return fmt.Errorf("topo: AggCount = %d does not divide evenly across Pods = %d", c.AggCount, c.Pods)
+	case c.CoreCount <= 0:
+		return fmt.Errorf("topo: CoreCount = %d, want > 0", c.CoreCount)
+	case c.ServersPerToR <= 0:
+		return fmt.Errorf("topo: ServersPerToR = %d, want > 0", c.ServersPerToR)
+	case c.ServerRate <= 0:
+		return fmt.Errorf("topo: ServerRate = %d bps, want > 0", c.ServerRate)
+	case c.FabricRate <= 0:
+		return fmt.Errorf("topo: FabricRate = %d bps, want > 0", c.FabricRate)
+	case c.ServerDelay < 0:
+		return fmt.Errorf("topo: ServerDelay = %v, want >= 0", c.ServerDelay)
+	case c.TorAggDelay < 0:
+		return fmt.Errorf("topo: TorAggDelay = %v, want >= 0", c.TorAggDelay)
+	case c.AggCoreDelay < 0:
+		return fmt.Errorf("topo: AggCoreDelay = %v, want >= 0", c.AggCoreDelay)
 	}
 	if err := c.Switch.Validate(); err != nil {
 		return fmt.Errorf("topo: %w", err)
 	}
+	// Every cable consumes two arrival keys and netdev caps port keys at
+	// 2^20 (keys pack into the 64-bit (key, txSeq) arrival tie-break), so
+	// the cable count bounds fabric size. Catch it here with the real
+	// numbers instead of panicking mid-wiring.
+	links := c.Hosts() + c.ToRCount*(c.AggCount/c.Pods) + c.AggCount*c.CoreCount
+	if 2*links >= 1<<20 {
+		return fmt.Errorf("topo: %d cables need %d arrival keys, exceeding the 2^20 key space (shrink the fabric below %d cables)",
+			links, 2*links, 1<<19)
+	}
 	return nil
+}
+
+// Hosts returns the total number of servers the configuration describes.
+func (c *Config) Hosts() int { return c.ToRCount * c.ServersPerToR }
+
+// MinPropDelay returns the smallest positive propagation delay in the
+// fabric, or 0 when every delay is zero. The scheduler layer sizes the
+// timer-wheel tick from it (sim.WheelGranularityFor): no two causally
+// related events across a cable are closer than one hop.
+func (c *Config) MinPropDelay() sim.Duration {
+	min := sim.Duration(0)
+	for _, d := range []sim.Duration{c.ServerDelay, c.TorAggDelay, c.AggCoreDelay} {
+		if d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	return min
 }
 
 // PolicyFactory creates one buffer-management policy instance per switch
@@ -284,28 +323,38 @@ func BuildSharded(engines []*sim.Engine, part *Partition, cfg Config, newPolicy 
 		}
 	}
 
+	// Flyweight descriptors: one immutable switch Config per role and one
+	// LinkClass per tier, shared across every switch/cable of that role —
+	// per-node state is then the counters, not the configuration. The three
+	// role Configs are currently equal in value, but kept separate so a
+	// per-role override (deeper-buffered cores, say) needs no re-plumbing.
+	torCfg, aggCfg, coreCfg := cfg.Switch, cfg.Switch, cfg.Switch
+	serverClass := &netdev.LinkClass{Rate: cfg.ServerRate, Prop: cfg.ServerDelay}
+	torAggClass := &netdev.LinkClass{Rate: cfg.FabricRate, Prop: cfg.TorAggDelay}
+	aggCoreClass := &netdev.LinkClass{Rate: cfg.FabricRate, Prop: cfg.AggCoreDelay}
+
 	for i := 0; i < cfg.ToRCount; i++ {
-		cl.ToRs = append(cl.ToRs, switchsim.NewSwitch(engines[part.ToR[i]], fmt.Sprintf("tor%d", i), cfg.Switch, newPolicy()))
+		cl.ToRs = append(cl.ToRs, switchsim.NewSwitchShared(engines[part.ToR[i]], fmt.Sprintf("tor%d", i), &torCfg, newPolicy()))
 	}
 	for i := 0; i < cfg.AggCount; i++ {
-		cl.Aggs = append(cl.Aggs, switchsim.NewSwitch(engines[part.Agg[i]], fmt.Sprintf("agg%d", i), cfg.Switch, newPolicy()))
+		cl.Aggs = append(cl.Aggs, switchsim.NewSwitchShared(engines[part.Agg[i]], fmt.Sprintf("agg%d", i), &aggCfg, newPolicy()))
 	}
 	for i := 0; i < cfg.CoreCount; i++ {
-		cl.Cores = append(cl.Cores, switchsim.NewSwitch(engines[part.Core[i]], fmt.Sprintf("core%d", i), cfg.Switch, newPolicy()))
+		cl.Cores = append(cl.Cores, switchsim.NewSwitchShared(engines[part.Core[i]], fmt.Sprintf("core%d", i), &coreCfg, newPolicy()))
 	}
 
 	// nextKey numbers ports in global wiring order (1-based): the key is
 	// the mode-invariant tiebreak for same-tick arrivals, so it must be a
 	// pure function of the wiring, never of the shard layout.
 	nextKey := uint64(1)
-	connect := func(engA, engB *sim.Engine, a, b netdev.Node, rate int64, prop sim.Duration) (*netdev.Port, *netdev.Port) {
-		pa, pb := netdev.ConnectOn(engA, engB, a, b, rate, prop)
+	connect := func(engA, engB *sim.Engine, a, b netdev.Node, class *netdev.LinkClass) (*netdev.Port, *netdev.Port) {
+		pa, pb := netdev.ConnectClass(engA, engB, a, b, class)
 		pa.SetArrivalKey(nextKey)
 		pb.SetArrivalKey(nextKey + 1)
 		nextKey += 2
 		if engA != engB {
-			if cl.Lookahead == 0 || prop < cl.Lookahead {
-				cl.Lookahead = prop
+			if cl.Lookahead == 0 || class.Prop < cl.Lookahead {
+				cl.Lookahead = class.Prop
 			}
 			cl.outboxes = append(cl.outboxes, pa.Outbox(), pb.Outbox())
 		}
@@ -314,14 +363,15 @@ func BuildSharded(engines []*sim.Engine, part *Partition, cfg Config, newPolicy 
 
 	// Servers: host h sits under ToR h/ServersPerToR on port h%ServersPerToR.
 	// Hosts follow their ToR's shard, so access links are always local.
+	transportCfg := &host.TransportConfig{DCTCP: cfg.DCTCP, DCQCN: cfg.DCQCN}
 	total := cfg.ToRCount * cfg.ServersPerToR
 	for h := 0; h < total; h++ {
 		t := h / cfg.ServersPerToR
 		sh := part.Host[h]
 		eng := engines[sh]
-		hst := host.New(eng, h, fmt.Sprintf("host%d", h), cfg.DCTCP, cfg.DCQCN)
+		hst := host.NewShared(eng, h, fmt.Sprintf("host%d", h), transportCfg)
 		hst.SetPool(cl.Pools[sh])
-		hp, sp := connect(eng, engines[part.ToR[t]], hst, cl.ToRs[t], cfg.ServerRate, cfg.ServerDelay)
+		hp, sp := connect(eng, engines[part.ToR[t]], hst, cl.ToRs[t], serverClass)
 		hp.SetPool(cl.Pools[sh])
 		hst.SetNIC(hp)
 		cl.ToRs[t].AddPort(sp)
@@ -351,7 +401,7 @@ func BuildSharded(engines []*sim.Engine, part *Partition, cfg Config, newPolicy 
 			}
 			aggIdx := pod*aggsPerPod + a
 			agg := cl.Aggs[aggIdx]
-			tp, ap := connect(engines[part.ToR[t]], engines[part.Agg[aggIdx]], tor, agg, cfg.FabricRate, cfg.TorAggDelay)
+			tp, ap := connect(engines[part.ToR[t]], engines[part.Agg[aggIdx]], tor, agg, torAggClass)
 			tor.AddPort(tp)
 			agg.AddPort(ap)
 			cl.addLink(&Link{
@@ -374,7 +424,7 @@ func BuildSharded(engines []*sim.Engine, part *Partition, cfg Config, newPolicy 
 			for _, st := range cl.states {
 				st.aggCoreUp[a][c] = true
 			}
-			ap, cp := connect(engines[part.Agg[a]], engines[part.Core[c]], agg, cl.Cores[c], cfg.FabricRate, cfg.AggCoreDelay)
+			ap, cp := connect(engines[part.Agg[a]], engines[part.Core[c]], agg, cl.Cores[c], aggCoreClass)
 			agg.AddPort(ap)
 			cl.Cores[c].AddPort(cp)
 			cl.addLink(&Link{
