@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak scale speedup speedup-wheel speedup-shards trace-demo hybrid-demo hybrid-divergence clean
+.PHONY: all build vet test race check bench bench-json bench-guard arena faults chaos chaos-soak scale serve speedup speedup-wheel speedup-shards trace-demo hybrid-demo hybrid-divergence clean
 
 all: check
 
@@ -39,7 +39,7 @@ bench-json:
 # (allocs/op is near-deterministic, unlike ns/op). Benchmarks without a
 # baseline entry are reported as "new (no baseline)" and skipped.
 bench-guard:
-	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$|BenchmarkHybridSteadyState|BenchmarkBuildHyperscale' -benchmem -benchtime=1x -run=^$$ ./... \
+	$(GO) test -bench='BenchmarkAdmit$$|BenchmarkSweepWorkers|BenchmarkShardedRun|BenchmarkArenaPoint$$|BenchmarkHybridSteadyState|BenchmarkBuildHyperscale|BenchmarkColfmtWrite' -benchmem -benchtime=1x -run=^$$ ./... \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
 
 # The policy arena: every registered buffer-management policy (the paper's
@@ -77,6 +77,12 @@ scale:
 	@/tmp/l2bmexp-scale -exp scale -scale tiny -sched wheel | grep -vE "finished in|\(mem:" > /tmp/l2bm-scale-wheel.txt
 	@/tmp/l2bmexp-scale -exp scale -scale tiny -sched heap  | grep -vE "finished in|\(mem:" > /tmp/l2bm-scale-heap.txt
 	diff /tmp/l2bm-scale-wheel.txt /tmp/l2bm-scale-heap.txt && echo "byte-identical"
+
+# The experiment daemon, with the result cache armed: submit sweeps with
+# curl (see README "Service") and resubmissions come back instantly from
+# the content-hash cache, byte-identical to the fresh run.
+serve:
+	$(GO) run ./cmd/l2bmd -addr 127.0.0.1:8080 -cache /tmp/l2bm-cache
 
 # The timer wheel's throughput claim, gated machine-independently: both
 # backends are measured in the same run and the wheel must clear >=1.5x

@@ -1,0 +1,105 @@
+// Command l2bmd is the long-running experiment service: an HTTP/JSON daemon
+// accepting HybridSpec sweep submissions, running them on a bounded
+// admission queue over the experiment worker pool, streaming per-point
+// progress (NDJSON/SSE) and serving results plus columnar trace artifacts.
+// A content-hash result cache makes repeated or overlapping sweeps free —
+// and byte-identical to fresh runs (see internal/serve and DESIGN.md §16).
+//
+// Usage:
+//
+//	l2bmd -addr :8080 -cache /var/cache/l2bm
+//	l2bmd -addr 127.0.0.1:0 -addr-file /tmp/l2bmd.addr   # tests/CI: pick a port
+//
+// Walkthrough:
+//
+//	curl -s -X POST --data @sweep.json http://localhost:8080/v1/sweeps
+//	curl -s http://localhost:8080/v1/sweeps/<id>/events        # NDJSON progress
+//	curl -s http://localhost:8080/v1/sweeps/<id>/result        # canonical JSON
+//	curl -s "http://localhost:8080/v1/sweeps/<id>/trace?point=0" -o point0.col
+//	curl -s -X DELETE http://localhost:8080/v1/sweeps/<id>     # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"l2bm/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "l2bmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("l2bmd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the actual listen address to this file once bound (for :0 in tests/CI)")
+	cacheDir := fs.String("cache", "", "result-cache directory (empty = caching off)")
+	maxConcurrent := fs.Int("max-concurrent", 1, "sweeps simulating at once")
+	queueDepth := fs.Int("queue-depth", serve.DefaultQueueDepth, "sweeps allowed to wait for a slot; beyond this, submissions get 429")
+	workers := fs.Int("parallel", 0, "per-sweep worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxConcurrent <= 0 {
+		return fmt.Errorf("-max-concurrent must be >= 1, got %d", *maxConcurrent)
+	}
+	if *queueDepth < 0 {
+		return fmt.Errorf("-queue-depth must be >= 0, got %d", *queueDepth)
+	}
+
+	srv, err := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "l2bmd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain politely: in-flight responses get a grace period; running
+	// simulations die with the process (clients resubmit — the cache makes
+	// completed points free).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(stdout, "l2bmd: shut down")
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonServesAndShutsDown boots the daemon on an ephemeral port,
+// discovers the bound address through -addr-file (the mechanism CI uses),
+// probes /healthz and then shuts it down via context cancellation.
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	addrFile := t.TempDir() + "/addr"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("-addr-file never appeared")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shut down") {
+		t.Errorf("daemon output missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+// TestDaemonFlagValidation: bad flags fail before binding a socket.
+func TestDaemonFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-max-concurrent", "0"},
+		{"-queue-depth", "-1"},
+		{"-bogus"},
+	} {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v: want error, got success", args)
+		}
+	}
+}

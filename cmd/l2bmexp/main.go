@@ -98,8 +98,10 @@ func run(args []string, stdout io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOn := fs.Bool("trace", false, "arm the flight recorder on every run (occupancy, pause, weight, drop/ECN timelines)")
-	traceOut := fs.String("trace-out", "traces", "directory for per-run trace CSV/JSONL files (with -trace)")
+	traceOut := fs.String("trace-out", "traces", "directory for per-run trace artifacts (with -trace)")
 	traceSample := fs.Duration("trace-sample", 0, "trace sampling period (wall units, e.g. 50us; 0 = the run's occupancy period)")
+	format := fs.String("format", "", "trace export format (with -trace): csv (per-channel CSVs + interleaved JSONL; the default) or col (one columnar binary .col file per point)")
+	specPath := fs.String("spec", "", "run the sweep-request JSON file (the l2bmd wire format) and write the canonical result JSON to stdout, instead of a named experiment")
 	resume := fs.String("resume", "", "checkpoint directory: completed grid points persist there and a rerun of the same sweep resumes instead of recomputing")
 	pointTimeout := fs.Duration("point-timeout", 0, "per-point wall-clock limit (e.g. 5m; 0 = unbounded)")
 	keepGoing := fs.Bool("keep-going", false, "record failed grid points and keep running the rest instead of halting on the first failure")
@@ -125,11 +127,30 @@ func run(args []string, stdout io.Writer) error {
 	if !*traceOn && *traceSample != 0 {
 		return fmt.Errorf("-trace-sample requires -trace")
 	}
+	if err := validateFormat(*format); err != nil {
+		return err
+	}
+	if !*traceOn && *format != "" {
+		return fmt.Errorf("-format requires -trace (it selects the trace export format)")
+	}
 	if *seeds < 0 {
 		return fmt.Errorf("-seeds must be >= 0, got %d", *seeds)
 	}
 	if *pointTimeout < 0 {
 		return fmt.Errorf("-point-timeout must be >= 0, got %v", *pointTimeout)
+	}
+
+	// -spec replaces the named-experiment path entirely: the file is the
+	// sweep, so experiment-selection flags make no sense next to it.
+	if *specPath != "" {
+		for _, conflict := range []string{"exp", "scale", "trace", "resume", "fidelity", "shards", "sched"} {
+			if explicit[conflict] {
+				return fmt.Errorf("-spec is incompatible with -%s (the spec file pins every point's parameters)", conflict)
+			}
+		}
+		if _, err := os.Stat(*specPath); err != nil {
+			return fmt.Errorf("-spec: %w", err)
+		}
 	}
 
 	// Validate the experiment selection and every output destination before
@@ -221,8 +242,14 @@ func run(args []string, stdout io.Writer) error {
 		opts.Trace = true
 		opts.TraceDir = *traceOut
 		opts.TraceSample = *traceSample
+		opts.TraceFormat = *format
 	}
-	runErr := RunOpts(*expName, *scaleName, opts, w)
+	var runErr error
+	if *specPath != "" {
+		runErr = runSpec(*specPath, *parallel, w)
+	} else {
+		runErr = RunOpts(*expName, *scaleName, opts, w)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -260,6 +287,9 @@ type Options struct {
 	TraceDir string
 	// TraceSample overrides the trace sampling period (0 = run default).
 	TraceSample time.Duration
+	// TraceFormat selects the trace export format ("" = csv; see
+	// exp.TraceFormatCSV / exp.TraceFormatCol).
+	TraceFormat string
 	// Resume, when non-empty, checkpoints completed grid points to the
 	// directory and resumes matching sweeps from it (see exp.Harness).
 	Resume string
@@ -272,17 +302,6 @@ type Options struct {
 	BaseSeed int64
 	ReproDir string
 	Replay   string
-}
-
-// fidelityExperiments are the -exp values -fidelity applies to: the paper
-// figure/table experiments. The others either ignore the knob (faults and
-// arena inject fault plans, a standing fidelity trigger that pins the run
-// to packet mode) or have their own execution model (chaos), and a flag
-// that silently does nothing is a bug factory — reject it upfront.
-var fidelityExperiments = map[string]bool{
-	"fig3a": true, "fig3b": true, "fig7": true, "table2": true,
-	"fig8": true, "fig9": true, "fig10": true, "fig11": true,
-	"scale": true,
 }
 
 // validateSched rejects unknown -sched values before any work begins. Both
@@ -298,8 +317,13 @@ func validateSched(sched string) error {
 }
 
 // validateFidelity rejects -fidelity combinations before any work begins:
-// unknown values, experiments that would ignore the flag, and the sharded
-// engine (the hybrid controller needs the classic engine).
+// unknown values, the chaos soak (its scenarios pin their own execution
+// model) and the sharded engine (the hybrid controller needs the classic
+// engine). Fault-plan experiments (faults, arena, parts of all) are
+// accepted: those points run at packet fidelity anyway — a fault plan is a
+// standing fidelity trigger — and the fallback is recorded per point
+// (Result.FidelityFallback) and summarized in the experiment trailer
+// instead of being silently ignored or rejected.
 func validateFidelity(expName, fidelity string, shards int) error {
 	switch fidelity {
 	case "":
@@ -309,13 +333,25 @@ func validateFidelity(expName, fidelity string, shards int) error {
 		return fmt.Errorf("-fidelity: unknown value %q (want %s or %s)",
 			fidelity, exp.FidelityPacket, exp.FidelityHybrid)
 	}
-	if !fidelityExperiments[expName] {
-		return fmt.Errorf("-fidelity applies only to the figure/table experiments (fig3a fig3b fig7 table2 fig8 fig9 fig10 fig11); -exp %s ignores it", expName)
+	if expName == "chaos" {
+		return fmt.Errorf("-fidelity does not apply to -exp chaos (scenarios pin their own execution model)")
 	}
 	if fidelity == exp.FidelityHybrid && shards >= 1 {
 		return fmt.Errorf("-fidelity hybrid requires the classic engine (drop -shards %d)", shards)
 	}
 	return nil
+}
+
+// validateFormat rejects unknown -format values before any work begins,
+// consistent with -exp/-policy/-fidelity validation.
+func validateFormat(format string) error {
+	switch format {
+	case "", exp.TraceFormatCSV, exp.TraceFormatCol:
+		return nil
+	default:
+		return fmt.Errorf("-format: unknown value %q (want %s or %s)",
+			format, exp.TraceFormatCSV, exp.TraceFormatCol)
+	}
 }
 
 // validateExp rejects unknown -exp values before any work begins.
@@ -407,6 +443,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 			SampleEvery: sim.Duration(opts.TraceSample.Nanoseconds()) * sim.Nanosecond,
 		}
 		harness.TraceDir = opts.TraceDir
+		harness.TraceFormat = opts.TraceFormat
 	}
 
 	var selected []string
@@ -426,6 +463,7 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 	for _, name := range selected {
 		start := time.Now()
 		events0 := harness.TotalEvents()
+		fallbacks0 := harness.FidelityFallbacks()
 		mem0 := exp.TakeMemSnapshot()
 		// The banner and tables are deterministic for any worker count;
 		// only the timing and memory trailers below carry run-dependent
@@ -439,6 +477,11 @@ func RunOpts(expName, scaleName string, opts Options, w io.Writer) error {
 		shardNote := ""
 		if opts.Shards >= 1 {
 			shardNote = fmt.Sprintf(", %d shards/point", opts.Shards)
+		}
+		if fb := harness.FidelityFallbacks() - fallbacks0; fb > 0 {
+			// Deterministic for any worker count (it counts results, not
+			// scheduling), so determinism diffs keep it.
+			fmt.Fprintf(w, "note: %d point(s) requested hybrid fidelity but ran at packet fidelity (fault plans are a standing fidelity trigger)\n", fb)
 		}
 		fmt.Fprintf(w, "(%s finished in %v: %s events, %s events/s aggregate across %d workers%s)\n",
 			name, wall.Round(time.Millisecond),

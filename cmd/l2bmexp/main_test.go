@@ -100,11 +100,14 @@ func TestCLIUpfrontValidation(t *testing.T) {
 		{"-exp", "chaos", "-resume", "ckpt"},                    // chaos has its own persistence
 		{"-resume", "ckpt"},                                     // -resume needs an explicit -exp
 		{"-exp", "fig7", "-fidelity", "analytic"},               // unknown fidelity
-		{"-exp", "faults", "-fidelity", "hybrid"},               // faults ignores it
-		{"-exp", "arena", "-fidelity", "hybrid"},                // ditto
-		{"-exp", "chaos", "-fidelity", "hybrid"},                // ditto
-		{"-exp", "all", "-fidelity", "hybrid"},                  // "all" includes faults/arena
+		{"-exp", "chaos", "-fidelity", "hybrid"},                // chaos pins its own engine
 		{"-exp", "fig7", "-fidelity", "hybrid", "-shards", "2"}, // hybrid needs classic engine
+		{"-exp", "fig3a", "-format", "col"},                     // -format requires -trace
+		{"-exp", "fig3a", "-trace", "-format", "parquet"},       // unknown format
+		{"-spec", "sweep.json", "-exp", "fig7"},                 // -spec pins the sweep
+		{"-spec", "sweep.json", "-scale", "tiny"},               // ditto
+		{"-spec", "sweep.json", "-trace"},                       // ditto
+		{"-spec", "nonexistent-sweep.json"},                     // missing spec file
 		{"-exp", "fig3a", "-resume", "ckpt", "-trace"},
 		{"-exp", "fig3a", "-point-timeout", "-1s"},
 		{"-exp", "fig3a", "-resume", blocker + "/sub"}, // unwritable
@@ -211,8 +214,10 @@ func TestCLIFidelity(t *testing.T) {
 		want string
 	}{
 		{[]string{"-exp", "fig7", "-fidelity", "analytic"}, `unknown value "analytic"`},
-		{[]string{"-exp", "faults", "-fidelity", "hybrid"}, "ignores it"},
+		{[]string{"-exp", "chaos", "-fidelity", "hybrid"}, "does not apply"},
 		{[]string{"-exp", "fig7", "-fidelity", "hybrid", "-shards", "2"}, "classic engine"},
+		{[]string{"-exp", "fig3a", "-trace", "-format", "parquet"}, `unknown value "parquet"`},
+		{[]string{"-format", "col"}, "requires -trace"},
 		{[]string{"-resume", "ckpt"}, "explicit -exp"},
 	} {
 		var out bytes.Buffer
@@ -274,5 +279,86 @@ func TestCLITraceFlags(t *testing.T) {
 	}
 	if err := run([]string{"-trace", "-trace-sample", "-1us"}, &buf); err == nil {
 		t.Error("negative -trace-sample should fail")
+	}
+}
+
+// TestCLITraceColFormat: -format col swaps the CSV/JSONL trace export for
+// one columnar .col artifact per point.
+func TestCLITraceColFormat(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3a", "-scale", "tiny",
+		"-trace", "-trace-out", dir, "-trace-sample", "50us", "-format", "col"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col, other int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".col") {
+			col++
+		} else {
+			other++
+		}
+	}
+	if col == 0 {
+		t.Error("-format col exported no .col files")
+	}
+	if other != 0 {
+		t.Errorf("-format col also exported %d non-.col files", other)
+	}
+}
+
+// TestCLIFidelityFallbackNote: requesting hybrid fidelity on a fault-plan
+// experiment runs to completion and reports the per-point fallback in the
+// experiment trailer instead of rejecting or silently ignoring the flag.
+func TestCLIFidelityFallbackNote(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "faults", "-scale", "tiny", "-fidelity", "hybrid"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ran at packet fidelity") {
+		t.Errorf("faults+hybrid output missing the fallback note:\n%s", buf.String())
+	}
+}
+
+// TestCLISpec: -spec runs a sweep-request file and emits the canonical
+// result envelope — deterministically, for any worker count — which is the
+// byte-level contract the daemon equivalence check in CI relies on.
+func TestCLISpec(t *testing.T) {
+	path := t.TempDir() + "/sweep.json"
+	spec := `{"name":"cli-spec-test","specs":[
+		{"Name":"p-dt","Policy":"DT","Scale":"tiny","RDMALoad":0.4,"TCPLoad":0.4},
+		{"Name":"p-l2bm","Policy":"L2BM","Scale":"tiny","RDMALoad":0.4,"TCPLoad":0.4}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers string) string {
+		var buf bytes.Buffer
+		if err := run([]string{"-spec", path, "-parallel", workers}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render("1")
+	if !strings.HasPrefix(out, `{"points":[`) || !strings.HasSuffix(out, "]}\n") {
+		t.Errorf("-spec output is not the canonical envelope:\n%.200s", out)
+	}
+	if !strings.Contains(out, `"Policy":"DT"`) || !strings.Contains(out, `"Policy":"L2BM"`) {
+		t.Errorf("envelope missing the two points' policies:\n%.200s", out)
+	}
+	if par := render("2"); par != out {
+		t.Error("-spec output differs between -parallel 1 and -parallel 2")
+	}
+
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"specs":[{"Name":"x","Policy":"Nope","Scale":"tiny"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", bad}, &buf); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("bad spec: want unknown-policy error, got %v", err)
 	}
 }

@@ -57,6 +57,35 @@ func runChaos(opts Options, w io.Writer) error {
 	return nil
 }
 
+// runSpec executes a sweep-request JSON file (the l2bmd wire format) and
+// writes the canonical result envelope to w — the same bytes the daemon
+// serves for the same request, which is exactly what CI diffs.
+func runSpec(path string, workers int, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	req, err := exp.ParseSweepRequest(data)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pool := &exp.Pool{Workers: workers}
+	results, _, err := pool.Run(ctx, len(req.Specs), func(ctx context.Context, i int) (*exp.Result, error) {
+		return exp.RunHybridCtx(ctx, req.Specs[i])
+	}, nil)
+	if err != nil {
+		return err
+	}
+	out, err := exp.MarshalResults(results)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
 // experimentRunners maps experiment names to their runners, all sharing
 // one harness (worker pool + aggregate event accounting). A Fig. 7 sweep
 // is cached so that Table II (the same grid) does not re-simulate when

@@ -1,0 +1,188 @@
+package colfmt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRoundTrip drives every column kind through a write→decode cycle and
+// demands exact reproduction, including the adversarial values varint/delta
+// encodings get wrong when mishandled (negative deltas, MinInt64, NaN bit
+// patterns, empty strings, duplicate dictionary entries).
+func TestRoundTrip(t *testing.T) {
+	times := []int64{0, 5, 5, 100, 99, math.MaxInt64, math.MinInt64, -1, 0}
+	ints := []int64{0, -1, 1, math.MaxInt64, math.MinInt64, 42, -42, 1 << 40, -(1 << 40), 7}[:len(times)]
+	uints := []uint64{0, 1, math.MaxUint64, 1 << 63, 127, 128, 16383, 16384, 5}
+	floats := []float64{0, -0.0, 1.5, math.Inf(1), math.Inf(-1), math.NaN(), math.SmallestNonzeroFloat64, -1e300, 3.14159}
+	strs := []string{"tor0", "", "tor0", "agg1", "コア", "tor0", "agg1", "x", ""}
+
+	f := NewFile()
+	f.Channel("mixed").
+		Time("at_ps", times).
+		Int("signed", ints).
+		Uint("unsigned", uints).
+		Float("real", floats).
+		Str("name", strs)
+	f.Channel("empty")
+
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	d, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := d.Channels(); !reflect.DeepEqual(got, []string{"mixed", "empty"}) {
+		t.Fatalf("Channels() = %v", got)
+	}
+	c := d.Channel("mixed")
+	if c == nil || c.Rows() != len(times) {
+		t.Fatalf("mixed channel missing or wrong rows")
+	}
+	if got, err := c.Ints("at_ps"); err != nil || !reflect.DeepEqual(got, times) {
+		t.Errorf("times: %v / %v", got, err)
+	}
+	if got, err := c.Ints("signed"); err != nil || !reflect.DeepEqual(got, ints) {
+		t.Errorf("ints: %v / %v", got, err)
+	}
+	if got, err := c.Uints("unsigned"); err != nil || !reflect.DeepEqual(got, uints) {
+		t.Errorf("uints: %v / %v", got, err)
+	}
+	got, err := c.Floats("real")
+	if err != nil || len(got) != len(floats) {
+		t.Fatalf("floats: %v / %v", got, err)
+	}
+	for i := range floats {
+		if math.Float64bits(got[i]) != math.Float64bits(floats[i]) {
+			t.Errorf("float row %d: %v != %v (bits differ)", i, got[i], floats[i])
+		}
+	}
+	if got, err := c.Strs("name"); err != nil || !reflect.DeepEqual(got, strs) {
+		t.Errorf("strs: %v / %v", got, err)
+	}
+	if e := d.Channel("empty"); e == nil || e.Rows() != 0 {
+		t.Errorf("empty channel missing or non-zero rows")
+	}
+	if d.Channel("absent") != nil {
+		t.Errorf("absent channel should be nil")
+	}
+}
+
+// TestDeterministic: equal inputs must serialize byte-identically — colfmt
+// artifacts are diffed in CI like the CSVs they replace.
+func TestDeterministic(t *testing.T) {
+	build := func() []byte {
+		f := NewFile()
+		f.Channel("c").Time("t", []int64{1, 2, 3}).Str("s", []string{"b", "a", "b"})
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("two identical writes produced different bytes")
+	}
+}
+
+// TestWriteErrors: ragged channels and duplicate names must refuse to
+// serialize rather than write an unreadable file.
+func TestWriteErrors(t *testing.T) {
+	f := NewFile()
+	f.Channel("ragged").Int("a", []int64{1, 2}).Int("b", []int64{1})
+	if _, err := f.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("ragged channel did not error")
+	}
+	f = NewFile()
+	f.Channel("dup")
+	f.Channel("dup")
+	if _, err := f.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("duplicate channel did not error")
+	}
+}
+
+// TestKindMismatch: reading a column as the wrong kind is an error, not a
+// garbage decode.
+func TestKindMismatch(t *testing.T) {
+	f := NewFile()
+	f.Channel("c").Float("x", []float64{1})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Channel("c").Ints("x"); err == nil {
+		t.Error("Ints on a float column did not error")
+	}
+	if _, err := d.Channel("c").Floats("missing"); err == nil {
+		t.Error("missing column did not error")
+	}
+}
+
+// TestCorruption fuzzes structural damage: truncations and random byte
+// flips must surface as Decode/read errors or wrong values — never a panic
+// or out-of-range access.
+func TestCorruption(t *testing.T) {
+	f := NewFile()
+	f.Channel("c").
+		Time("t", []int64{10, 20, 30, 40}).
+		Str("s", []string{"a", "bb", "a", "ccc"}).
+		Uint("u", []uint64{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for cut := 0; cut < len(good); cut += 3 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation at %d panicked: %v", cut, r)
+				}
+			}()
+			d, err := Decode(good[:cut])
+			if err != nil || d == nil {
+				return
+			}
+			c := d.Channel("c")
+			if c == nil {
+				return
+			}
+			c.Ints("t")
+			c.Strs("s")
+			c.Uints("u")
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), good...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit flip trial %d panicked: %v", trial, r)
+				}
+			}()
+			d, err := Decode(bad)
+			if err != nil || d == nil {
+				return
+			}
+			c := d.Channel("c")
+			if c == nil {
+				return
+			}
+			c.Ints("t")
+			c.Strs("s")
+			c.Uints("u")
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+// Deterministic content-hash result cache: the determinism contract says a
+// spec's canonical key fully determines its Result, so a cached point is
+// indistinguishable from a recomputed one — and the canonical JSON bytes
+// are stored verbatim, so a cache hit serves the exact bytes a fresh run
+// would marshal. Keys fold in the spec canonicalization version
+// (CheckpointVersion) and a hash of the policy registry, so a schema change
+// or a new/renamed policy invalidates every stale entry by missing, never
+// by misreading.
+//
+// Persistence reuses the checkpoint idioms: one file per point, a header
+// line naming version/registry/key, the result line after it, written to a
+// temp file, fsynced and renamed — a crash can abandon a temp file but
+// never publish a torn entry.
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"l2bm/internal/core"
+)
+
+// registryVersion content-hashes the policy registry (names, in
+// registration order): adding, removing or reordering policies changes
+// every cache key. Policy semantics changes must bump CheckpointVersion.
+func registryVersion() string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strings.Join(core.RegisteredPolicies(), ",")))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CacheKey derives the content-hash cache key for one spec: a hash over the
+// canonicalization version, the registry version and the spec's canonical
+// key (which embeds everything the seed derives from). Specs carrying funcs
+// or an armed flight recorder are uncacheable and return an error.
+func CacheKey(spec HybridSpec) (string, error) {
+	return cacheKeyAt(CheckpointVersion, spec)
+}
+
+// cacheKeyAt is CacheKey at an explicit canonicalization version, split out
+// so tests can prove a version bump invalidates.
+func cacheKeyAt(version int, spec HybridSpec) (string, error) {
+	if why := checkpointIneligible(spec); why != "" {
+		return "", fmt.Errorf("exp: cache: spec %q carries %s, which does not serialize", spec.Name, why)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cachev%d registry=%s %s", version, registryVersion(), specKey(spec))
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// cacheHeader is the first line of every cache entry; Get refuses entries
+// whose header disagrees with the current derivation.
+type cacheHeader struct {
+	Version  int    `json:"version"`
+	Registry string `json:"registry"`
+	Key      string `json:"key"`
+}
+
+// ResultCache persists point results under Dir, one entry per cache key. A
+// nil cache ignores every call (Get always misses).
+type ResultCache struct {
+	Dir string
+}
+
+// NewResultCache opens (creating if needed) a cache rooted at dir.
+func NewResultCache(dir string) (*ResultCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: cache: %w", err)
+	}
+	return &ResultCache{Dir: dir}, nil
+}
+
+func (c *ResultCache) path(key string) string {
+	return filepath.Join(c.Dir, "point-"+key+".json")
+}
+
+// Get returns the stored canonical Result bytes and the decoded Result for
+// spec, or ok=false on any miss: no entry, an uncacheable spec, or an entry
+// whose header no longer matches the current derivation (stale version or
+// registry — left on disk, simply unused). The decoded Result carries spec
+// reattached, exactly like a checkpoint restore.
+func (c *ResultCache) Get(spec HybridSpec) (raw json.RawMessage, res *Result, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	key, err := CacheKey(spec)
+	if err != nil {
+		return nil, nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	header, body, found := bytes.Cut(data, []byte{'\n'})
+	if !found {
+		return nil, nil, false
+	}
+	var hdr cacheHeader
+	if json.Unmarshal(header, &hdr) != nil ||
+		hdr.Version != CheckpointVersion || hdr.Registry != registryVersion() || hdr.Key != key {
+		return nil, nil, false
+	}
+	body = bytes.TrimSuffix(body, []byte{'\n'})
+	res = new(Result)
+	if json.Unmarshal(body, res) != nil {
+		return nil, nil, false
+	}
+	res.Spec = spec
+	return json.RawMessage(body), res, true
+}
+
+// Put stores raw — the canonical json.Marshal bytes of spec's Result — under
+// the spec's key. Uncacheable specs are a silent no-op (the caller already
+// ran the point; there is nothing to salvage by failing it). The write is
+// temp-file + fsync + rename, so readers only ever see whole entries.
+func (c *ResultCache) Put(spec HybridSpec, raw json.RawMessage) error {
+	if c == nil {
+		return nil
+	}
+	key, err := CacheKey(spec)
+	if err != nil {
+		return nil
+	}
+	hdr, err := json.Marshal(cacheHeader{Version: CheckpointVersion, Registry: registryVersion(), Key: key})
+	if err != nil {
+		return fmt.Errorf("exp: cache: %w", err)
+	}
+	f, err := os.CreateTemp(c.Dir, ".point-*.tmp")
+	if err != nil {
+		return fmt.Errorf("exp: cache: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("exp: cache: %w", err)
+	}
+	for _, chunk := range [][]byte{hdr, {'\n'}, raw, {'\n'}} {
+		if _, err := f.Write(chunk); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("exp: cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored entries (test and status reporting).
+func (c *ResultCache) Len() (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(c.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "point-") && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}

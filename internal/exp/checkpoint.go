@@ -27,10 +27,13 @@ import (
 	"path/filepath"
 )
 
-// CheckpointVersion is baked into the sweep hash: bump it whenever the
-// Result schema or spec canonicalization changes incompatibly, so stale
-// checkpoint files are refused instead of misread.
-const CheckpointVersion = 1
+// CheckpointVersion is baked into the sweep hash and the result-cache key:
+// bump it whenever the Result schema or spec canonicalization changes
+// incompatibly, so stale checkpoint files are refused (and cache entries
+// miss) instead of being misread. Version 2 added Fidelity to specKey —
+// under version 1 a hybrid-fidelity sweep hashed identically to the packet
+// sweep of the same grid and could cross-restore.
+const CheckpointVersion = 2
 
 // checkpointIneligible names the first non-serializable field set on the
 // spec, or "" when the spec is plain data and may be checkpointed.
@@ -54,10 +57,13 @@ func checkpointIneligible(spec HybridSpec) string {
 // with equal keys produce byte-identical Results (determinism contract), so
 // the key — not the grid's source code — decides what a checkpoint matches.
 func specKey(spec HybridSpec) string {
-	s := fmt.Sprintf("name=%s policy=%s scale=%d rdma=%v tcp=%v inter=%v occ=%d win=%d drain=%d salt=%q shards=%d",
+	// Sched is deliberately absent: both scheduler backends dispatch
+	// identically ordered events, so it can never change a result. Fidelity
+	// is present: hybrid fast-forward changes numbers within the §14 bound.
+	s := fmt.Sprintf("name=%s policy=%s scale=%d rdma=%v tcp=%v inter=%v occ=%d win=%d drain=%d salt=%q shards=%d fidelity=%q",
 		spec.Name, spec.Policy, spec.Scale, spec.RDMALoad, spec.TCPLoad,
 		spec.InterRackOnly, spec.OccupancySampleEvery, spec.WindowOverride,
-		spec.DrainOverride, spec.SeedSalt, spec.Shards)
+		spec.DrainOverride, spec.SeedSalt, spec.Shards, spec.Fidelity)
 	if in := spec.Incast; in != nil {
 		s += fmt.Sprintf(" incast={%d %d %v}", in.Fanout, in.RequestBytes, in.QueryRate)
 	}

@@ -24,10 +24,14 @@ type Harness struct {
 	// Trace, when non-nil, arms the flight recorder on every point the
 	// harness runs (specs with their own TraceSpec keep it).
 	Trace *TraceSpec
-	// TraceDir, when non-empty, exports each traced point's CSV/JSONL
-	// artifacts there after its grid completes, prefixed with a running
-	// point number so names are unique and worker-count independent.
+	// TraceDir, when non-empty, exports each traced point's artifacts there
+	// after its grid completes, prefixed with a running point number so
+	// names are unique and worker-count independent.
 	TraceDir string
+	// TraceFormat selects the TraceDir export format: "" or TraceFormatCSV
+	// writes the per-channel CSV/JSONL files, TraceFormatCol one columnar
+	// .col file per point (see internal/colfmt).
+	TraceFormat string
 	// Shards, when >= 1, runs every point on the sharded conservative-time
 	// engine with that many shards (specs carrying their own Shards keep
 	// it). Results are byte-identical for any legal shard count, so tables
@@ -60,6 +64,7 @@ type Harness struct {
 
 	points      atomic.Uint64
 	events      atomic.Uint64
+	fallbacks   atomic.Uint64
 	tracePoints int // points seen by trace export numbering (grids run sequentially)
 }
 
@@ -149,6 +154,11 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 		emit)
 	h.points.Add(uint64(stats.Points))
 	h.events.Add(stats.Events)
+	for _, res := range results {
+		if res != nil && res.FidelityFallback != "" {
+			h.fallbacks.Add(1)
+		}
+	}
 	if err == nil && ckptErr != nil {
 		return results, ckptErr
 	}
@@ -159,7 +169,7 @@ func (h *Harness) runAll(specs []HybridSpec, emit EmitFunc) ([]*Result, error) {
 			if res == nil || res.Trace == nil {
 				continue
 			}
-			if _, werr := res.WriteTrace(h.TraceDir, fmt.Sprintf("%03d-", base+i)); werr != nil {
+			if _, werr := res.WriteTraceFormat(h.TraceDir, fmt.Sprintf("%03d-", base+i), h.TraceFormat); werr != nil {
 				return results, fmt.Errorf("exp: trace export: %w", werr)
 			}
 		}
@@ -173,6 +183,12 @@ func (h *Harness) TotalPoints() uint64 { return h.points.Load() }
 // TotalEvents returns the simulated-event count accumulated across all
 // completed points — divide by wall time for aggregate events/s.
 func (h *Harness) TotalEvents() uint64 { return h.events.Load() }
+
+// FidelityFallbacks returns how many completed points recorded a
+// Result.FidelityFallback — hybrid-fidelity requests that ran at packet
+// fidelity because a fault plan pinned them there. CLI trailers print the
+// delta so the fallback is never silent.
+func (h *Harness) FidelityFallbacks() uint64 { return h.fallbacks.Load() }
 
 // MemSnapshot freezes the process-wide allocation counters so a caller can
 // report the memory cost of a bounded stretch of work (one experiment). The

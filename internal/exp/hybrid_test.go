@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"l2bm/internal/sim"
@@ -216,5 +217,18 @@ func TestHybridFidelityValidation(t *testing.T) {
 	if res.FluidFlows != 0 || res.PacketSegments != 0 {
 		t.Errorf("fault-plan fallback must run the classic path: FluidFlows=%d PacketSegments=%d",
 			res.FluidFlows, res.PacketSegments)
+	}
+	if !strings.Contains(res.FidelityFallback, "fault plan") {
+		t.Errorf("fallback must be recorded on the result, got FidelityFallback=%q", res.FidelityFallback)
+	}
+
+	cleanSpec := base
+	cleanSpec.Fidelity = FidelityHybrid
+	clean, err := RunHybrid(cleanSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FidelityFallback != "" {
+		t.Errorf("clean hybrid run recorded a fallback: %q", clean.FidelityFallback)
 	}
 }

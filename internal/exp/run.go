@@ -28,8 +28,9 @@ type HybridSpec struct {
 	// Policy is the BM scheme by name ("L2BM", "DT", "DT2", "ABM"), or use
 	// PolicyFactory for custom instances (ablations).
 	Policy string
-	// PolicyFactory overrides Policy when non-nil.
-	PolicyFactory topo.PolicyFactory
+	// PolicyFactory overrides Policy when non-nil. Excluded from JSON (funcs
+	// do not serialize); wire specs name policies through the registry.
+	PolicyFactory topo.PolicyFactory `json:"-"`
 	// Scale sets topology and window; individual fields below override.
 	Scale Scale
 	// RDMALoad and TCPLoad are offered loads as fractions of the 25 Gbps
@@ -53,7 +54,8 @@ type HybridSpec struct {
 	DrainOverride sim.Duration
 	// TopoOverride, if set, may mutate the scale's topology/switch
 	// configuration before the cluster is built (used by ablations).
-	TopoOverride func(*topo.Config)
+	// Excluded from JSON like every func-valued field.
+	TopoOverride func(*topo.Config) `json:"-"`
 	// SeedSalt decorrelates repeated runs of the same spec.
 	SeedSalt string
 	// Shards selects the execution strategy: 0 runs the classic
@@ -97,8 +99,9 @@ type HybridSpec struct {
 	// unaudited one (Result.Events differs on the classic path only, because
 	// audit ticks are engine events there).
 	Audit *AuditSpec
-	// Hooks, when non-nil, exposes test-only interception points.
-	Hooks *RunHooks
+	// Hooks, when non-nil, exposes test-only interception points. Excluded
+	// from JSON (it carries funcs).
+	Hooks *RunHooks `json:"-"`
 }
 
 // Fidelity values for HybridSpec.Fidelity.
@@ -247,6 +250,10 @@ type Result struct {
 	FluidSteps     uint64       // fluid events (arrivals + completions) processed
 	FluidTime      sim.Duration // simulated time covered by fluid segments
 	PacketSegments int          // packet bursts the fidelity controller ran
+	// FidelityFallback, when non-empty, records why a hybrid-fidelity
+	// request ran at packet fidelity anyway (a fault plan is a standing
+	// fidelity trigger). Empty on every run that executed as asked.
+	FidelityFallback string `json:",omitempty"`
 
 	// AuditErrors lists invariant violations: the end-of-run CheckInvariants
 	// sweep over every switch always runs, and when Spec.Audit is set the
@@ -354,6 +361,7 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var fidelityFallback string
 	switch spec.Fidelity {
 	case "", FidelityPacket:
 	case FidelityHybrid:
@@ -365,13 +373,19 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 		}
 		// A fault plan is a standing fidelity trigger: the controller would
 		// never leave packet mode, so the run falls through to the classic
-		// path unchanged.
+		// path unchanged — recorded on the result so the fallback is never
+		// silent (CLI trailers and service events surface it).
+		fidelityFallback = "fault plan active: hybrid fidelity fell back to packet (faults are a standing fidelity trigger)"
 	default:
 		return nil, fmt.Errorf("exp: unknown fidelity %q (want %q or %q)",
 			spec.Fidelity, FidelityPacket, FidelityHybrid)
 	}
 	if spec.Shards >= 1 {
-		return runHybridSharded(ctx, spec)
+		res, err := runHybridSharded(ctx, spec)
+		if res != nil {
+			res.FidelityFallback = fidelityFallback
+		}
+		return res, err
 	}
 	policyName := spec.Policy
 	factory := spec.PolicyFactory
@@ -617,13 +631,14 @@ func RunHybridCtx(ctx context.Context, spec HybridSpec) (*Result, error) {
 	}
 
 	res := &Result{
-		Spec:          spec,
-		Policy:        policyName,
-		RDMASlowdowns: rec.Slowdowns(pkt.ClassLossless),
-		TCPSlowdowns:  rec.Slowdowns(pkt.ClassLossy),
-		LosslessGaps:  cl.LosslessGaps(),
-		Events:        eng.Events(),
-		EndTime:       eng.Now(),
+		Spec:             spec,
+		Policy:           policyName,
+		RDMASlowdowns:    rec.Slowdowns(pkt.ClassLossless),
+		TCPSlowdowns:     rec.Slowdowns(pkt.ClassLossy),
+		LosslessGaps:     cl.LosslessGaps(),
+		Events:           eng.Events(),
+		EndTime:          eng.Now(),
+		FidelityFallback: fidelityFallback,
 	}
 	if tracer != nil {
 		// Canonicalize through the same merge as the sharded runner so

@@ -96,3 +96,47 @@ func (r *Result) WriteTrace(dir, prefix string) ([]string, error) {
 	}
 	return written, nil
 }
+
+// Trace export formats for WriteTraceFormat and the CLI -format flag.
+const (
+	// TraceFormatCSV is the row-wise export: five files per point
+	// (per-channel CSVs plus interleaved JSONL). The default.
+	TraceFormatCSV = "csv"
+	// TraceFormatCol is the columnar binary export: one <stem>.col file per
+	// point carrying every trace channel and metrics series (internal/colfmt).
+	TraceFormatCol = "col"
+)
+
+// WriteTraceFormat exports this run's artifacts in the named format: "" or
+// TraceFormatCSV behaves exactly like WriteTrace; TraceFormatCol writes a
+// single columnar <prefix><stem>.col file (see WriteCol). Like WriteTrace,
+// a run without an armed recorder writes nothing.
+func (r *Result) WriteTraceFormat(dir, prefix, format string) ([]string, error) {
+	switch format {
+	case "", TraceFormatCSV:
+		return r.WriteTrace(dir, prefix)
+	case TraceFormatCol:
+	default:
+		return nil, fmt.Errorf("exp: unknown trace format %q (want %q or %q)",
+			format, TraceFormatCSV, TraceFormatCol)
+	}
+	if r.Trace == nil {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, prefix+r.TraceFileStem()+".col")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.WriteCol(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return []string{path}, nil
+}

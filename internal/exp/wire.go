@@ -1,0 +1,189 @@
+// Wire representation of sweeps: the JSON request l2bmd accepts and the
+// canonical result encoding shared by the daemon and the CLI's -spec mode.
+// Canonical means byte-identical: MarshalResults splices each point's
+// json.Marshal output into a fixed envelope, so a daemon serving cached
+// bytes and a CLI marshaling fresh results produce the same file — the
+// equivalence CI diffs.
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"l2bm/internal/core"
+)
+
+// MarshalJSON renders a Scale as its CLI name ("tiny"|"small"|"full"), so
+// wire specs read like command lines; unnamed values fall back to the raw
+// integer.
+func (s Scale) MarshalJSON() ([]byte, error) {
+	switch s {
+	case ScaleTiny, ScaleSmall, ScaleFull:
+		return json.Marshal(s.String())
+	default:
+		return json.Marshal(int(s))
+	}
+}
+
+// UnmarshalJSON accepts either the CLI name or the integer form.
+func (s *Scale) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		v, err := ParseScale(name)
+		if err != nil {
+			return err
+		}
+		*s = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("exp: scale must be a name (tiny|small|full) or integer, got %s", data)
+	}
+	*s = Scale(n)
+	return nil
+}
+
+// SweepRequest is one sweep submission: a named list of point specs. Specs
+// use their Go field names on the wire (the same encoding checkpoints use);
+// func-valued fields are excluded by their json tags, so a wire spec is
+// always plain data.
+type SweepRequest struct {
+	// Name labels the sweep in status output; optional.
+	Name string `json:"name,omitempty"`
+	// Specs are the grid points, run in order through the pool.
+	Specs []HybridSpec `json:"specs"`
+}
+
+// ParseSweepRequest decodes and validates a submission strictly: unknown
+// fields are rejected (a typo'd field name must 400, not silently run a
+// different sweep), and every spec is validated before any simulation.
+func ParseSweepRequest(data []byte) (*SweepRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("exp: sweep request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("exp: sweep request: trailing data after the JSON object")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks every spec against the same envelope the CLI enforces
+// upfront: registered policy, known fidelity/sched/scale values, sane
+// loads, and the hybrid/shards exclusion.
+func (r *SweepRequest) Validate() error {
+	if len(r.Specs) == 0 {
+		return fmt.Errorf("exp: sweep request: no specs")
+	}
+	for i, sp := range r.Specs {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("exp: sweep request: spec %d: %s", i, fmt.Sprintf(format, args...))
+		}
+		if sp.Name == "" {
+			return fail("Name is required (it seeds the run)")
+		}
+		if sp.Policy == "" {
+			return fail("Policy is required")
+		}
+		if !core.IsRegistered(sp.Policy) {
+			return fail("unknown policy %q (have %s)", sp.Policy, strings.Join(core.RegisteredPolicies(), " "))
+		}
+		switch sp.Scale {
+		case ScaleTiny, ScaleSmall, ScaleFull:
+		default:
+			return fail("unknown scale %d (want tiny|small|full)", int(sp.Scale))
+		}
+		switch sp.Fidelity {
+		case "", FidelityPacket, FidelityHybrid:
+		default:
+			return fail("unknown fidelity %q (want %q or %q)", sp.Fidelity, FidelityPacket, FidelityHybrid)
+		}
+		if sp.Fidelity == FidelityHybrid && sp.Shards >= 1 {
+			return fail("hybrid fidelity requires the classic engine (got Shards=%d)", sp.Shards)
+		}
+		switch sp.Sched {
+		case "", SchedWheel, SchedHeap:
+		default:
+			return fail("unknown sched %q (want %q or %q)", sp.Sched, SchedWheel, SchedHeap)
+		}
+		if sp.Shards < 0 {
+			return fail("Shards must be >= 0, got %d", sp.Shards)
+		}
+		for _, load := range []struct {
+			name string
+			v    float64
+		}{{"RDMALoad", sp.RDMALoad}, {"TCPLoad", sp.TCPLoad}} {
+			if math.IsNaN(load.v) || math.IsInf(load.v, 0) || load.v < 0 || load.v > 1 {
+				return fail("%s = %v, want in [0, 1]", load.name, load.v)
+			}
+		}
+		if sp.Incast != nil && (sp.Incast.Fanout <= 0 || sp.Incast.RequestBytes <= 0 || sp.Incast.QueryRate <= 0) {
+			return fail("Incast needs positive Fanout, RequestBytes and QueryRate")
+		}
+		if sp.Faults != nil {
+			if err := sp.Faults.Plan.Validate(); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+	return nil
+}
+
+// SweepID content-hashes the request into a stable identifier fragment:
+// equal submissions map to equal fragments, so resubmitting a sweep is
+// visibly the same sweep. Wire specs are plain data, so the JSON encoding
+// is itself canonical.
+func (r *SweepRequest) SweepID() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "name=%s n=%d\n", r.Name, len(r.Specs))
+	enc := json.NewEncoder(h)
+	for _, sp := range r.Specs {
+		_ = enc.Encode(sp)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// MarshalResults renders a sweep's results in the canonical envelope:
+//
+//	{"points":[<result>,<result>,…]}
+//
+// followed by one newline. Each point is exactly json.Marshal(*Result) —
+// the same bytes the result cache stores — so fresh runs, cache hits, the
+// daemon and the CLI all emit byte-identical output for equal specs.
+func MarshalResults(results []*Result) ([]byte, error) {
+	raws := make([]json.RawMessage, len(results))
+	for i, r := range results {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("exp: marshal point %d: %w", i, err)
+		}
+		raws[i] = raw
+	}
+	return MarshalRawResults(raws), nil
+}
+
+// MarshalRawResults is MarshalResults over already-marshaled point bytes
+// (the cache-hit path: stored bytes are spliced without a decode/re-encode
+// round trip that could perturb them).
+func MarshalRawResults(raws []json.RawMessage) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"points":[`)
+	for i, raw := range raws {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raw)
+	}
+	buf.WriteString("]}\n")
+	return buf.Bytes()
+}

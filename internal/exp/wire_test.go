@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestScaleJSON(t *testing.T) {
+	for _, tc := range []struct {
+		scale Scale
+		want  string
+	}{
+		{ScaleTiny, `"tiny"`},
+		{ScaleSmall, `"small"`},
+		{ScaleFull, `"full"`},
+	} {
+		got, err := json.Marshal(tc.scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("marshal %v = %s, want %s", tc.scale, got, tc.want)
+		}
+		var back Scale
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != tc.scale {
+			t.Errorf("round trip %v came back %v", tc.scale, back)
+		}
+	}
+	// Integer form is accepted too (and is what unnamed values render as).
+	var s Scale
+	if err := json.Unmarshal([]byte(jsonInt(int(ScaleSmall))), &s); err != nil || s != ScaleSmall {
+		t.Errorf("integer unmarshal: %v, %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`"galactic"`), &s); err == nil {
+		t.Error("unknown scale name unmarshaled")
+	}
+	if err := json.Unmarshal([]byte(`true`), &s); err == nil {
+		t.Error("non-scalar scale unmarshaled")
+	}
+}
+
+func TestParseSweepRequest(t *testing.T) {
+	valid := `{"name":"ok","specs":[{"Name":"p0","Policy":"DT","Scale":"tiny","TCPLoad":0.4}]}`
+	req, err := ParseSweepRequest([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "ok" || len(req.Specs) != 1 || req.Specs[0].Scale != ScaleTiny {
+		t.Errorf("parsed request wrong: %+v", req)
+	}
+
+	for name, body := range map[string]string{
+		"syntax":          `{"specs":`,
+		"unknown field":   `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Polciy":"DT"}]}`,
+		"trailing data":   valid + `{"more":1}`,
+		"no specs":        `{"name":"empty","specs":[]}`,
+		"missing name":    `{"specs":[{"Policy":"DT","Scale":"tiny"}]}`,
+		"missing policy":  `{"specs":[{"Name":"p","Scale":"tiny"}]}`,
+		"unknown policy":  `{"specs":[{"Name":"p","Policy":"Nope","Scale":"tiny"}]}`,
+		"unknown scale":   `{"specs":[{"Name":"p","Policy":"DT","Scale":99}]}`,
+		"bad fidelity":    `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Fidelity":"analytic"}]}`,
+		"hybrid sharded":  `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Fidelity":"hybrid","Shards":2}]}`,
+		"bad sched":       `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Sched":"lottery"}]}`,
+		"negative shards": `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Shards":-1}]}`,
+		"load too high":   `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","TCPLoad":1.5}]}`,
+		"load negative":   `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","RDMALoad":-0.1}]}`,
+		"bad incast":      `{"specs":[{"Name":"p","Policy":"DT","Scale":"tiny","Incast":{"Fanout":0,"RequestBytes":1,"QueryRate":1}}]}`,
+	} {
+		if _, err := ParseSweepRequest([]byte(body)); err == nil {
+			t.Errorf("%s: want error, got success", name)
+		}
+	}
+
+	// The unknown-policy message lists the registry, like the CLI.
+	_, err = ParseSweepRequest([]byte(`{"specs":[{"Name":"p","Policy":"Nope","Scale":"tiny"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "L2BM") {
+		t.Errorf("unknown-policy error should list the registry, got %v", err)
+	}
+
+	// Spec index is named so multi-point submissions pinpoint the bad one.
+	_, err = ParseSweepRequest([]byte(`{"specs":[
+		{"Name":"p0","Policy":"DT","Scale":"tiny"},
+		{"Name":"p1","Policy":"DT","Scale":"tiny","TCPLoad":2}]}`))
+	if err == nil || !strings.Contains(err.Error(), "spec 1") {
+		t.Errorf("validation error should name the failing spec, got %v", err)
+	}
+}
+
+func TestSweepID(t *testing.T) {
+	body := `{"name":"n","specs":[{"Name":"p0","Policy":"DT","Scale":"tiny","TCPLoad":0.4}]}`
+	a, err := ParseSweepRequest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSweepRequest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SweepID() != b.SweepID() {
+		t.Error("equal requests got different sweep IDs")
+	}
+	c := *a
+	c.Specs = append([]HybridSpec{}, a.Specs...)
+	c.Specs[0].TCPLoad = 0.5
+	if c.SweepID() == a.SweepID() {
+		t.Error("different specs got the same sweep ID")
+	}
+	if len(a.SweepID()) != 16 {
+		t.Errorf("sweep ID %q is not 16 hex chars", a.SweepID())
+	}
+}
+
+// TestMarshalResultsEnvelope: the canonical envelope splices exact
+// json.Marshal bytes — MarshalResults over results and MarshalRawResults
+// over their pre-marshaled bytes agree byte for byte.
+func TestMarshalResultsEnvelope(t *testing.T) {
+	results := []*Result{
+		{Policy: "DT", TCPSlowdowns: []float64{1.5}},
+		{Policy: "L2BM", RDMASlowdowns: []float64{1, 2}},
+	}
+	fresh, err := MarshalResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := make([]json.RawMessage, len(results))
+	for i, r := range results {
+		if raws[i], err = json.Marshal(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cached := MarshalRawResults(raws); string(cached) != string(fresh) {
+		t.Errorf("fresh and raw envelopes differ:\n%s\n%s", fresh, cached)
+	}
+	if !strings.HasPrefix(string(fresh), `{"points":[`) || !strings.HasSuffix(string(fresh), "]}\n") {
+		t.Errorf("envelope shape wrong: %.60s", fresh)
+	}
+	var decoded struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(fresh, &decoded); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if len(decoded.Points) != 2 {
+		t.Errorf("envelope has %d points, want 2", len(decoded.Points))
+	}
+}

@@ -62,7 +62,9 @@ type Plan struct {
 	// in-flight traffic can drain and complete; zero flaps forever.
 	FlapWindow sim.Duration
 	// LinkFilter restricts which links flap (nil = every link offered).
-	LinkFilter func(name string) bool
+	// Excluded from JSON: plans travel inside serialized specs (sweep
+	// submissions, chaos reproducers) and funcs do not serialize.
+	LinkFilter func(name string) bool `json:"-"`
 
 	// Scheduled lists deterministic link up/down events.
 	Scheduled []ScheduledEvent

@@ -1,0 +1,487 @@
+// Package serve is the experiment service behind cmd/l2bmd: an HTTP/JSON
+// daemon that accepts HybridSpec sweep submissions, runs them on a bounded
+// admission queue over the exp worker pool, streams per-point progress and
+// serves results and columnar artifacts.
+//
+// API (Go 1.22 method+wildcard mux patterns):
+//
+//	POST   /v1/sweeps              submit a sweep (202 + id; 400 invalid; 429 full)
+//	GET    /v1/sweeps/{id}         status JSON
+//	GET    /v1/sweeps/{id}/events  progress stream: NDJSON, or SSE with
+//	                               Accept: text/event-stream (replays from the
+//	                               start, then follows to the terminal state)
+//	GET    /v1/sweeps/{id}/result  canonical result bytes (exp.MarshalResults
+//	                               envelope — byte-identical to the CLI's
+//	                               -spec output for the same specs)
+//	GET    /v1/sweeps/{id}/trace   one point's columnar artifact (?point=N)
+//	DELETE /v1/sweeps/{id}         cancel (dequeues a queued sweep; interrupts
+//	                               a running one via context)
+//	GET    /healthz                liveness probe
+//
+// Admission control: at most MaxConcurrent sweeps simulate at once; up to
+// QueueDepth more wait FIFO; beyond that, submissions get 429 — the
+// backpressure contract that keeps a shared daemon from melting under
+// overlapping submissions. The content-hash result cache (exp.ResultCache)
+// makes repeated or overlapping sweeps free: a cache hit skips the
+// simulation and serves the stored canonical bytes, which are identical to
+// what the fresh run would have produced.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"l2bm/internal/exp"
+)
+
+// Config parameterizes the server. The zero value serves with defaults: one
+// sweep at a time, a queue of eight, GOMAXPROCS pool workers, no cache.
+type Config struct {
+	// MaxConcurrent bounds sweeps simulating at once (<= 0 means 1).
+	MaxConcurrent int
+	// QueueDepth bounds sweeps waiting for a slot (< 0 means 0; the
+	// default is 8). A full queue answers 429.
+	QueueDepth int
+	// Workers is each sweep's exp.Pool worker bound (<= 0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, arms the content-hash result cache there.
+	CacheDir string
+}
+
+// DefaultQueueDepth is the admission queue bound when Config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 8
+
+// Sweep states reported by status and events.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Server is the HTTP handler. Construct with New.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *exp.ResultCache
+
+	// runPoint executes one point; tests swap in blocking fakes to exercise
+	// admission and cancellation deterministically. Defaults to
+	// exp.RunHybridCtx.
+	runPoint func(ctx context.Context, spec exp.HybridSpec) (*exp.Result, error)
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweep
+	queue   []*sweep
+	running int
+	seq     int
+}
+
+// New builds a server. When cfg.CacheDir is set the cache directory is
+// created eagerly so a misconfigured path fails at startup, not mid-sweep.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	s := &Server{
+		cfg:      cfg,
+		sweeps:   make(map[string]*sweep),
+		runPoint: exp.RunHybridCtx,
+	}
+	if cfg.CacheDir != "" {
+		cache, err := exp.NewResultCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// sweep is one submission's lifecycle. mu guards everything below it;
+// notify is closed-and-replaced on every change (broadcast), so streamers
+// wait without polling.
+type sweep struct {
+	id     string
+	req    *exp.SweepRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	notify     chan struct{}
+	state      string
+	completed  int
+	cacheHits  int
+	errMsg     string
+	events     [][]byte      // NDJSON lines, no trailing newline
+	results    []*exp.Result // set on done (in-memory artifacts)
+	resultJSON []byte        // canonical MarshalRawResults bytes, set on done
+}
+
+func newSweep(id string, req *exp.SweepRequest) *sweep {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &sweep{
+		id: id, req: req, ctx: ctx, cancel: cancel,
+		notify: make(chan struct{}), state: StateQueued,
+	}
+}
+
+// event appends one NDJSON progress line and wakes streamers. Callers hold
+// no locks; event takes sw.mu itself.
+func (sw *sweep) event(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sw.mu.Lock()
+	sw.events = append(sw.events, line)
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+	sw.mu.Unlock()
+}
+
+type stateEvent struct {
+	Type      string `json:"type"`
+	State     string `json:"state"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+	CacheHits int    `json:"cacheHits"`
+	Error     string `json:"error,omitempty"`
+}
+
+type pointEvent struct {
+	Type             string `json:"type"`
+	Index            int    `json:"index"`
+	Name             string `json:"name"`
+	Policy           string `json:"policy"`
+	Cached           bool   `json:"cached"`
+	FidelityFallback string `json:"fidelityFallback,omitempty"`
+}
+
+// setState transitions the sweep and emits the matching state event
+// atomically, so a streamer that observes a terminal state has already
+// received every prior event.
+func (sw *sweep) setState(state, errMsg string) {
+	sw.mu.Lock()
+	if terminal(sw.state) {
+		sw.mu.Unlock()
+		return // a cancelled sweep stays cancelled
+	}
+	sw.state = state
+	sw.errMsg = errMsg
+	ev := stateEvent{Type: "state", State: state, Completed: sw.completed,
+		Total: len(sw.req.Specs), CacheHits: sw.cacheHits, Error: errMsg}
+	line, _ := json.Marshal(ev)
+	sw.events = append(sw.events, line)
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+	sw.mu.Unlock()
+}
+
+type statusResponse struct {
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	CacheHits int    `json:"cacheHits"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (sw *sweep) status() statusResponse {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return statusResponse{
+		ID: sw.id, Name: sw.req.Name, State: sw.state, Total: len(sw.req.Specs),
+		Completed: sw.completed, CacheHits: sw.cacheHits, Error: sw.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBytes bounds submission bodies (a 100k-point grid is still far
+// below this; anything larger is a client bug, not a sweep).
+const maxRequestBytes = 64 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxRequestBytes {
+		jsonError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", maxRequestBytes)
+		return
+	}
+	req, err := exp.ParseSweepRequest(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("sw-%03d-%.8s", s.seq, req.SweepID())
+	sw := newSweep(id, req)
+	s.sweeps[id] = sw
+	switch {
+	case s.running < s.cfg.MaxConcurrent:
+		s.running++
+		go s.run(sw)
+	case len(s.queue) < s.cfg.QueueDepth:
+		s.queue = append(s.queue, sw)
+	default:
+		delete(s.sweeps, id)
+		queued := len(s.queue)
+		s.mu.Unlock()
+		jsonError(w, http.StatusTooManyRequests,
+			"admission queue full (%d running, %d queued); retry later", s.cfg.MaxConcurrent, queued)
+		return
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, sw.status())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweep {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		jsonError(w, http.StatusNotFound, "no sweep %q", id)
+	}
+	return sw
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sw := s.lookup(w, r); sw != nil {
+		writeJSON(w, http.StatusOK, sw.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	state, result := sw.state, sw.resultJSON
+	sw.mu.Unlock()
+	if state != StateDone {
+		jsonError(w, http.StatusConflict, "sweep %s is %s, not done", sw.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	point, err := strconv.Atoi(r.URL.Query().Get("point"))
+	if err != nil || point < 0 || point >= len(sw.req.Specs) {
+		jsonError(w, http.StatusBadRequest, "?point must be in [0, %d)", len(sw.req.Specs))
+		return
+	}
+	sw.mu.Lock()
+	state, results := sw.state, sw.results
+	sw.mu.Unlock()
+	if state != StateDone || point >= len(results) || results[point] == nil {
+		jsonError(w, http.StatusConflict, "sweep %s is %s; artifacts are served once done", sw.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := results[point].WriteCol(w); err != nil {
+		// Headers are out; all we can do is drop the connection mid-body.
+		return
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	s.mu.Lock()
+	for i, queued := range s.queue {
+		if queued == sw {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	sw.setState(StateCancelled, "cancelled by DELETE")
+	sw.cancel() // interrupts a running pool at the next poll boundary
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	cursor := 0
+	for {
+		sw.mu.Lock()
+		for cursor >= len(sw.events) && !terminal(sw.state) {
+			notify := sw.notify
+			sw.mu.Unlock()
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+			sw.mu.Lock()
+		}
+		batch := sw.events[cursor:len(sw.events):len(sw.events)]
+		cursor = len(sw.events)
+		done := terminal(sw.state) && cursor == len(sw.events)
+		sw.mu.Unlock()
+		for _, line := range batch {
+			if sse {
+				fmt.Fprintf(w, "data: %s\n\n", line)
+			} else {
+				w.Write(line)
+				io.WriteString(w, "\n")
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// run executes one admitted sweep and then hands its slot to the next
+// queued one. Per-point flow: the cache is consulted in the worker (a hit
+// skips the simulation entirely), fresh results are marshaled and stored
+// from the collator (ascending order, single goroutine), and the final
+// envelope is spliced from the per-point bytes — cached or fresh, the same
+// bytes either way.
+func (s *Server) run(sw *sweep) {
+	defer s.finish(sw)
+	sw.setState(StateRunning, "")
+	n := len(sw.req.Specs)
+	pointRaw := make([]json.RawMessage, n)
+	cached := make([]bool, n)
+
+	pool := &exp.Pool{Workers: s.cfg.Workers}
+	results, _, err := pool.Run(sw.ctx, n,
+		func(ctx context.Context, i int) (*exp.Result, error) {
+			spec := sw.req.Specs[i]
+			if raw, res, ok := s.cache.Get(spec); ok {
+				pointRaw[i], cached[i] = raw, true
+				return res, nil
+			}
+			return s.runPoint(ctx, spec)
+		},
+		func(i int, res *exp.Result) {
+			if pointRaw[i] == nil {
+				raw, merr := json.Marshal(res)
+				if merr != nil {
+					sw.event(map[string]string{"type": "error", "error": merr.Error()})
+					return
+				}
+				pointRaw[i] = raw
+				if err := s.cache.Put(sw.req.Specs[i], raw); err != nil {
+					sw.event(map[string]string{"type": "cache-error", "error": err.Error()})
+				}
+			}
+			sw.mu.Lock()
+			sw.completed++
+			if cached[i] {
+				sw.cacheHits++
+			}
+			sw.mu.Unlock()
+			sw.event(pointEvent{
+				Type: "point", Index: i, Name: res.Spec.Name, Policy: res.Policy,
+				Cached: cached[i], FidelityFallback: res.FidelityFallback,
+			})
+		})
+
+	switch {
+	case err == nil:
+		sw.mu.Lock()
+		sw.results = results
+		sw.resultJSON = exp.MarshalRawResults(pointRaw)
+		sw.mu.Unlock()
+		sw.setState(StateDone, "")
+	case sw.ctx.Err() != nil:
+		sw.setState(StateCancelled, "cancelled by DELETE")
+	default:
+		sw.setState(StateFailed, err.Error())
+	}
+}
+
+// finish releases the sweep's slot and starts the next live queued sweep.
+func (s *Server) finish(_ *sweep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		next.mu.Lock()
+		dead := terminal(next.state)
+		next.mu.Unlock()
+		if dead {
+			continue // cancelled while queued
+		}
+		s.running++
+		go s.run(next)
+		return
+	}
+}
